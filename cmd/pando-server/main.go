@@ -1,0 +1,36 @@
+// Command pando-server is the Public Server of the paper's architecture
+// (Figure 7): a small signalling relay that lets volunteers outside the
+// local network bootstrap a direct WebRTC-like connection to a master.
+// "Since signalling requires little resources, the Public Server could be
+// executed on a small personal server such as a Raspberry Pi board or the
+// free tier of a cloud" (§2.4.3).
+//
+//	pando-server --port 9000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"pando/internal/transport"
+)
+
+func main() {
+	var port = flag.Int("port", 9000, "TCP port to listen on")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pando-server:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pando-server: signalling relay listening on %s\n", ln.Addr())
+
+	srv := transport.NewSignalServer()
+	if err := srv.Serve(ln, transport.Config{}); err != nil {
+		fmt.Fprintln(os.Stderr, "pando-server:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,177 @@
+// Command pando-tools bundles the companion Unix tools of the paper's
+// pipelines (Figure 3 and Figure 10): input generators and
+// post-processing stages that combine with pando through pipes.
+//
+//	pando-tools generate-angles 16 | pando render --stdin | pando-tools gif-encode -o anim.gif
+//	pando-tools generate-ints 1 1000 | pando collatz --stdin | pando-tools collatz-max
+//	pando-tools generate-seeds 0 100 | pando sl-test --stdin | pando-tools sl-monitor
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"pando/internal/apps"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate-angles":
+		err = generateAngles(os.Args[2:])
+	case "generate-ints":
+		err = generateInts(os.Args[2:])
+	case "generate-seeds":
+		err = generateSeeds(os.Args[2:])
+	case "gif-encode":
+		err = gifEncode(os.Args[2:])
+	case "collatz-max":
+		err = collatzMax()
+	case "sl-monitor":
+		err = slMonitor()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pando-tools:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pando-tools <tool> [args]
+
+tools:
+  generate-angles <frames>      camera angles for one rotation (render inputs)
+  generate-ints <start> <count> consecutive integers (collatz inputs)
+  generate-seeds <start> <count> consecutive seeds (sl-test inputs)
+  gif-encode -o <file>          assemble rendered frames from stdin into a GIF
+  collatz-max                   report the input with the most Collatz steps
+  sl-monitor                    fail if any StreamLender check found violations`)
+}
+
+func generateAngles(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("generate-angles needs <frames>")
+	}
+	frames, err := strconv.Atoi(args[0])
+	if err != nil || frames < 1 {
+		return fmt.Errorf("bad frame count %q", args[0])
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, a := range apps.GenerateAngles(frames) {
+		fmt.Fprintln(w, a)
+	}
+	return nil
+}
+
+func generateInts(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("generate-ints needs <start> <count>")
+	}
+	start, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad start %q", args[0])
+	}
+	count, err := strconv.Atoi(args[1])
+	if err != nil || count < 0 {
+		return fmt.Errorf("bad count %q", args[1])
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < count; i++ {
+		fmt.Fprintln(w, start+int64(i))
+	}
+	return nil
+}
+
+func generateSeeds(args []string) error { return generateInts(args) }
+
+func gifEncode(args []string) error {
+	fs := flag.NewFlagSet("gif-encode", flag.ContinueOnError)
+	out := fs.String("o", "animation.gif", "output GIF path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	var frames []string
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			frames = append(frames, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("no frames on stdin")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := apps.EncodeAnimation(f, frames); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pando-tools: wrote %d frames to %s\n", len(frames), *out)
+	return nil
+}
+
+func collatzMax() error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var results []apps.CollatzResult
+	for sc.Scan() {
+		var r apps.CollatzResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return fmt.Errorf("bad result line %q: %w", sc.Text(), err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	best, ok := apps.MaxCollatz(results)
+	if !ok {
+		return fmt.Errorf("no results on stdin")
+	}
+	fmt.Printf("N=%s steps=%d (of %d tested)\n", best.N, best.Steps, len(results))
+	return nil
+}
+
+func slMonitor() error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var reports []apps.CheckReport
+	for sc.Scan() {
+		var r apps.CheckReport
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return fmt.Errorf("bad report line %q: %w", sc.Text(), err)
+		}
+		reports = append(reports, r)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	bad := apps.MonitorFailures(reports)
+	fmt.Printf("%d execution(s) checked, %d violation report(s)\n", len(reports), len(bad))
+	if len(bad) > 0 {
+		for _, r := range bad {
+			fmt.Printf("  seed %d: %v\n", r.Seed, r.Violations)
+		}
+		return fmt.Errorf("violations found")
+	}
+	return nil
+}

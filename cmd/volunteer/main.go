@@ -1,0 +1,104 @@
+// Command volunteer contributes a device to a Pando deployment — the
+// equivalent of opening the deployment URL in a browser (paper §2.1.2).
+//
+// Direct (LAN / VPN, WebSocket-like):
+//
+//	volunteer --connect 10.10.14.119:5000 --cores 2
+//
+// Through a public server (WAN, WebRTC-like bootstrap):
+//
+//	volunteer --via public.example.org:9000 --master <master-id> --cores 1
+//
+// The binary carries the registry of processing functions; the master's
+// welcome message names the one to apply (the Go substitute for shipping
+// browserified code). Joining multiple cores opens one connection per
+// core, as browser deployments open one tab per core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pando/internal/apps"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "deployment URL printed by the master on startup")
+		connect = flag.String("connect", "", "master address for a direct WebSocket-like join")
+		via     = flag.String("via", "", "public (signalling) server address for a WebRTC-like join")
+		masterP = flag.String("master", "master", "master peer ID when joining via a public server")
+		name    = flag.String("name", "", "device name shown in the master's accounting")
+		cores   = flag.Int("cores", 1, "number of parallel connections (one per core)")
+	)
+	flag.Parse()
+	apps.RegisterAll()
+
+	set := 0
+	for _, s := range []string{*url, *connect, *via} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		fmt.Fprintln(os.Stderr, "volunteer: exactly one of --url, --connect or --via is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = host
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, *cores)
+	for c := 0; c < *cores; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := &worker.Volunteer{Name: *name, CrashAfter: -1}
+			var err error
+			if *url != "" {
+				fmt.Fprintf(os.Stderr, "volunteer: core %d opening %s\n", c+1, *url)
+				err = v.JoinURL(*url, transport.TCPDialer(10*time.Second))
+			} else if *connect != "" {
+				var conn net.Conn
+				conn, err = net.DialTimeout("tcp", *connect, 10*time.Second)
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "volunteer: core %d joined %s\n", c+1, *connect)
+					err = v.JoinWS(conn)
+				}
+			} else {
+				var sc net.Conn
+				sc, err = net.DialTimeout("tcp", *via, 10*time.Second)
+				if err == nil {
+					signal := transport.NewWSock(sc, transport.Config{})
+					self := fmt.Sprintf("%s-%d-%d", *name, os.Getpid(), c)
+					fmt.Fprintf(os.Stderr, "volunteer: core %d signalling via %s\n", c+1, *via)
+					err = v.JoinRTC(signal, self, *masterP, transport.TCPDialer(10*time.Second))
+				}
+			}
+			if err != nil {
+				errs <- fmt.Errorf("core %d: %w", c+1, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	failed := false
+	for err := range errs {
+		fmt.Fprintln(os.Stderr, "volunteer:", err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "volunteer: stream complete, goodbye")
+}

@@ -1,0 +1,56 @@
+// Collatz: the paper's §4.1 BOINC-style application — find the starting
+// integer with the longest Collatz trajectory in a range, distributing
+// the big-number computation across devices.
+//
+//	go run ./examples/collatz [-start 1] [-count 500]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"time"
+
+	pando "pando"
+	"pando/internal/apps"
+	"pando/internal/netsim"
+)
+
+func main() {
+	var (
+		startN = flag.String("start", "1", "first integer to test (decimal, any size)")
+		count  = flag.Int("count", 500, "how many consecutive integers to test")
+	)
+	flag.Parse()
+
+	start, ok := new(big.Int).SetString(*startN, 10)
+	if !ok {
+		log.Fatalf("bad -start %q", *startN)
+	}
+
+	p := pando.New("example-"+apps.CollatzFunc, apps.CollatzSteps)
+	defer p.Close()
+	p.AddLocalWorkers(4)
+	p.AddSimulatedWorkers(2, "friend-phone", netsim.LAN, time.Millisecond, -1)
+
+	t0 := time.Now()
+	results, err := p.ProcessSlice(context.Background(), apps.CollatzInputs(start, *count))
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	best, _ := apps.MaxCollatz(results)
+	totalOps := 0
+	for _, r := range results {
+		totalOps += r.Ops
+	}
+	fmt.Printf("tested %d integers from %s in %v (%.0f Bignum-ops/s)\n",
+		*count, start, elapsed.Round(time.Millisecond), float64(totalOps)/elapsed.Seconds())
+	fmt.Printf("longest trajectory: N=%s with %d steps\n", best.N, best.Steps)
+	for _, w := range p.Stats() {
+		fmt.Printf("  %-15s %4d inputs\n", w.Name, w.Items)
+	}
+}

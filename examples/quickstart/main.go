@@ -1,0 +1,66 @@
+// Quickstart: the smallest possible Pando program, plus the deployment
+// example of the paper's Figure 4 — devices join dynamically, one crashes
+// mid-stream, the output still arrives complete and in order.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	pando "pando"
+	"pando/internal/netsim"
+	"pando/internal/transport"
+)
+
+func main() {
+	// 1. The minimal streaming map: square numbers on 4 local workers.
+	squares := pando.New("quickstart-square", func(v int) (int, error) {
+		return v * v, nil
+	})
+	squares.AddLocalWorkers(4)
+
+	inputs := make([]int, 10)
+	for i := range inputs {
+		inputs[i] = i + 1
+	}
+	out, err := squares.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("squares:", out)
+	squares.Close()
+
+	// 2. The Figure 4 scenario: a slow "tablet" joins, then a faster
+	// "phone"; the tablet crashes after one frame; the phone transparently
+	// takes over the frame the tablet dropped. Outputs stay ordered.
+	render := pando.New("quickstart-render", func(frame string) (string, error) {
+		time.Sleep(20 * time.Millisecond) // pretend to raytrace
+		return "f(" + frame + ")", nil
+	},
+		pando.WithBatch(1),
+		pando.WithChannelConfig(transport.Config{HeartbeatInterval: 20 * time.Millisecond}),
+	)
+	defer render.Close()
+
+	// The tablet crashes after rendering 1 frame (a browser tab closed).
+	render.AddSimulatedWorkers(1, "tablet", netsim.LAN, 10*time.Millisecond, 1)
+	// The phone joins a moment later and carries the rest.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		render.AddSimulatedWorkers(1, "phone", netsim.LAN, 0, -1)
+	}()
+
+	frames, err := render.ProcessSlice(context.Background(), []string{"x1", "x2", "x3"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("frames :", frames)
+	for _, w := range render.Stats() {
+		fmt.Printf("  %-10s processed %d item(s)\n", w.Name, w.Items)
+	}
+	fmt.Println("the tablet crashed mid-stream; Pando re-lent its frame transparently")
+}

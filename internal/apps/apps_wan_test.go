@@ -1,0 +1,138 @@
+package apps
+
+// WAN-style integration tests: every Section 4 application runs against
+// simulated remote devices over high-latency links, with crash-stop
+// failures injected — the deployment conditions of the paper's §5.4,
+// exercised per application.
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+	"testing"
+	"time"
+
+	pando "pando"
+	"pando/internal/chain"
+	"pando/internal/netsim"
+	"pando/internal/transport"
+)
+
+func wanDeployment[I, O any](t *testing.T, f func(I) (O, error), opts ...pando.Option) *pando.Pando[I, O] {
+	t.Helper()
+	opts = append(opts,
+		pando.WithBatch(4), // the paper's WAN batch size
+		pando.WithChannelConfig(transport.Config{HeartbeatInterval: 40 * time.Millisecond}),
+	)
+	p := deployment(t, f, opts...)
+	// A heterogeneous WAN fleet: two steady nodes, one crashing node.
+	p.AddSimulatedWorkers(2, "planetlab", netsim.WAN, time.Millisecond, -1)
+	p.AddSimulatedWorkers(1, "flaky-node", netsim.WAN, time.Millisecond, 6)
+	return p
+}
+
+func TestWANCollatz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := wanDeployment(t, CollatzSteps)
+	inputs := CollatzInputs(big.NewInt(1), 40)
+	results, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 40 {
+		t.Fatalf("got %d results", len(results))
+	}
+	best, _ := MaxCollatz(results)
+	if best.N != "27" {
+		t.Fatalf("max at N=%s, want 27", best.N)
+	}
+}
+
+func TestWANRaytrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := wanDeployment(t, RenderFrame)
+	frames, err := p.ProcessSlice(context.Background(), GenerateAngles(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gifBuf bytes.Buffer
+	if err := EncodeAnimation(&gifBuf, frames); err != nil {
+		t.Fatal(err)
+	}
+	if gifBuf.Len() == 0 {
+		t.Fatal("empty animation")
+	}
+}
+
+func TestWANSLTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := wanDeployment(t, RunRandomCheck)
+	reports, err := p.ProcessSlice(context.Background(), SLTestSeeds(500, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := MonitorFailures(reports); len(bad) != 0 {
+		t.Fatalf("violations: %+v", bad)
+	}
+}
+
+func TestWANMLAgent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := wanDeployment(t, TrainAgent)
+	outcomes, err := p.ProcessSlice(context.Background(), AgentInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := BestAgent(outcomes); !ok {
+		t.Fatal("no winner")
+	}
+}
+
+func TestWANMining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := chain.NewChain(9)
+	m := chain.NewMonitor(c, 2048, 3, nil)
+	p := wanDeployment(t, MineAttempt, pando.WithUnordered())
+	sum, err := RunMining(context.Background(), p, c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.BlocksMined != 2 {
+		t.Fatalf("mined %d blocks, want 2", sum.BlocksMined)
+	}
+}
+
+func TestWANGroupedCollatz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The grouped data plane under WAN conditions with crashes.
+	p := deployment(t, CollatzSteps,
+		pando.WithBatch(8), pando.WithGroup(4),
+		pando.WithChannelConfig(transport.Config{HeartbeatInterval: 40 * time.Millisecond}))
+	p.AddSimulatedWorkers(2, "grouped-node", netsim.WAN, time.Millisecond, -1)
+	p.AddSimulatedWorkers(1, "grouped-flaky", netsim.WAN, time.Millisecond, 5)
+	inputs := CollatzInputs(big.NewInt(100), 48)
+	results, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 48 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.N != inputs[i] {
+			t.Fatalf("results[%d] out of order: %s", i, r.N)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package apps
+
+import (
+	"strings"
+	"time"
+)
+
+// This file implements the Arxiv application (paper §4.1): distributing
+// the tagging of interesting papers to a group of collaborators — a form
+// of crowd-processing that uses the browser as a user interface rather
+// than a processing environment.
+//
+// Substitution: the humans are simulated by a keyword heuristic plus a
+// think-time delay. The paper itself excluded Arxiv from its throughput
+// evaluation because the "processing" is performed by a volunteer rather
+// than the device (§5.1); we do the same and use it only in tests and
+// examples.
+
+// Paper is the meta-information shown to a collaborator.
+type Paper struct {
+	ID       int    `json:"id"`
+	Title    string `json:"title"`
+	Abstract string `json:"abstract"`
+}
+
+// Tag is a collaborator's verdict.
+type Tag struct {
+	ID          int    `json:"id"`
+	Interesting bool   `json:"interesting"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// interestingKeywords drive the simulated collaborator's attention.
+var interestingKeywords = []string{
+	"volunteer computing", "webrtc", "stream", "browser", "peer-to-peer",
+}
+
+// HumanThinkTime is the simulated per-paper reading time. Tests may keep
+// it at zero; examples set it to something human.
+var HumanThinkTime time.Duration
+
+// TagPaper simulates one collaborator tagging one paper.
+func TagPaper(p Paper) (Tag, error) {
+	if HumanThinkTime > 0 {
+		time.Sleep(HumanThinkTime)
+	}
+	text := strings.ToLower(p.Title + " " + p.Abstract)
+	for _, kw := range interestingKeywords {
+		if strings.Contains(text, kw) {
+			return Tag{ID: p.ID, Interesting: true, Reason: "mentions " + kw}, nil
+		}
+	}
+	return Tag{ID: p.ID, Interesting: false}, nil
+}
+
+// SamplePapers returns a small synthetic feed for examples and tests.
+func SamplePapers() []Paper {
+	return []Paper{
+		{ID: 1, Title: "Pando: Personal Volunteer Computing in Browsers",
+			Abstract: "A tool based on WebRTC and WebSockets to parallelize a stream of values."},
+		{ID: 2, Title: "A Study of Soil Acidity",
+			Abstract: "Longitudinal measurements of pH in agricultural settings."},
+		{ID: 3, Title: "Scalable Distributed Stream Processing",
+			Abstract: "Operators and dataflow graphs for low-latency computation."},
+		{ID: 4, Title: "On the Combinatorics of Tiling",
+			Abstract: "Enumerative results for polyomino tilings."},
+		{ID: 5, Title: "Peer-to-Peer Content Distribution in Web Browsers",
+			Abstract: "Leveraging WebRTC for browser-based swarming."},
+	}
+}

@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file implements the Collatz application (paper §4.1): an ongoing
+// BOINC project searching for the integer that results in the largest
+// number of computation steps under the Collatz rules. The paper's
+// version was compiled from MATLAB to JavaScript and adapted to a
+// BigNumber library; ours uses math/big directly. Throughput is measured
+// in big-number operations per second (Table 2's Bignum/s).
+
+var (
+	bigOne   = big.NewInt(1)
+	bigTwo   = big.NewInt(2)
+	bigThree = big.NewInt(3)
+)
+
+// CollatzResult reports the number of steps for one starting integer.
+type CollatzResult struct {
+	N     string `json:"n"`
+	Steps int    `json:"steps"`
+	// Ops counts big-number operations performed, the Bignum/s unit.
+	Ops int `json:"ops"`
+}
+
+// CollatzSteps counts the Collatz steps for the decimal integer nStr:
+// n -> n/2 if even, n -> 3n+1 if odd, until n reaches 1.
+func CollatzSteps(nStr string) (CollatzResult, error) {
+	n, ok := new(big.Int).SetString(nStr, 10)
+	if !ok {
+		return CollatzResult{}, fmt.Errorf("collatz: %q is not a decimal integer", nStr)
+	}
+	if n.Sign() <= 0 {
+		return CollatzResult{}, fmt.Errorf("collatz: %s is not positive", nStr)
+	}
+	res := CollatzResult{N: nStr}
+	m := new(big.Int).Set(n)
+	r := new(big.Int)
+	for m.Cmp(bigOne) != 0 {
+		if r.Mod(m, bigTwo).Sign() == 0 {
+			m.Div(m, bigTwo)
+			res.Ops += 2 // mod + div
+		} else {
+			m.Mul(m, bigThree)
+			m.Add(m, bigOne)
+			res.Ops += 3 // mod + mul + add
+		}
+		res.Steps++
+	}
+	return res, nil
+}
+
+// CollatzInputs lists count consecutive starting integers from start, as
+// decimal strings (inputs arrive as strings on Pando's standard input in
+// the paper's pipeline).
+func CollatzInputs(start *big.Int, count int) []string {
+	out := make([]string, 0, count)
+	n := new(big.Int).Set(start)
+	for i := 0; i < count; i++ {
+		out = append(out, n.String())
+		n = new(big.Int).Add(n, bigOne)
+	}
+	return out
+}
+
+// MaxCollatz is the Post stage of the pipeline (Figure 10): keep the
+// input with the largest number of steps.
+func MaxCollatz(results []CollatzResult) (CollatzResult, bool) {
+	if len(results) == 0 {
+		return CollatzResult{}, false
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Steps > best.Steps {
+			best = r
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"fmt"
+
+	"pando/internal/landsat"
+	"pando/internal/pullstream"
+	"pando/internal/stubborn"
+)
+
+// This file implements the Image processing application in its three
+// variants (paper §4.1 and §4.3): blurring tiles of an open satellite
+// dataset with the image data distributed outside of Pando.
+
+// TileJob identifies one image to process; every parameter a volunteer
+// needs travels in the input value (the paper's workers receive the http
+// server's address the same way).
+type TileJob struct {
+	ID      int    `json:"id"`
+	BaseURL string `json:"baseURL,omitempty"` // http variant only
+	Width   int    `json:"width"`
+	Height  int    `json:"height"`
+	Radius  int    `json:"radius"`
+}
+
+// TileDone acknowledges one processed image. In the http variant the
+// result data has already been posted back synchronously when this value
+// is produced, so receiving it guarantees the output image was received.
+type TileDone struct {
+	ID int  `json:"id"`
+	OK bool `json:"ok"`
+}
+
+// ImgProcJobs builds the job stream for n tiles.
+func ImgProcJobs(n int, baseURL string, width, height, radius int) []TileJob {
+	jobs := make([]TileJob, 0, n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, TileJob{
+			ID: i, BaseURL: baseURL, Width: width, Height: height, Radius: radius,
+		})
+	}
+	return jobs
+}
+
+// BlurTileHTTP is the http-variant processing function: fetch the input
+// image over HTTP, blur it, and post the result back before returning.
+func BlurTileHTTP(job TileJob) (TileDone, error) {
+	tile, err := landsat.FetchTile(job.BaseURL, job.ID, job.Width, job.Height)
+	if err != nil {
+		return TileDone{}, fmt.Errorf("img-proc: %w", err)
+	}
+	blurred, err := landsat.BoxBlur(tile, job.Radius)
+	if err != nil {
+		return TileDone{}, fmt.Errorf("img-proc: %w", err)
+	}
+	if err := landsat.PostResult(job.BaseURL, blurred); err != nil {
+		return TileDone{}, fmt.Errorf("img-proc: %w", err)
+	}
+	return TileDone{ID: job.ID, OK: true}, nil
+}
+
+// NewP2PBlur returns the p2p-variant processing function bound to a
+// DAT / WebTorrent-like store: the worker generates/fetches the tile,
+// blurs it, and *shares* the result asynchronously — the share may
+// silently fail even though the worker reports success, the failure mode
+// the stubborn module exists for (§4.3).
+func NewP2PBlur(store *landsat.P2PStore) func(TileJob) (TileDone, error) {
+	return func(job TileJob) (TileDone, error) {
+		tile := landsat.GenerateTile(job.ID, job.Width, job.Height)
+		blurred, err := landsat.BoxBlur(tile, job.Radius)
+		if err != nil {
+			return TileDone{}, fmt.Errorf("img-proc-p2p: %w", err)
+		}
+		store.Share(blurred)
+		return TileDone{ID: job.ID, OK: true}, nil
+	}
+}
+
+// StubbornP2P wraps a distributed-map Through with the §4.3 feedback
+// loop: a job's result is output only after its data can actually be
+// downloaded from the p2p store; otherwise the job is resubmitted. On a
+// resubmission's success path the store is force-seeded, modelling the
+// retry eventually landing on a live seeder.
+func StubbornP2P(th pullstream.Through[TileJob, TileDone], store *landsat.P2PStore, jobOf func(id int) TileJob) pullstream.Through[TileJob, TileDone] {
+	return stubborn.Loop(th, func(done TileDone) (stubborn.Verdict, TileJob) {
+		if _, err := store.Download(done.ID); err != nil {
+			job := jobOf(done.ID)
+			// The retry processes and force-seeds so progress is
+			// guaranteed (a stubborn retry that could never succeed
+			// would livelock, which the paper's design rules out by
+			// re-sharing from a live peer).
+			tile := landsat.GenerateTile(job.ID, job.Width, job.Height)
+			if blurred, berr := landsat.BoxBlur(tile, job.Radius); berr == nil {
+				store.ForceShare(blurred)
+			}
+			return stubborn.Retry, job
+		}
+		return stubborn.Accept, TileJob{}
+	})
+}
+
+// stubbornDAT wraps a distributed map with the DAT-variant feedback loop:
+// a result is accepted only once its tile is downloadable; staged tiles
+// are confirmed (the simulated user's click) and the job retried.
+func stubbornDAT(th pullstream.Through[TileJob, TileDone], store *landsat.DATStore, jobOf func(id int) TileJob) pullstream.Through[TileJob, TileDone] {
+	return stubborn.Loop(th, func(done TileDone) (stubborn.Verdict, TileJob) {
+		if _, err := store.Download(done.ID); err != nil {
+			store.Confirm(done.ID) // the user enables the transfer
+			return stubborn.Retry, jobOf(done.ID)
+		}
+		return stubborn.Accept, TileJob{}
+	})
+}
+
+// NewWebTorrentBlur returns the WebTorrent-variant processing function: a
+// worker joins the swarm (slow, possibly failing — the §5.1 observation),
+// blurs the tile, and seeds the result if its connection is up.
+func NewWebTorrentBlur(store *landsat.WebTorrentStore) func(TileJob) (TileDone, error) {
+	return func(job TileJob) (TileDone, error) {
+		// Best effort: a failed join is not an application error; the
+		// stubborn loop will catch the missing data.
+		_ = store.Connect()
+		tile := landsat.GenerateTile(job.ID, job.Width, job.Height)
+		blurred, err := landsat.BoxBlur(tile, job.Radius)
+		if err != nil {
+			return TileDone{}, fmt.Errorf("img-proc-webtorrent: %w", err)
+		}
+		store.Share(blurred)
+		return TileDone{ID: job.ID, OK: true}, nil
+	}
+}
+
+// StubbornWebTorrent wraps a distributed map with the WebTorrent-variant
+// feedback loop: unreachable results retry (reconnecting as needed) until
+// every tile is downloadable.
+func StubbornWebTorrent(th pullstream.Through[TileJob, TileDone], store *landsat.WebTorrentStore, jobOf func(id int) TileJob) pullstream.Through[TileJob, TileDone] {
+	return stubborn.Loop(th, func(done TileDone) (stubborn.Verdict, TileJob) {
+		if _, err := store.Download(done.ID); err != nil {
+			_ = store.Connect() // keep trying to join the swarm
+			return stubborn.Retry, jobOf(done.ID)
+		}
+		return stubborn.Accept, TileJob{}
+	})
+}

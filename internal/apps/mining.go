@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"context"
+	"fmt"
+
+	"pando/internal/chain"
+)
+
+// This file implements the Crypto-currency mining application (paper
+// §4.2): a synchronous parallel search in which a monitor lazily provides
+// mining attempts to Pando — as many as there are participating workers —
+// and keeps providing new attempts until a valid nonce is found, then
+// moves on to the next block. The feedback loop is expressed with the
+// monitor feeding Pando's lazy input stream and consuming its output.
+
+// MineAttempt is the processing function: test every nonce in the range.
+func MineAttempt(a chain.Attempt) (chain.Result, error) {
+	return chain.Mine(a), nil
+}
+
+// Miner runs the feedback loop against any stream processor exposing
+// Pando's Process signature (satisfied by *pando.Pando[chain.Attempt,
+// chain.Result]).
+type Miner interface {
+	Process(ctx context.Context, in <-chan chain.Attempt) (<-chan chain.Result, <-chan error)
+}
+
+// MiningSummary reports the outcome of a mining run.
+type MiningSummary struct {
+	BlocksMined int
+	Hashes      uint64
+	Attempts    int
+}
+
+// RunMining mines until the chain reaches the monitor's target height.
+// The paper recommends the unordered StreamLender variant here so a valid
+// nonce is reported as soon as possible; construct the deployment with
+// pando.WithUnordered() to follow it.
+func RunMining(ctx context.Context, p Miner, c *chain.Chain, m *chain.Monitor) (MiningSummary, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	in := make(chan chain.Attempt)
+	outc, errc := p.Process(ctx, in)
+
+	// The monitor lazily provides attempts: the send blocks until a
+	// worker is available to take one, so exactly as many attempts are
+	// outstanding as the workers (times the batch size) demand.
+	go func() {
+		defer close(in)
+		for {
+			a, ok := m.NextAttempt()
+			if !ok {
+				return
+			}
+			select {
+			case in <- a:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var sum MiningSummary
+	for r := range outc {
+		sum.Attempts++
+		sum.Hashes += r.Hashes
+		if m.Handle(r) {
+			cancel() // target reached: stop the stream
+			break
+		}
+	}
+	// Drain remaining results so the deployment shuts down cleanly.
+	for range outc {
+	}
+	if err := <-errc; err != nil && ctx.Err() == nil {
+		return sum, fmt.Errorf("mining: %w", err)
+	}
+	sum.BlocksMined = c.Height() - 1 // exclude genesis
+	if err := c.Verify(); err != nil {
+		return sum, fmt.Errorf("mining: chain verification: %w", err)
+	}
+	return sum, nil
+}

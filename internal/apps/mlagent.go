@@ -1,0 +1,44 @@
+package apps
+
+import (
+	"pando/internal/qlearn"
+)
+
+// This file implements the Machine learning agent application (paper
+// §4.1): searching for the optimal learning rate that helps an autonomous
+// agent in a simulated environment quickly learn sequences of steps that
+// result in rewards. Each input is one hyperparameter configuration; each
+// device runs one full simulation.
+
+// TrainAgent is the processing function: one training run per
+// hyperparameter configuration.
+func TrainAgent(p qlearn.Params) (qlearn.Outcome, error) {
+	return qlearn.Train(p)
+}
+
+// DefaultAgentBase returns the shared training settings of the sweep.
+func DefaultAgentBase() qlearn.Params {
+	return qlearn.Params{
+		Gamma:    0.95,
+		Epsilon:  0.1,
+		Episodes: 150,
+		MaxSteps: 150,
+		Seed:     17,
+		GridSize: 6,
+	}
+}
+
+// DefaultAlphaSweep is the hyperparameter grid for the search.
+func DefaultAlphaSweep() []float64 {
+	return []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+}
+
+// AgentInputs builds the stream of hyperparameter configurations.
+func AgentInputs() []qlearn.Params {
+	return qlearn.SweepAlphas(DefaultAlphaSweep(), DefaultAgentBase())
+}
+
+// BestAgent selects the winning configuration (the search's answer).
+func BestAgent(outcomes []qlearn.Outcome) (qlearn.Outcome, bool) {
+	return qlearn.Best(outcomes)
+}

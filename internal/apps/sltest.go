@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pando/internal/lender"
+	"pando/internal/pullstream"
+)
+
+// This file implements the StreamLender test application (paper §4.1):
+// random executions of StreamLender searching for violations of the
+// pull-stream protocol invariants. The paper reports this strategy found
+// three corner-case bugs that manually written tests missed, and that
+// Pando was then used to scale the strategy to millions of executions —
+// testing the tool with the tool.
+
+// CheckReport is the outcome of one randomized execution.
+type CheckReport struct {
+	Seed       int64    `json:"seed"`
+	Inputs     int      `json:"inputs"`
+	Workers    int      `json:"workers"`
+	Crashes    int      `json:"crashes"`
+	Violations []string `json:"violations,omitempty"`
+	// Executions counts protocol interactions exercised, the Tests/s
+	// throughput unit of Table 2.
+	Executions int `json:"executions"`
+}
+
+// OK reports whether the execution was invariant-clean.
+func (r CheckReport) OK() bool { return len(r.Violations) == 0 }
+
+// RunRandomCheck performs one random execution of StreamLender derived
+// from the seed: a random number of inputs, workers, crash points and
+// interleavings, with protocol checkers on both boundaries and an output
+// correctness check.
+func RunRandomCheck(seed int64) (CheckReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rep := CheckReport{
+		Seed:    seed,
+		Inputs:  rng.Intn(40),
+		Workers: 1 + rng.Intn(5),
+	}
+
+	l := lender.New[int, int]()
+	inCheck := pullstream.NewChecker[int]()
+	out := l.Bind(inCheck.Wrap(pullstream.Count(rep.Inputs)))
+	outCheck := pullstream.NewChecker[int]()
+
+	collected := make(chan []int, 1)
+	collectErr := make(chan error, 1)
+	go func() {
+		vs, err := pullstream.Collect(outCheck.Wrap(out))
+		collected <- vs
+		collectErr <- err
+	}()
+
+	var wg sync.WaitGroup
+	reliable := rng.Intn(rep.Workers)
+	for w := 0; w < rep.Workers; w++ {
+		crashAfter := -1
+		if w != reliable && rng.Intn(2) == 0 {
+			crashAfter = rng.Intn(6)
+			rep.Crashes++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, d := l.LendStream()
+			results := make(chan int)
+			crashc := make(chan error, 1)
+			var sinkWG sync.WaitGroup
+			sinkWG.Add(1)
+			go func() {
+				defer sinkWG.Done()
+				d.Sink(pullstream.FromChan(results, crashc))
+			}()
+			count := 0
+			for {
+				type ans struct {
+					end error
+					v   int
+				}
+				ch := make(chan ans, 1)
+				d.Source(nil, func(end error, v int) { ch <- ans{end, v} })
+				a := <-ch
+				if a.end != nil {
+					close(results)
+					sinkWG.Wait()
+					return
+				}
+				if crashAfter >= 0 && count >= crashAfter {
+					d.Source(errors.New("crash"), func(error, int) {})
+					crashc <- errors.New("crash")
+					sinkWG.Wait()
+					return
+				}
+				results <- a.v * 2
+				count++
+			}
+		}()
+	}
+
+	got := <-collected
+	if err := <-collectErr; err != nil {
+		rep.Violations = append(rep.Violations, "output failed: "+err.Error())
+	}
+	wg.Wait()
+
+	if len(got) != rep.Inputs {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("output count %d != inputs %d", len(got), rep.Inputs))
+	}
+	for i, v := range got {
+		if v != (i+1)*2 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("output[%d] = %d out of order", i, v))
+			break
+		}
+	}
+	for _, v := range inCheck.Violations() {
+		rep.Violations = append(rep.Violations, "input boundary: "+v.String())
+	}
+	for _, v := range outCheck.Violations() {
+		rep.Violations = append(rep.Violations, "output boundary: "+v.String())
+	}
+	rep.Executions = inCheck.Requests() + outCheck.Requests()
+	return rep, nil
+}
+
+// SLTestSeeds generates the input stream: n consecutive seeds from start.
+func SLTestSeeds(start int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, start+int64(i))
+	}
+	return out
+}
+
+// MonitorFailures is the Post stage (Figure 10): collect the reports with
+// violations.
+func MonitorFailures(reports []CheckReport) []CheckReport {
+	var bad []CheckReport
+	for _, r := range reports {
+		if !r.OK() {
+			bad = append(bad, r)
+		}
+	}
+	return bad
+}

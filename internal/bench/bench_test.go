@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilesEncodePaperTotals(t *testing.T) {
+	// The encoded profiles must reproduce the bold totals of Table 2.
+	cases := []struct {
+		s    Scenario
+		app  App
+		want float64
+	}{
+		{LAN, Collatz, 2209.65},
+		{LAN, Crypto, 378672},
+		{LAN, SLTest, 3603.70},
+		{LAN, Raytrace, 18.94},
+		{LAN, ImgProc, 0.71},
+		{LAN, MLAgent, 484.90},
+		{VPN, Collatz, 3823.51},
+		{VPN, Crypto, 1534102},
+		{VPN, Raytrace, 16.38},
+		{WAN, Collatz, 1845.52},
+		{WAN, Crypto, 717485},
+		{WAN, Raytrace, 4.75},
+		{WAN, MLAgent, 714.38},
+	}
+	for _, c := range cases {
+		got := c.s.Total(c.app)
+		// The paper's printed totals are rounded from two-decimal cells
+		// (e.g. the LAN ImgProc column sums to 0.72 but prints 0.71), so
+		// allow a small absolute slack alongside the relative one.
+		tol := math.Max(0.001*c.want, 0.015)
+		if math.Abs(got-c.want) > tol {
+			t.Errorf("%s/%s total = %.2f, want %.2f", c.s.Name, c.app, got, c.want)
+		}
+	}
+}
+
+func TestProfilesShares(t *testing.T) {
+	// Spot-check the % columns against the paper.
+	if s := LAN.Share("MBPro 2016", Collatz); math.Abs(s-47.3) > 0.1 {
+		t.Fatalf("MBPro share = %.1f, want 47.3", s)
+	}
+	if s := VPN.Share("dahu.grenoble", Raytrace); math.Abs(s-19.0) > 0.1 {
+		t.Fatalf("dahu share = %.1f, want 19.0", s)
+	}
+	if s := WAN.Share("cse-yellow.cse.chalmers.se", Collatz); math.Abs(s-25.5) > 0.1 {
+		t.Fatalf("chalmers share = %.1f, want 25.5", s)
+	}
+}
+
+func TestWANHasNoImgProc(t *testing.T) {
+	if WAN.Total(ImgProc) != 0 {
+		t.Fatal("the paper could not run ImgProc on the WAN; the profile must not either")
+	}
+}
+
+func TestRunCellSharesTrackPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Run one representative cell and require every device's measured %
+	// share to be within 10 percentage points of the paper's — the shape
+	// of Table 2.
+	cell, err := RunCell(LAN, Collatz, Options{Items: 600, TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5 devices", len(cell.Rows))
+	}
+	for _, r := range cell.Rows {
+		if r.Items == 0 {
+			t.Errorf("%s processed nothing", r.Device)
+		}
+		if math.Abs(r.MeasuredShare-r.PaperShare) > 10 {
+			t.Errorf("%s share %.1f%% vs paper %.1f%% (> 10pp off)",
+				r.Device, r.MeasuredShare, r.PaperShare)
+		}
+	}
+	// The fastest device must remain the fastest.
+	var fastest Row
+	for _, r := range cell.Rows {
+		if r.Measured > fastest.Measured {
+			fastest = r
+		}
+	}
+	if fastest.Device != "MBPro 2016" {
+		t.Errorf("fastest device = %s, want MBPro 2016", fastest.Device)
+	}
+}
+
+func TestRunCellWANOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cell, err := RunCell(WAN, Raytrace, Options{Items: 250, TimeScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Who wins must match the paper: chalmers and huji are the two
+	// fastest WAN nodes on Raytrace.
+	byDevice := map[string]float64{}
+	for _, r := range cell.Rows {
+		byDevice[r.Device] = r.MeasuredShare
+	}
+	if byDevice["cse-yellow.cse.chalmers.se"] < byDevice["ple42.planet-lab.eu"] {
+		t.Errorf("chalmers (%f%%) should out-process ple42 (%f%%)",
+			byDevice["cse-yellow.cse.chalmers.se"], byDevice["ple42.planet-lab.eu"])
+	}
+}
+
+func TestRunCellErrorsOnMissingApp(t *testing.T) {
+	empty := Scenario{Name: "none", Devices: []Device{{Name: "d", Cores: 1, Rates: map[App]float64{}}}}
+	if _, err := RunCell(empty, Collatz, Options{Items: 1}); err == nil {
+		t.Fatal("expected error for scenario without the app")
+	}
+}
+
+func TestBatchSweepHidesLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Claim C1: with latency comparable to compute time, batch >= 2
+	// noticeably outperforms batch 1.
+	points, err := RunBatchSweep([]int{1, 2, 4, 8}, 20*time.Millisecond, 10*time.Millisecond, 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[1].Throughput < points[0].Throughput*1.5 {
+		t.Errorf("batch 2 (%.1f/s) should beat batch 1 (%.1f/s) by >= 1.5x when RTT ~ 4x compute",
+			points[1].Throughput, points[0].Throughput)
+	}
+	if points[3].Throughput < points[1].Throughput {
+		// Larger batches should not hurt (monotone up to saturation).
+		ratio := points[3].Throughput / points[1].Throughput
+		if ratio < 0.8 {
+			t.Errorf("batch 8 (%.1f/s) much worse than batch 2 (%.1f/s)",
+				points[3].Throughput, points[1].Throughput)
+		}
+	}
+}
+
+func TestCheckClaimsAllHold(t *testing.T) {
+	for _, c := range CheckClaims() {
+		if !c.Holds {
+			t.Errorf("claim %s does not hold: %s (%s)", c.ID, c.Text, c.Detail)
+		}
+	}
+}
+
+func TestRunSpeedupOverSingleDevice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Headline claim: the full LAN set beats the lone MacBook Air.
+	r, err := RunSpeedup(Raytrace, "MBAir 2011", Options{Items: 300, TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: total 18.94 f/s vs MBA's 2.94 f/s = 6.4x. Require at least
+	// half that, allowing coordination overhead at compressed time.
+	if r.Speedup < 3 {
+		t.Errorf("speedup = %.2fx, want >= 3x (paper: 6.4x)", r.Speedup)
+	}
+}
+
+func TestRenderTable2Smoke(t *testing.T) {
+	cells := []CellResult{{
+		Scenario: "LAN: Personal Devices",
+		App:      Collatz,
+		Rows: []Row{
+			{Device: "iPhone SE", Measured: 330, MeasuredShare: 15, Paper: 336.18, PaperShare: 15.2, Items: 60},
+		},
+		TotalMeasured: 330,
+		TotalPaper:    2209.65,
+	}}
+	var buf bytes.Buffer
+	RenderTable2(&buf, cells)
+	out := buf.String()
+	for _, want := range []string{"LAN: Personal Devices", "iPhone SE", "Collatz", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderClaimsAndSweepSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	RenderClaims(&buf, []Claim{{ID: "X", Text: "t", Holds: true, Detail: "d"}})
+	if !strings.Contains(buf.String(), "HOLDS") {
+		t.Fatal("claims render missing status")
+	}
+	buf.Reset()
+	RenderSweep(&buf, []SweepPoint{{Batch: 1, Latency: time.Millisecond, Throughput: 10}})
+	if !strings.Contains(buf.String(), "batch") {
+		t.Fatal("sweep render missing header")
+	}
+	buf.Reset()
+	RenderSpeedup(&buf, SpeedupResult{App: Raytrace, SingleDevice: "x", Speedup: 2})
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("speedup render missing")
+	}
+}
+
+func TestPerCoreDelay(t *testing.T) {
+	d := Device{Name: "d", Cores: 2, Rates: map[App]float64{Raytrace: 4}}
+	// 4 frames/s over 2 cores = 2 f/s per core; 1 unit/item => 0.5 s/item
+	// at scale 1.
+	delay, ok := perCoreDelay(d, Raytrace, 1)
+	if !ok {
+		t.Fatal("rate missing")
+	}
+	if delay != 500*time.Millisecond {
+		t.Fatalf("delay = %v, want 500ms", delay)
+	}
+	if _, ok := perCoreDelay(d, Collatz, 1); ok {
+		t.Fatal("missing app should report !ok")
+	}
+}

@@ -1,0 +1,126 @@
+package chain
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements difficulty retargeting, the mechanism the paper's
+// §4.2 describes for Bitcoin: "the difficulty is automatically adjusted
+// such that the time between each successful block is roughly ten
+// minutes", which is what makes forging history increasingly costly.
+//
+// Our adjustment is deliberately simple — ±1 difficulty bit per window,
+// i.e. a halving or doubling of the expected work — which is coarse but
+// demonstrates the feedback mechanism; production chains scale the target
+// fractionally.
+
+// Retargeter tracks block arrival times and adjusts the difficulty every
+// window blocks.
+type Retargeter struct {
+	mu sync.Mutex
+	// window is how many blocks between adjustments.
+	window int
+	// target is the desired time per block.
+	target time.Duration
+	// bits is the current difficulty.
+	bits int
+	// minBits and maxBits clamp the adjustment.
+	minBits, maxBits int
+
+	windowStart time.Time
+	inWindow    int
+	now         func() time.Time
+}
+
+// NewRetargeter creates a retargeter starting at startBits, adjusting
+// every window blocks toward targetPerBlock, clamped to [minBits,
+// maxBits].
+func NewRetargeter(startBits, window int, targetPerBlock time.Duration, minBits, maxBits int) *Retargeter {
+	if window < 1 {
+		window = 1
+	}
+	if minBits < 0 {
+		minBits = 0
+	}
+	if maxBits <= 0 || maxBits > 255 {
+		maxBits = 255
+	}
+	return &Retargeter{
+		window:  window,
+		target:  targetPerBlock,
+		bits:    clampInt(startBits, minBits, maxBits),
+		minBits: minBits,
+		maxBits: maxBits,
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (r *Retargeter) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Bits returns the current difficulty.
+func (r *Retargeter) Bits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bits
+}
+
+// BlockFound records one mined block and returns the difficulty to use
+// for the next one. Every window blocks, the difficulty rises by one bit
+// if the window completed faster than window x target (mining is too
+// easy) and falls by one bit if slower.
+func (r *Retargeter) BlockFound() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if r.inWindow == 0 {
+		r.windowStart = now
+	}
+	r.inWindow++
+	if r.inWindow < r.window {
+		return r.bits
+	}
+	elapsed := now.Sub(r.windowStart)
+	want := r.target * time.Duration(r.window)
+	switch {
+	case elapsed < want/2:
+		r.bits = clampInt(r.bits+1, r.minBits, r.maxBits)
+	case elapsed > want*2:
+		r.bits = clampInt(r.bits-1, r.minBits, r.maxBits)
+	}
+	r.inWindow = 0
+	return r.bits
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SetBits lets the chain pick up the retargeted difficulty for the next
+// template.
+func (c *Chain) SetBits(bits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bits < 0 {
+		bits = 0
+	}
+	c.bits = bits
+}
+
+// Bits returns the chain's current difficulty for new templates.
+func (c *Chain) Bits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bits
+}

@@ -1,0 +1,104 @@
+package chain
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per call.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestRetargeterRaisesDifficultyWhenTooFast(t *testing.T) {
+	r := NewRetargeter(10, 4, time.Second, 1, 30)
+	clk := &fakeClock{t: time.Unix(0, 0), step: 100 * time.Millisecond} // 10x too fast
+	r.SetClock(clk.now)
+	for i := 0; i < 4; i++ {
+		r.BlockFound()
+	}
+	if r.Bits() != 11 {
+		t.Fatalf("bits = %d, want 11 after a too-fast window", r.Bits())
+	}
+}
+
+func TestRetargeterLowersDifficultyWhenTooSlow(t *testing.T) {
+	r := NewRetargeter(10, 4, time.Second, 1, 30)
+	clk := &fakeClock{t: time.Unix(0, 0), step: 10 * time.Second} // 10x too slow
+	r.SetClock(clk.now)
+	for i := 0; i < 4; i++ {
+		r.BlockFound()
+	}
+	if r.Bits() != 9 {
+		t.Fatalf("bits = %d, want 9 after a too-slow window", r.Bits())
+	}
+}
+
+func TestRetargeterStableWhenOnTarget(t *testing.T) {
+	r := NewRetargeter(10, 4, time.Second, 1, 30)
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Second}
+	r.SetClock(clk.now)
+	for i := 0; i < 12; i++ {
+		r.BlockFound()
+	}
+	if r.Bits() != 10 {
+		t.Fatalf("bits = %d, want unchanged 10", r.Bits())
+	}
+}
+
+func TestRetargeterClamps(t *testing.T) {
+	r := NewRetargeter(29, 1, time.Hour, 1, 30)
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Nanosecond} // absurdly fast
+	r.SetClock(clk.now)
+	for i := 0; i < 10; i++ {
+		r.BlockFound()
+	}
+	if r.Bits() != 30 {
+		t.Fatalf("bits = %d, want clamped at 30", r.Bits())
+	}
+}
+
+func TestChainSetBitsAffectsTemplates(t *testing.T) {
+	c := NewChain(8)
+	if c.Bits() != 8 {
+		t.Fatalf("bits = %d", c.Bits())
+	}
+	c.SetBits(12)
+	tpl := c.NextTemplate("tx")
+	if tpl.Bits != 12 {
+		t.Fatalf("template bits = %d, want 12", tpl.Bits)
+	}
+}
+
+func TestMiningWithRetargetingEndToEnd(t *testing.T) {
+	// Mine a few windows with real (fast) mining: the retargeter should
+	// push the difficulty up because CPU mining at 6 bits is instant.
+	c := NewChain(6)
+	r := NewRetargeter(6, 2, 500*time.Millisecond, 1, 20)
+	startBits := r.Bits()
+	for i := 0; i < 6; i++ {
+		tpl := c.NextTemplate("tx")
+		res := Mine(Attempt{Block: tpl, Start: 0, End: 1 << 30})
+		if !res.Found {
+			t.Fatal("unsolvable at low bits?")
+		}
+		b := tpl
+		b.Nonce = res.Nonce
+		if err := c.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		c.SetBits(r.BlockFound())
+	}
+	if r.Bits() <= startBits {
+		t.Fatalf("bits = %d, want > %d after instant windows", r.Bits(), startBits)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package core implements DistributedMap, the central module of Pando's
+// architecture (paper Figure 7): the composition of the StreamLender with
+// a Limiter and a duplex channel per participating device,
+//
+//	pull(sub.Source, Limit(duplex, batch), sub.Sink)
+//
+// exposed as a single typed engine. It encapsulates the paper's
+// programming model — a streaming map with ordered outputs, lazy reads,
+// conservative single-copy lending, adaptive distribution and crash-stop
+// fault-tolerance — independently of any deployment concern. The master
+// process (internal/master) adds admission handshakes, accounting and
+// listeners on top; tests and embedded uses can drive the engine
+// directly.
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"pando/internal/lender"
+	"pando/internal/limiter"
+	"pando/internal/pullstream"
+)
+
+// ErrEngineClosed reports use of a closed engine.
+var ErrEngineClosed = errors.New("core: engine closed")
+
+// DistributedMap coordinates the application of a function on a stream of
+// values by a dynamically varying set of processors.
+type DistributedMap[I, O any] struct {
+	batch int
+	l     *lender.Lender[I, O]
+
+	mu       sync.Mutex
+	closed   bool
+	attached int
+	observer func(Event)
+}
+
+// Event describes a lifecycle event of an attached processor, for
+// accounting and monitoring.
+type Event struct {
+	// Kind is "attach", "result" or "detach".
+	Kind string
+	// Processor is the caller-assigned identifier.
+	Processor string
+	// Err is the terminal error for detach events (nil for a graceful
+	// end).
+	Err error
+}
+
+// Option configures a DistributedMap.
+type Option func(*config)
+
+type config struct {
+	batch    int
+	ordered  bool
+	observer func(Event)
+}
+
+// WithBatch bounds values in flight per processor (the Limiter bound).
+func WithBatch(n int) Option { return func(c *config) { c.batch = n } }
+
+// WithUnordered emits results in completion order.
+func WithUnordered() Option { return func(c *config) { c.ordered = false } }
+
+// WithObserver registers a callback invoked on processor lifecycle
+// events. The callback must not block.
+func WithObserver(fn func(Event)) Option {
+	return func(c *config) { c.observer = fn }
+}
+
+// New creates an idle engine.
+func New[I, O any](opts ...Option) *DistributedMap[I, O] {
+	cfg := config{batch: 2, ordered: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var lopts []lender.Option
+	if !cfg.ordered {
+		lopts = append(lopts, lender.Unordered())
+	}
+	return &DistributedMap[I, O]{
+		batch:    cfg.batch,
+		l:        lender.New[I, O](lopts...),
+		observer: cfg.observer,
+	}
+}
+
+// Bind attaches the input stream and returns the output stream.
+func (d *DistributedMap[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
+	return d.l.Bind(src)
+}
+
+// Attach wires one processor, reachable through the given duplex
+// endpoint, into the computation: values lent to the processor flow into
+// duplex.Sink and its results flow out of duplex.Source, with at most the
+// configured batch of values in flight. It returns ErrEngineClosed after
+// Close.
+func (d *DistributedMap[I, O]) Attach(name string, duplex pullstream.Duplex[I, O]) error {
+	return d.AttachVia(name, limiter.Limit(duplex, d.batch))
+}
+
+// AttachVia wires one processor through a caller-supplied Through that
+// handles transport and flow bounding itself (used, e.g., by the grouped
+// data plane, which bounds whole groups in flight).
+func (d *DistributedMap[I, O]) AttachVia(name string, th pullstream.Through[I, O]) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrEngineClosed
+	}
+	d.attached++
+	observer := d.observer
+	d.mu.Unlock()
+
+	if observer != nil {
+		observer(Event{Kind: "attach", Processor: name})
+	}
+	_, sd := d.l.LendStream()
+	results := th(sd.Source)
+	watched := func(abort error, cb pullstream.Callback[O]) {
+		results(abort, func(end error, v O) {
+			if observer != nil {
+				if end == nil {
+					observer(Event{Kind: "result", Processor: name})
+				} else {
+					detachErr := end
+					if pullstream.IsNormalEnd(end) {
+						detachErr = nil
+					}
+					observer(Event{Kind: "detach", Processor: name, Err: detachErr})
+				}
+			}
+			cb(end, v)
+		})
+	}
+	sd.Sink(watched)
+	return nil
+}
+
+// Attached returns how many processors have been attached over the
+// engine's lifetime.
+func (d *DistributedMap[I, O]) Attached() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.attached
+}
+
+// Stats exposes the coordination counters (values lent, failed queue
+// length, sub-streams created and ended).
+func (d *DistributedMap[I, O]) Stats() (lentNow, failedQueue, subStreams, ended int) {
+	return d.l.Stats()
+}
+
+// Close marks the engine closed; subsequent Attach calls fail. In-flight
+// processors finish their streams normally.
+func (d *DistributedMap[I, O]) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+}

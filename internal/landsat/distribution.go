@@ -1,0 +1,233 @@
+package landsat
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements the two data-distribution channels of the
+// image-processing application:
+//
+//   - Server: the http variant (§4.1), where a worker fetches its input
+//     image and posts the blurred result back synchronously, so a result
+//     reported to Pando implies the output image has been received.
+//   - P2PStore: the DAT / WebTorrent-like variant (§4.3), where transfers
+//     are asynchronous and failure-prone; a worker may report success and
+//     still crash before the data is fully downloaded, which is what the
+//     stubborn module compensates for.
+
+// Server distributes tiles and collects results over HTTP, the paper's
+// http version of the image-processing application.
+type Server struct {
+	width, height int
+
+	mu      sync.Mutex
+	results map[int]Tile
+
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer creates an HTTP tile server generating width x height tiles.
+func NewServer(width, height int) *Server {
+	return &Server{
+		width:   width,
+		height:  height,
+		results: make(map[int]Tile),
+	}
+}
+
+// Start listens on 127.0.0.1 (an ephemeral port) and serves until Close.
+// It returns the base URL, e.g. "http://127.0.0.1:39415".
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("landsat: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tiles/", s.handleTile)
+	mux.HandleFunc("/results/", s.handleResult)
+	s.ln = ln
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(ln)
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.http != nil {
+		return s.http.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/tiles/"))
+	if err != nil {
+		http.Error(w, "bad tile id", http.StatusBadRequest)
+		return
+	}
+	t := GenerateTile(id, s.width, s.height)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Tile-Width", strconv.Itoa(t.Width))
+	w.Header().Set("X-Tile-Height", strconv.Itoa(t.Height))
+	_, _ = w.Write(t.Pix)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/results/"))
+	if err != nil {
+		http.Error(w, "bad tile id", http.StatusBadRequest)
+		return
+	}
+	pix, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	t := Tile{ID: id, Width: s.width, Height: s.height, Pix: pix}
+	if err := t.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.results[id] = t
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Result returns the stored blurred tile, if the worker posted it.
+func (s *Server) Result(id int) (Tile, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.results[id]
+	return t, ok
+}
+
+// ResultCount returns how many results have been received.
+func (s *Server) ResultCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
+
+// FetchTile retrieves a tile from the server, the worker's input path.
+func FetchTile(baseURL string, id, width, height int) (Tile, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/tiles/%d", baseURL, id))
+	if err != nil {
+		return Tile{}, fmt.Errorf("landsat: fetch tile %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Tile{}, fmt.Errorf("landsat: fetch tile %d: status %s", id, resp.Status)
+	}
+	pix, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Tile{}, fmt.Errorf("landsat: fetch tile %d body: %w", id, err)
+	}
+	t := Tile{ID: id, Width: width, Height: height, Pix: pix}
+	if err := t.Validate(); err != nil {
+		return Tile{}, err
+	}
+	return t, nil
+}
+
+// PostResult uploads a blurred tile; the call returns only after the
+// server stored it, giving the synchronous-transfer guarantee of the http
+// variant ("a worker processing function will not return a correct result
+// until the output image has been fully transmitted").
+func PostResult(baseURL string, t Tile) error {
+	resp, err := http.Post(
+		fmt.Sprintf("%s/results/%d", baseURL, t.ID),
+		"application/octet-stream",
+		strings.NewReader(string(t.Pix)),
+	)
+	if err != nil {
+		return fmt.Errorf("landsat: post result %d: %w", t.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("landsat: post result %d: status %s", t.ID, resp.Status)
+	}
+	return nil
+}
+
+// ErrDownloadFailed is returned by a failure-prone P2P download, the
+// additional failure mode of asynchronous external distribution (§4.3).
+var ErrDownloadFailed = errors.New("landsat: p2p download failed")
+
+// P2PStore simulates a DAT / WebTorrent-like content store: sharing is
+// asynchronous (a share may silently fail, as when the sharing peer
+// crashes before seeding completes) and downloads of unseeded content
+// fail.
+type P2PStore struct {
+	mu     sync.Mutex
+	data   map[int]Tile
+	rng    *rand.Rand
+	pShare float64 // probability a share actually completes
+	delay  time.Duration
+}
+
+// NewP2PStore creates a store where each share completes with probability
+// pShareSuccess and each download takes the given delay, modelling the
+// slow and not-always-successful connections the paper observed with
+// WebTorrent (§5.1).
+func NewP2PStore(pShareSuccess float64, delay time.Duration, seed int64) *P2PStore {
+	return &P2PStore{
+		data:   make(map[int]Tile),
+		rng:    rand.New(rand.NewSource(seed)),
+		pShare: pShareSuccess,
+		delay:  delay,
+	}
+}
+
+// Share seeds a tile; it may silently fail (the worker believes it
+// succeeded — the asynchronous failure mode).
+func (p *P2PStore) Share(t Tile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng.Float64() < p.pShare {
+		p.data[t.ID] = t
+	}
+}
+
+// ForceShare seeds a tile reliably (used by retries after the stubborn
+// module resubmits the input).
+func (p *P2PStore) ForceShare(t Tile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.data[t.ID] = t
+}
+
+// Download retrieves a seeded tile or fails with ErrDownloadFailed.
+func (p *P2PStore) Download(id int) (Tile, error) {
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.data[id]
+	if !ok {
+		return Tile{}, fmt.Errorf("%w: tile %d not seeded", ErrDownloadFailed, id)
+	}
+	return t, nil
+}
+
+// Seeded returns how many tiles are currently downloadable.
+func (p *P2PStore) Seeded() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.data)
+}

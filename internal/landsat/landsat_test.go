@@ -1,0 +1,238 @@
+package landsat
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateTileDeterministic(t *testing.T) {
+	a := GenerateTile(7, 64, 64)
+	b := GenerateTile(7, 64, 64)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("same ID must generate identical tiles")
+	}
+	c := GenerateTile(8, 64, 64)
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Fatal("different IDs must generate different tiles")
+	}
+}
+
+func TestGenerateTileSize(t *testing.T) {
+	tl := GenerateTile(1, DefaultSize, DefaultSize)
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's evaluation mentions 168 kB images; DefaultSize matches.
+	if n := len(tl.Pix); n < 160_000 || n > 180_000 {
+		t.Fatalf("tile is %d bytes, want ~168kB", n)
+	}
+}
+
+func TestTileValidate(t *testing.T) {
+	bad := Tile{ID: 1, Width: 10, Height: 10, Pix: make([]byte, 5)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched pixel count accepted")
+	}
+	neg := Tile{ID: 1, Width: -1, Height: 10}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative width accepted")
+	}
+}
+
+func TestBoxBlurSmoothsImage(t *testing.T) {
+	tl := GenerateTile(3, 64, 64)
+	blurred, err := BoxBlur(tl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Variance(blurred) >= Variance(tl) {
+		t.Fatalf("blur did not reduce variance: %.1f -> %.1f", Variance(tl), Variance(blurred))
+	}
+	if err := blurred.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxBlurPreservesUniformImage(t *testing.T) {
+	uniform := Tile{ID: 1, Width: 16, Height: 16, Pix: bytes.Repeat([]byte{100}, 3*16*16)}
+	blurred, err := BoxBlur(uniform, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blurred.Pix {
+		if b != 100 {
+			t.Fatalf("pix[%d] = %d, want 100", i, b)
+		}
+	}
+}
+
+func TestBoxBlurValidation(t *testing.T) {
+	tl := GenerateTile(1, 8, 8)
+	if _, err := BoxBlur(tl, 0); err == nil {
+		t.Fatal("radius 0 accepted")
+	}
+	if _, err := BoxBlur(Tile{Width: 2, Height: 2}, 1); err == nil {
+		t.Fatal("invalid tile accepted")
+	}
+}
+
+func TestQuickBlurBounded(t *testing.T) {
+	// Blurring never produces values outside the input range extremes.
+	f := func(id uint8) bool {
+		tl := GenerateTile(int(id), 16, 16)
+		lo, hi := 255, 0
+		for _, b := range tl.Pix {
+			if int(b) < lo {
+				lo = int(b)
+			}
+			if int(b) > hi {
+				hi = int(b)
+			}
+		}
+		blurred, err := BoxBlur(tl, 2)
+		if err != nil {
+			return false
+		}
+		for _, b := range blurred.Pix {
+			if int(b) < lo || int(b) > hi+1 { // +1 for rounding
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPServerTileRoundTrip(t *testing.T) {
+	srv := NewServer(32, 32)
+	base, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tl, err := FetchTile(base, 5, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GenerateTile(5, 32, 32)
+	if !bytes.Equal(tl.Pix, want.Pix) {
+		t.Fatal("fetched tile differs from generated tile")
+	}
+
+	blurred, err := BoxBlur(tl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PostResult(base, blurred); err != nil {
+		t.Fatal(err)
+	}
+	stored, ok := srv.Result(5)
+	if !ok {
+		t.Fatal("result not stored")
+	}
+	if !bytes.Equal(stored.Pix, blurred.Pix) {
+		t.Fatal("stored result differs")
+	}
+	if srv.ResultCount() != 1 {
+		t.Fatalf("result count = %d", srv.ResultCount())
+	}
+}
+
+func TestHTTPServerBadRequests(t *testing.T) {
+	srv := NewServer(16, 16)
+	base, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := FetchTile(base, 1, 99, 99); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Posting a wrong-size result must fail.
+	bad := Tile{ID: 1, Width: 16, Height: 16, Pix: make([]byte, 7)}
+	if err := PostResult(base, bad); err == nil {
+		t.Fatal("invalid result accepted")
+	}
+}
+
+func TestP2PStoreShareDownload(t *testing.T) {
+	p := NewP2PStore(1.0, 0, 1)
+	tl := GenerateTile(2, 16, 16)
+	p.Share(tl)
+	got, err := p.Download(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, tl.Pix) {
+		t.Fatal("downloaded tile differs")
+	}
+}
+
+func TestP2PStoreFailureInjection(t *testing.T) {
+	p := NewP2PStore(0.0, 0, 1) // shares always fail silently
+	p.Share(GenerateTile(3, 8, 8))
+	if _, err := p.Download(3); !errors.Is(err, ErrDownloadFailed) {
+		t.Fatalf("err = %v, want ErrDownloadFailed", err)
+	}
+	p.ForceShare(GenerateTile(3, 8, 8))
+	if _, err := p.Download(3); err != nil {
+		t.Fatalf("ForceShare then Download: %v", err)
+	}
+}
+
+func TestP2PStorePartialFailures(t *testing.T) {
+	p := NewP2PStore(0.5, 0, 42)
+	for i := 0; i < 40; i++ {
+		p.Share(GenerateTile(i, 4, 4))
+	}
+	seeded := p.Seeded()
+	if seeded == 0 || seeded == 40 {
+		t.Fatalf("seeded = %d; with p=0.5 some but not all shares should succeed", seeded)
+	}
+}
+
+func TestP2PStoreDelay(t *testing.T) {
+	p := NewP2PStore(1.0, 30*time.Millisecond, 1)
+	p.Share(GenerateTile(1, 4, 4))
+	start := time.Now()
+	if _, err := p.Download(1); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("download delay not applied")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	tl := GenerateTile(9, 24, 16)
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty PNG")
+	}
+	got, err := DecodePNG(&buf, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 24 || got.Height != 16 {
+		t.Fatalf("dims %dx%d", got.Width, got.Height)
+	}
+	if !bytes.Equal(got.Pix, tl.Pix) {
+		t.Fatal("PNG round trip changed pixels")
+	}
+}
+
+func TestEncodePNGInvalidTile(t *testing.T) {
+	if err := EncodePNG(&bytes.Buffer{}, Tile{Width: 2, Height: 2}); err == nil {
+		t.Fatal("invalid tile accepted")
+	}
+}

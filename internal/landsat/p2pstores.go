@@ -1,0 +1,176 @@
+package landsat
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file models the two concrete peer-to-peer protocols of the paper's
+// image-processing variants with the specific behaviours §5.1 reports:
+//
+//   - DAT (via the Beaker browser): "its security model requires an
+//     explicit confirmation by the user to enable results to be
+//     transmitted back" — shares are staged until confirmed.
+//   - WebTorrent: "was not always reliable and sometimes took multiple
+//     minutes to establish a connection ... the connection of a new node
+//     in the underlying WebRTC-based distributed hash table was slow and
+//     not always successful" — connection establishment is slow and may
+//     fail outright.
+//
+// Both failure modes are what the stubborn module (§4.3) exists to absorb.
+
+// DATStore stages shared tiles until the simulated user confirms the
+// transfer, as the Beaker browser's security model demands.
+type DATStore struct {
+	mu        sync.Mutex
+	staged    map[int]Tile
+	confirmed map[int]Tile
+}
+
+// NewDATStore returns an empty DAT-like store.
+func NewDATStore() *DATStore {
+	return &DATStore{
+		staged:    make(map[int]Tile),
+		confirmed: make(map[int]Tile),
+	}
+}
+
+// Share stages a tile; it is not downloadable until Confirm.
+func (s *DATStore) Share(t Tile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.staged[t.ID] = t
+}
+
+// Confirm is the user's explicit click enabling the transfer. It reports
+// whether a staged tile existed.
+func (s *DATStore) Confirm(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.staged[id]
+	if !ok {
+		return false
+	}
+	delete(s.staged, id)
+	s.confirmed[id] = t
+	return true
+}
+
+// ConfirmAll confirms every staged tile and returns how many there were.
+func (s *DATStore) ConfirmAll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.staged)
+	for id, t := range s.staged {
+		s.confirmed[id] = t
+		delete(s.staged, id)
+	}
+	return n
+}
+
+// Download retrieves a confirmed tile; staged-but-unconfirmed content is
+// not reachable (the paper's reason for excluding DAT from automation).
+func (s *DATStore) Download(id int) (Tile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.confirmed[id]; ok {
+		return t, nil
+	}
+	if _, ok := s.staged[id]; ok {
+		return Tile{}, fmt.Errorf("%w: tile %d staged but awaiting user confirmation", ErrDownloadFailed, id)
+	}
+	return Tile{}, fmt.Errorf("%w: tile %d not shared", ErrDownloadFailed, id)
+}
+
+// Staged returns how many tiles await confirmation.
+func (s *DATStore) Staged() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.staged)
+}
+
+// ErrConnectFailed reports a WebTorrent-like connection that never
+// established.
+var ErrConnectFailed = errors.New("landsat: webtorrent connection failed")
+
+// WebTorrentStore wraps a content store behind a connection that is slow
+// to establish and not always successful.
+type WebTorrentStore struct {
+	mu        sync.Mutex
+	data      map[int]Tile
+	connected bool
+	rng       *rand.Rand
+	// connectDelay is how long each connection attempt takes.
+	connectDelay time.Duration
+	// pConnect is the probability an attempt succeeds.
+	pConnect float64
+}
+
+// NewWebTorrentStore creates a store whose Connect attempts take
+// connectDelay and succeed with probability pConnect.
+func NewWebTorrentStore(connectDelay time.Duration, pConnect float64, seed int64) *WebTorrentStore {
+	return &WebTorrentStore{
+		data:         make(map[int]Tile),
+		rng:          rand.New(rand.NewSource(seed)),
+		connectDelay: connectDelay,
+		pConnect:     pConnect,
+	}
+}
+
+// Connect attempts to join the swarm. It blocks for the establishment
+// delay and may fail; a successful connection persists.
+func (s *WebTorrentStore) Connect() error {
+	s.mu.Lock()
+	if s.connected {
+		s.mu.Unlock()
+		return nil
+	}
+	delay := s.connectDelay
+	ok := s.rng.Float64() < s.pConnect
+	s.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !ok {
+		return ErrConnectFailed
+	}
+	s.mu.Lock()
+	s.connected = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Share seeds a tile; it requires an established connection and silently
+// drops the data otherwise (the seeding peer never joined the swarm).
+func (s *WebTorrentStore) Share(t Tile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.connected {
+		return
+	}
+	s.data[t.ID] = t
+}
+
+// Download retrieves a seeded tile over an established connection.
+func (s *WebTorrentStore) Download(id int) (Tile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.connected {
+		return Tile{}, fmt.Errorf("%w: not connected", ErrConnectFailed)
+	}
+	t, ok := s.data[id]
+	if !ok {
+		return Tile{}, fmt.Errorf("%w: tile %d not seeded", ErrDownloadFailed, id)
+	}
+	return t, nil
+}
+
+// Connected reports whether the swarm connection is established.
+func (s *WebTorrentStore) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connected
+}

@@ -1,0 +1,95 @@
+package landsat
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDATStoreRequiresConfirmation(t *testing.T) {
+	s := NewDATStore()
+	s.Share(GenerateTile(1, 8, 8))
+	if _, err := s.Download(1); !errors.Is(err, ErrDownloadFailed) {
+		t.Fatalf("unconfirmed download: err = %v, want ErrDownloadFailed", err)
+	}
+	if s.Staged() != 1 {
+		t.Fatalf("staged = %d", s.Staged())
+	}
+	if !s.Confirm(1) {
+		t.Fatal("confirm of staged tile failed")
+	}
+	if _, err := s.Download(1); err != nil {
+		t.Fatalf("confirmed download failed: %v", err)
+	}
+	if s.Confirm(99) {
+		t.Fatal("confirm of missing tile succeeded")
+	}
+}
+
+func TestDATStoreConfirmAll(t *testing.T) {
+	s := NewDATStore()
+	for i := 0; i < 5; i++ {
+		s.Share(GenerateTile(i, 4, 4))
+	}
+	if n := s.ConfirmAll(); n != 5 {
+		t.Fatalf("confirmed %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Download(i); err != nil {
+			t.Fatalf("tile %d: %v", i, err)
+		}
+	}
+}
+
+func TestDATStoreUnsharedTile(t *testing.T) {
+	s := NewDATStore()
+	if _, err := s.Download(7); !errors.Is(err, ErrDownloadFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWebTorrentConnectEventuallySucceeds(t *testing.T) {
+	s := NewWebTorrentStore(time.Millisecond, 0.5, 7)
+	attempts := 0
+	for !s.Connected() {
+		attempts++
+		if attempts > 100 {
+			t.Fatal("connection never established at p=0.5")
+		}
+		_ = s.Connect()
+	}
+	s.Share(GenerateTile(3, 8, 8))
+	if _, err := s.Download(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWebTorrentUnconnectedOperationsFail(t *testing.T) {
+	s := NewWebTorrentStore(0, 0.0, 1) // connections never succeed
+	if err := s.Connect(); !errors.Is(err, ErrConnectFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Share(GenerateTile(1, 4, 4)) // silently dropped
+	if _, err := s.Download(1); !errors.Is(err, ErrConnectFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWebTorrentConnectDelayApplied(t *testing.T) {
+	s := NewWebTorrentStore(30*time.Millisecond, 1.0, 1)
+	start := time.Now()
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("connect delay not applied")
+	}
+	// Established connection: no second delay.
+	start = time.Now()
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("re-connect should be instant once established")
+	}
+}

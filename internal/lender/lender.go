@@ -1,0 +1,516 @@
+// Package lender implements StreamLender, the novel abstraction at the
+// core of Pando (paper §3, Algorithm 1): it splits an input stream into
+// multiple concurrent sub-streams — one per participating worker — and
+// merges the results back into a single output stream.
+//
+// StreamLender encapsulates the streaming, ordered, dynamic, unbounded,
+// lazy, fault-tolerant, conservative and adaptive properties of Pando's
+// programming model (paper Table 1) independently of any communication
+// protocol or input-output library:
+//
+//   - Streaming/ordered: the output delivers f(x_i) in the order of the
+//     corresponding inputs x_i (an unordered mode is available for
+//     applications such as crypto-currency mining, paper §4.2).
+//   - Dynamic/unbounded: sub-streams are created as workers join, at any
+//     time, with no a priori limit.
+//   - Lazy: a new input is read only when a sub-stream asks for a value
+//     and no failed value is waiting to be re-lent.
+//   - Fault-tolerant: when a sub-stream terminates while still holding
+//     lent values, those values are moved to the failed queue and re-lent,
+//     oldest first, to the next asking sub-stream.
+//   - Conservative: a value is lent to at most one sub-stream at a time.
+//   - Adaptive: faster workers ask more often and therefore receive more
+//     values.
+package lender
+
+import (
+	"errors"
+	"sync"
+
+	"pando/internal/pullstream"
+)
+
+// ErrLenderAborted is the end signal delivered to sub-streams when the
+// downstream consumer of the lender's output aborts the whole pipeline.
+var ErrLenderAborted = errors.New("lender: aborted by downstream")
+
+// lent is a value borrowed from the input together with its stream index.
+type lent[I any] struct {
+	idx int
+	v   I
+}
+
+// waiter is a parked sub-stream ask: a request that could not be answered
+// immediately (Algorithm 1's waitOnOthers) and will be answered when a
+// failed value becomes available, a new input can be read, or the stream
+// completes.
+type waiter[I any] struct {
+	sub *SubStream
+	cb  pullstream.Callback[I]
+}
+
+// outAsk is a parked ask on the lender's merged output.
+type outAsk[O any] struct {
+	cb pullstream.Callback[O]
+}
+
+// Lender is the StreamLender state machine. Create one with New, bind the
+// input with Bind (or use Through), and create one sub-stream per worker
+// with LendStream.
+type Lender[I, O any] struct {
+	ordered bool
+
+	mu      sync.Mutex
+	input   pullstream.Source[I]
+	reading bool  // an input read is in flight
+	inEnd   error // non-nil once the input terminated (ErrDone or failure)
+	nextIdx int   // index assigned to the next value read
+
+	failed []lent[I] // values to re-lend, oldest first
+
+	// Ordered mode: reorder buffer keyed by input index.
+	results map[int]O
+	nextOut int
+	// Unordered mode: results ready to emit, arrival order.
+	ready []O
+
+	outstanding int // values currently lent to live sub-streams
+
+	waiters []waiter[I] // parked sub-stream asks, FIFO
+	out     *outAsk[O]  // parked output ask (at most one)
+
+	aborted error // set when the output consumer aborts
+	outDone bool  // the output already delivered its end signal
+
+	nextSubID int
+	subsEnded int
+	subsMade  int
+
+	// state below is only written under mu; subStream structs hold
+	// per-sub-stream queues and are also guarded by mu.
+}
+
+// Option configures a Lender.
+type Option func(*config)
+
+type config struct {
+	ordered bool
+}
+
+// Unordered makes the lender emit results in completion order instead of
+// input order. The paper (§4.2) notes this relaxation lets a valid nonce
+// be reported as soon as possible in synchronous parallel search.
+func Unordered() Option {
+	return func(c *config) { c.ordered = false }
+}
+
+// New returns a StreamLender for inputs of type I and results of type O.
+// By default results are emitted in input order.
+func New[I, O any](opts ...Option) *Lender[I, O] {
+	cfg := config{ordered: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Lender[I, O]{
+		ordered: cfg.ordered,
+		results: make(map[int]O),
+	}
+}
+
+// Bind attaches the input source and returns the merged output source,
+// mirroring pull(input, lender, output) in the paper's Figure 9.
+func (l *Lender[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
+	l.mu.Lock()
+	l.input = src
+	actions := l.serviceLocked()
+	l.mu.Unlock()
+	run(actions)
+	return l.outputSource
+}
+
+// Through returns the lender as a pull-stream Through.
+func (l *Lender[I, O]) Through() pullstream.Through[I, O] {
+	return func(src pullstream.Source[I]) pullstream.Source[O] {
+		return l.Bind(src)
+	}
+}
+
+// SubStream is one lending sub-stream (paper Figure 8): its Source
+// produces the values lent to one worker and its Sink consumes that
+// worker's results. Obtain one with LendStream.
+type SubStream struct {
+	id   int
+	dead bool
+	// outstanding holds the values lent through this sub-stream that have
+	// not been answered yet, oldest first. Results are matched to values
+	// by arrival order, as in pull-lend-stream.
+	outstanding []lentAny
+	parked      bool // this sub-stream has an ask in l.waiters
+}
+
+// lentAny erases the input type so SubStream need not be generic; the
+// Lender's methods are the only accessors and they know the real type.
+type lentAny struct {
+	idx int
+	v   any
+}
+
+// ID returns a diagnostic identifier unique within this lender.
+func (s *SubStream) ID() int { return s.id }
+
+// LendStream creates a new sub-stream and returns its duplex endpoints.
+// It may be called at any time, including after the input ended: the new
+// sub-stream will then either receive failed values or be told the stream
+// is done. This is the "dynamic" and "unbounded" property of the model.
+func (l *Lender[I, O]) LendStream() (sub *SubStream, d pullstream.Duplex[O, I]) {
+	l.mu.Lock()
+	sub = &SubStream{id: l.nextSubID}
+	l.nextSubID++
+	l.subsMade++
+	l.mu.Unlock()
+	d = pullstream.Duplex[O, I]{
+		Source: func(abort error, cb pullstream.Callback[I]) {
+			l.subAsk(sub, abort, cb)
+		},
+		Sink: func(src pullstream.Source[O]) {
+			go l.consumeResults(sub, src)
+		},
+	}
+	return sub, d
+}
+
+// Stats reports diagnostic counters.
+func (l *Lender[I, O]) Stats() (lentNow, failedQueue, subStreams, endedSubStreams int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.outstanding, len(l.failed), l.subsMade, l.subsEnded
+}
+
+// run executes deferred actions outside the lender mutex.
+func run(actions []func()) {
+	for _, a := range actions {
+		a()
+	}
+}
+
+// subAsk answers one request on a sub-stream source, implementing
+// Algorithm 1 of the paper.
+func (l *Lender[I, O]) subAsk(s *SubStream, abort error, cb pullstream.Callback[I]) {
+	var zero I
+	if abort != nil {
+		// The worker side aborted its input: treat as sub-stream
+		// termination so outstanding values are re-lent.
+		l.mu.Lock()
+		actions := l.endSubLocked(s)
+		l.mu.Unlock()
+		run(actions)
+		cb(abort, zero)
+		return
+	}
+
+	l.mu.Lock()
+	if s.dead || l.aborted != nil {
+		l.mu.Unlock()
+		cb(pullstream.ErrDone, zero)
+		return
+	}
+	if s.parked {
+		// Protocol violation by the caller (two concurrent asks); answer
+		// done rather than corrupting state.
+		l.mu.Unlock()
+		cb(pullstream.ErrDone, zero)
+		return
+	}
+	l.waiters = append(l.waiters, waiter[I]{sub: s, cb: cb})
+	s.parked = true
+	actions := l.serviceLocked()
+	l.mu.Unlock()
+	run(actions)
+}
+
+// consumeResults drains a sub-stream's result source, feeding results into
+// the merge machinery and signalling termination (crash-stop or graceful)
+// when the source ends.
+func (l *Lender[I, O]) consumeResults(s *SubStream, src pullstream.Source[O]) {
+	err := pullstream.Drain(src, func(v O) error {
+		l.mu.Lock()
+		actions := l.resultLocked(s, v)
+		l.mu.Unlock()
+		run(actions)
+		return nil
+	})
+	_ = err // both graceful end and failure re-lend outstanding values
+	l.mu.Lock()
+	actions := l.endSubLocked(s)
+	l.mu.Unlock()
+	run(actions)
+}
+
+// resultLocked records one result arriving on sub-stream s.
+func (l *Lender[I, O]) resultLocked(s *SubStream, v O) []func() {
+	if s.dead || len(s.outstanding) == 0 {
+		// Stale or unmatched result; drop it (the value it would answer
+		// has already been re-lent or never existed).
+		return nil
+	}
+	item := s.outstanding[0]
+	s.outstanding = s.outstanding[1:]
+	l.outstanding--
+	if l.ordered {
+		l.results[item.idx] = v
+	} else {
+		l.ready = append(l.ready, v)
+	}
+	return l.serviceLocked()
+}
+
+// endSubLocked terminates sub-stream s: outstanding values move to the
+// failed queue (oldest first) for re-lending, and any parked ask from s is
+// answered done.
+func (l *Lender[I, O]) endSubLocked(s *SubStream) []func() {
+	if s.dead {
+		return nil
+	}
+	s.dead = true
+	l.subsEnded++
+	for _, it := range s.outstanding {
+		l.failed = append(l.failed, lent[I]{idx: it.idx, v: it.v.(I)})
+		l.outstanding--
+	}
+	s.outstanding = nil
+
+	var actions []func()
+	if s.parked {
+		// Remove s's parked ask and answer it done.
+		kept := l.waiters[:0]
+		for _, w := range l.waiters {
+			if w.sub == s {
+				cb := w.cb
+				actions = append(actions, func() {
+					var zero I
+					cb(pullstream.ErrDone, zero)
+				})
+				continue
+			}
+			kept = append(kept, w)
+		}
+		l.waiters = kept
+		s.parked = false
+	}
+	return append(actions, l.serviceLocked()...)
+}
+
+// serviceLocked advances the state machine: it answers parked sub-stream
+// asks from the failed queue, starts an input read when one is needed,
+// answers completion, and serves the parked output ask. It returns the
+// callback invocations to run outside the lock.
+func (l *Lender[I, O]) serviceLocked() []func() {
+	var actions []func()
+
+	if l.aborted != nil {
+		for _, w := range l.waiters {
+			cb := w.cb
+			w.sub.parked = false
+			actions = append(actions, func() {
+				var zero I
+				cb(pullstream.ErrDone, zero)
+			})
+		}
+		l.waiters = nil
+		return actions
+	}
+
+	// Answer waiters from the failed queue first (Algorithm 1,
+	// answerWithFailedValue: oldest failed value first).
+	for len(l.waiters) > 0 && len(l.failed) > 0 {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		it := l.failed[0]
+		l.failed = l.failed[1:]
+		w.sub.parked = false
+		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: it.idx, v: it.v})
+		l.outstanding++
+		cb, v := w.cb, it.v
+		actions = append(actions, func() { cb(nil, v) })
+	}
+
+	if len(l.waiters) > 0 {
+		if l.inEnd == nil {
+			// Lazily read a new value (Algorithm 1 line 6), one read at a
+			// time, if the input is bound. The read runs on its own
+			// goroutine because input sources may block until a value is
+			// available (e.g. channel-backed sources), and the goroutine
+			// that triggered this service step may be needed elsewhere
+			// in the meantime (it might even be the one that will
+			// produce the input).
+			if !l.reading && l.input != nil {
+				l.reading = true
+				actions = append(actions, func() { go l.input(nil, l.inputAnswer) })
+			}
+		} else if l.outstanding == 0 {
+			// Last result received and no failed values: everything the
+			// input produced has been answered; tell waiters we are done.
+			for _, w := range l.waiters {
+				cb := w.cb
+				w.sub.parked = false
+				actions = append(actions, func() {
+					var zero I
+					cb(pullstream.ErrDone, zero)
+				})
+			}
+			l.waiters = nil
+		}
+		// Otherwise: waitOnOthers — keep them parked until a failure or
+		// completion.
+	}
+
+	// Serve the output.
+	actions = append(actions, l.serveOutputLocked()...)
+	return actions
+}
+
+// inputAnswer receives one answer from the input source.
+func (l *Lender[I, O]) inputAnswer(end error, v I) {
+	l.mu.Lock()
+	l.reading = false
+	var actions []func()
+	switch {
+	case end != nil:
+		l.inEnd = end
+	case l.aborted != nil:
+		// Value arrived after downstream aborted; drop it and forward the
+		// abort to the input so it can release its resources.
+		l.reading = true
+		abort, input := l.aborted, l.input
+		actions = append(actions, func() {
+			input(abort, func(error, I) {
+				l.mu.Lock()
+				l.reading = false
+				l.inEnd = abort
+				l.mu.Unlock()
+			})
+		})
+	case len(l.waiters) > 0:
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		w.sub.parked = false
+		idx := l.nextIdx
+		l.nextIdx++
+		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: idx, v: v})
+		l.outstanding++
+		cb := w.cb
+		actions = append(actions, func() { cb(nil, v) })
+	default:
+		// The asker died while the read was in flight; keep the value so
+		// it is not lost (conservative property: it will be lent to the
+		// next asker).
+		idx := l.nextIdx
+		l.nextIdx++
+		l.failed = append(l.failed, lent[I]{idx: idx, v: v})
+	}
+	actions = append(actions, l.serviceLocked()...)
+	l.mu.Unlock()
+	run(actions)
+}
+
+// completeLocked reports whether every value read from the input has been
+// answered and emitted.
+func (l *Lender[I, O]) completeLocked() bool {
+	if l.inEnd == nil || l.outstanding > 0 || len(l.failed) > 0 {
+		return false
+	}
+	if l.ordered {
+		return len(l.results) == 0
+	}
+	return len(l.ready) == 0
+}
+
+// serveOutputLocked answers the parked output ask if possible.
+func (l *Lender[I, O]) serveOutputLocked() []func() {
+	if l.out == nil || l.outDone {
+		return nil
+	}
+	cb := l.out.cb
+	if l.ordered {
+		if v, ok := l.results[l.nextOut]; ok {
+			delete(l.results, l.nextOut)
+			l.nextOut++
+			l.out = nil
+			return []func(){func() { cb(nil, v) }}
+		}
+	} else if len(l.ready) > 0 {
+		v := l.ready[0]
+		l.ready = l.ready[1:]
+		l.out = nil
+		return []func(){func() { cb(nil, v) }}
+	}
+	if l.completeLocked() {
+		l.out = nil
+		l.outDone = true
+		end := l.inEnd
+		if pullstream.IsNormalEnd(end) {
+			end = pullstream.ErrDone
+		}
+		return []func(){func() {
+			var zero O
+			cb(end, zero)
+		}}
+	}
+	return nil
+}
+
+// outputSource is the merged output of the lender.
+func (l *Lender[I, O]) outputSource(abort error, cb pullstream.Callback[O]) {
+	var zero O
+	if abort != nil {
+		l.mu.Lock()
+		l.aborted = abort
+		l.outDone = true
+		// Only abort the input right away if no read is in flight: the
+		// protocol allows one outstanding request at a time. If a read is
+		// in flight, inputAnswer will deliver the abort when it returns.
+		abortNow := l.input != nil && l.inEnd == nil && !l.reading
+		if abortNow {
+			l.reading = true
+		}
+		input := l.input
+		actions := l.serviceLocked()
+		l.mu.Unlock()
+		run(actions)
+		if abortNow {
+			done := make(chan struct{})
+			input(abort, func(error, I) { close(done) })
+			<-done
+			l.mu.Lock()
+			l.reading = false
+			l.inEnd = abort
+			l.mu.Unlock()
+		}
+		cb(abort, zero)
+		return
+	}
+
+	l.mu.Lock()
+	if l.outDone {
+		end := l.aborted
+		if end == nil {
+			end = l.inEnd
+		}
+		if end == nil || pullstream.IsNormalEnd(end) {
+			end = pullstream.ErrDone
+		}
+		l.mu.Unlock()
+		cb(end, zero)
+		return
+	}
+	if l.out != nil {
+		// Concurrent output asks violate the protocol.
+		l.mu.Unlock()
+		cb(errors.New("lender: concurrent output requests"), zero)
+		return
+	}
+	l.out = &outAsk[O]{cb: cb}
+	actions := l.serveOutputLocked()
+	l.mu.Unlock()
+	run(actions)
+}

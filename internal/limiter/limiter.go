@@ -1,0 +1,140 @@
+// Package limiter ports Pando's Limiter module (pull-limit, paper §2.4.3
+// and Figure 7): it bounds the number of values in flight through a duplex
+// channel.
+//
+// The WebRTC and WebSocket pull-stream wrappers eagerly read all available
+// values on the sending side; without a bound they would drain the whole
+// input into one worker's buffers, destroying laziness, adaptivity and
+// fault-tolerance granularity. The Limiter initially lets a bounded number
+// of inputs through; for each new result that comes back, one more input
+// is allowed. With a large enough limit, data transfers in both directions
+// happen in parallel with the computations and hide transmission latency —
+// this is the "batch size" of the paper's evaluation (§5.2-5.4).
+package limiter
+
+import (
+	"sync"
+
+	"pando/internal/pullstream"
+)
+
+// tokens is a counting gate with shutdown.
+type tokens struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	avail  int
+	closed bool
+}
+
+func newTokens(n int) *tokens {
+	t := &tokens{avail: n}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// acquire blocks until a token is available or the gate is closed. It
+// reports whether a token was acquired.
+func (t *tokens) acquire() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.avail == 0 && !t.closed {
+		t.cond.Wait()
+	}
+	if t.closed {
+		return false
+	}
+	t.avail--
+	return true
+}
+
+func (t *tokens) release() {
+	t.mu.Lock()
+	t.avail++
+	t.mu.Unlock()
+	t.cond.Signal()
+}
+
+func (t *tokens) close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// Limit wraps the duplex endpoint d (typically a network transport whose
+// Sink sends inputs to a worker and whose Source yields the worker's
+// results) into a Through that allows at most n values in flight:
+// pull(sub.Source, Limit(d, n), sub.Sink), mirroring the paper's Figure 9.
+//
+// The duplex's Sink is driven on a new goroutine; the goroutine terminates
+// when the upstream source ends or the gate is closed by a terminating
+// result stream.
+func Limit[I, O any](d pullstream.Duplex[I, O], n int) pullstream.Through[I, O] {
+	if n < 1 {
+		n = 1
+	}
+	return func(src pullstream.Source[I]) pullstream.Source[O] {
+		gate := newTokens(n)
+
+		// gated lets values flow from src into the duplex sink only when
+		// a token is available.
+		gated := func(abort error, cb pullstream.Callback[I]) {
+			if abort != nil {
+				src(abort, cb)
+				return
+			}
+			if !gate.acquire() {
+				var zero I
+				cb(pullstream.ErrDone, zero)
+				return
+			}
+			src(nil, func(end error, v I) {
+				if end != nil {
+					// The value never went in flight; return the token so
+					// a concurrent shutdown isn't blocked.
+					gate.release()
+				}
+				cb(end, v)
+			})
+		}
+		go d.Sink(gated)
+
+		return func(abort error, cb pullstream.Callback[O]) {
+			if abort != nil {
+				gate.close()
+				d.Source(abort, cb)
+				return
+			}
+			d.Source(nil, func(end error, v O) {
+				if end != nil {
+					gate.close()
+					cb(end, v)
+					return
+				}
+				gate.release()
+				cb(nil, v)
+			})
+		}
+	}
+}
+
+// InFlight is a diagnostic helper returning a Through that counts how many
+// values are currently between its input and its output, and the highest
+// count observed. It is used by tests to verify the Limiter's bound.
+func InFlight[T any](current, peak *int, mu *sync.Mutex) pullstream.Through[T, T] {
+	return func(src pullstream.Source[T]) pullstream.Source[T] {
+		return func(abort error, cb pullstream.Callback[T]) {
+			src(abort, func(end error, v T) {
+				if end == nil {
+					mu.Lock()
+					*current++
+					if *current > *peak {
+						*peak = *current
+					}
+					mu.Unlock()
+				}
+				cb(end, v)
+			})
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package limiter
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pando/internal/pullstream"
+)
+
+// echoDuplex builds a duplex endpoint that buffers inbound values and
+// echoes transform(v) on its source after an optional delay, simulating a
+// worker behind a network channel with an eager sending side.
+func echoDuplex[I, O any](transform func(I) O, delay time.Duration) (pullstream.Duplex[I, O], *inFlightMeter) {
+	meter := &inFlightMeter{}
+	pending := make(chan I, 1024)
+	endc := make(chan error, 1)
+	d := pullstream.Duplex[I, O]{
+		Sink: func(src pullstream.Source[I]) {
+			// Eager reader, as the WebRTC/WebSocket wrappers are.
+			for {
+				type ans struct {
+					end error
+					v   I
+				}
+				ch := make(chan ans, 1)
+				src(nil, func(end error, v I) { ch <- ans{end, v} })
+				a := <-ch
+				if a.end != nil {
+					endc <- a.end
+					close(pending)
+					return
+				}
+				meter.inc()
+				pending <- a.v
+			}
+		},
+		Source: func(abort error, cb pullstream.Callback[O]) {
+			var zero O
+			if abort != nil {
+				cb(abort, zero)
+				return
+			}
+			v, ok := <-pending
+			if !ok {
+				end := <-endc
+				if pullstream.IsNormalEnd(end) {
+					end = pullstream.ErrDone
+				}
+				cb(end, zero)
+				return
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			meter.dec()
+			cb(nil, transform(v))
+		},
+	}
+	return d, meter
+}
+
+type inFlightMeter struct {
+	mu      sync.Mutex
+	current int
+	peak    int
+}
+
+func (m *inFlightMeter) inc() {
+	m.mu.Lock()
+	m.current++
+	if m.current > m.peak {
+		m.peak = m.current
+	}
+	m.mu.Unlock()
+}
+
+func (m *inFlightMeter) dec() {
+	m.mu.Lock()
+	m.current--
+	m.mu.Unlock()
+}
+
+func (m *inFlightMeter) Peak() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+func TestLimitBoundsInFlight(t *testing.T) {
+	for _, limit := range []int{1, 2, 4, 8} {
+		d, meter := echoDuplex(func(v int) int { return v * 2 }, 0)
+		th := Limit(d, limit)
+		got, err := pullstream.Collect(th(pullstream.Count(100)))
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("limit %d: got %d results", limit, len(got))
+		}
+		for i, v := range got {
+			if v != (i+1)*2 {
+				t.Fatalf("limit %d: got[%d] = %d", limit, i, v)
+			}
+		}
+		if meter.Peak() > limit {
+			t.Fatalf("limit %d: peak in flight %d exceeds limit", limit, meter.Peak())
+		}
+	}
+}
+
+func TestLimitWithoutLimiterWouldEagerlyDrain(t *testing.T) {
+	// Control experiment: without the limiter the eager sink drains far
+	// more than the limit, demonstrating why the module exists.
+	d, meter := echoDuplex(func(v int) int { return v }, time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		d.Sink(pullstream.Count(100))
+		close(done)
+	}()
+	_, err := pullstream.Collect(d.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if meter.Peak() < 50 {
+		t.Fatalf("eager sink peaked at %d in flight; expected it to drain most of the input", meter.Peak())
+	}
+}
+
+func TestLimitMinimumOne(t *testing.T) {
+	d, _ := echoDuplex(func(v int) int { return v }, 0)
+	th := Limit(d, 0) // clamped to 1
+	got, err := pullstream.Collect(th(pullstream.Count(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d results, want 5", len(got))
+	}
+}
+
+func TestLimitPropagatesWorkerFailure(t *testing.T) {
+	boom := errors.New("boom")
+	pending := make(chan int, 16)
+	d := pullstream.Duplex[int, int]{
+		Sink: func(src pullstream.Source[int]) {
+			for {
+				type ans struct {
+					end error
+					v   int
+				}
+				ch := make(chan ans, 1)
+				src(nil, func(end error, v int) { ch <- ans{end, v} })
+				a := <-ch
+				if a.end != nil {
+					return
+				}
+				pending <- a.v
+			}
+		},
+		Source: func(abort error, cb pullstream.Callback[int]) {
+			if abort != nil {
+				cb(abort, 0)
+				return
+			}
+			v := <-pending
+			if v == 3 {
+				cb(boom, 0) // the channel fails mid-stream
+				return
+			}
+			cb(nil, v)
+		},
+	}
+	th := Limit(d, 2)
+	got, err := pullstream.Collect(th(pullstream.Count(10)))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v, want values 1 and 2 before the failure", got)
+	}
+}
+
+func TestLimitEmptyUpstream(t *testing.T) {
+	d, _ := echoDuplex(func(v int) int { return v }, 0)
+	th := Limit(d, 4)
+	got, err := pullstream.Collect(th(pullstream.Empty[int]()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestLimitAbortClosesGate(t *testing.T) {
+	d, _ := echoDuplex(func(v int) int { return v }, 0)
+	th := Limit(d, 2)
+	out := th(pullstream.Count(1000))
+	got, err := pullstream.Collect(pullstream.Take[int](3)(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v, want 3 values", got)
+	}
+}
+
+func TestInFlightMeterThrough(t *testing.T) {
+	var mu sync.Mutex
+	var current, peak int
+	th := InFlight[int](&current, &peak, &mu)
+	if _, err := pullstream.Collect(th(pullstream.Count(5))); err != nil {
+		t.Fatal(err)
+	}
+	if peak == 0 {
+		t.Fatal("meter never observed a value")
+	}
+}

@@ -1,0 +1,303 @@
+// Package master implements the Master process of Pando's architecture
+// (paper Figure 7): it owns the StreamLender that coordinates volunteers,
+// admits joining devices over WebSocket-like or WebRTC-like channels,
+// bounds in-flight values per device with the Limiter, and accounts
+// per-device throughput (the measurements behind the paper's Table 2).
+package master
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pando/internal/core"
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+)
+
+// DefaultBatch is the default number of values in flight per device. The
+// paper used 2 on LAN and VPN ("effectively enabling one input to be
+// transferred while the other is processed") and 4 on the WAN.
+const DefaultBatch = 2
+
+// Config parameterizes a Master.
+type Config struct {
+	// FuncName is the processing function volunteers must apply; it is
+	// the Go substitute for the browserified code bundle the JavaScript
+	// implementation ships (volunteers resolve it in their registry).
+	FuncName string
+	// Batch bounds values in flight per device (the Limiter bound).
+	Batch int
+	// Ordered selects ordered output (default) or completion order.
+	Ordered bool
+	// Group sends several inputs per frame when > 1 (message-level
+	// batching, an extension of the paper's §5.5 batching idea).
+	Group int
+	// Channel tunes heartbeat detection on volunteer channels.
+	Channel transport.Config
+}
+
+func (c Config) batch() int {
+	if c.Batch <= 0 {
+		return DefaultBatch
+	}
+	return c.Batch
+}
+
+// WorkerStats is the per-device accounting of the evaluation (§5.1): the
+// number of items processed and the active period, from which throughput
+// is derived.
+type WorkerStats struct {
+	Name      string
+	Items     int
+	FirstSeen time.Time
+	LastSeen  time.Time
+	Alive     bool
+
+	// history holds recent per-item completion times (pruned to
+	// MaxWindow) for windowed throughput, the §5.1 methodology.
+	history []time.Time
+}
+
+// Throughput returns items per second over the device's active period.
+func (w WorkerStats) Throughput() float64 {
+	d := w.LastSeen.Sub(w.FirstSeen)
+	if d <= 0 || w.Items == 0 {
+		return 0
+	}
+	return float64(w.Items) / d.Seconds()
+}
+
+// Master coordinates a deployment: one per project and user, for the
+// lifetime of the corresponding tasks (design principle DP1).
+type Master[I, O any] struct {
+	cfg    Config
+	in     transport.Codec[I]
+	out    transport.Codec[O]
+	engine engine[I, O]
+
+	mu      sync.Mutex
+	workers map[string]*WorkerStats
+	nextID  int
+	closed  bool
+}
+
+// engine abstracts the plain and grouped data planes.
+type engine[I, O any] interface {
+	Bind(pullstream.Source[I]) pullstream.Source[O]
+	AttachChannel(name string, ch transport.Channel) error
+	Stats() (lentNow, failedQueue, subStreams, ended int)
+}
+
+// plainEngine lends individual values.
+type plainEngine[I, O any] struct {
+	d   *core.DistributedMap[I, O]
+	in  transport.Codec[I]
+	out transport.Codec[O]
+}
+
+func (e *plainEngine[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
+	return e.d.Bind(src)
+}
+
+func (e *plainEngine[I, O]) AttachChannel(name string, ch transport.Channel) error {
+	return e.d.Attach(name, transport.MasterDuplex(ch, e.in, e.out))
+}
+
+func (e *plainEngine[I, O]) Stats() (int, int, int, int) { return e.d.Stats() }
+
+// groupedEngine lends whole groups of values: inputs are grouped before
+// the StreamLender so the unit of lending, re-lending on crash, and
+// ordering is the group — several values travel in one frame (the
+// "batching inputs for distribution" of the paper's §1/§5.5), and a
+// crashed device's groups are re-lent atomically.
+type groupedEngine[I, O any] struct {
+	group int
+	d     *core.DistributedMap[[]I, []O]
+	in    transport.Codec[I]
+	out   transport.Codec[O]
+}
+
+func (e *groupedEngine[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
+	grouped := pullstream.Group[I](e.group)(src)
+	return pullstream.Flatten[O]()(e.d.Bind(grouped))
+}
+
+func (e *groupedEngine[I, O]) AttachChannel(name string, ch transport.Channel) error {
+	return e.d.Attach(name, transport.GroupedMasterDuplex(ch, e.in, e.out))
+}
+
+func (e *groupedEngine[I, O]) Stats() (int, int, int, int) { return e.d.Stats() }
+
+// New creates a master with the given codecs and configuration.
+func New[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *Master[I, O] {
+	m := &Master[I, O]{
+		cfg:     cfg,
+		in:      in,
+		out:     out,
+		workers: make(map[string]*WorkerStats),
+	}
+	if cfg.Group > 1 {
+		groups := cfg.batch() / cfg.Group
+		if groups < 1 {
+			groups = 1
+		}
+		opts := []core.Option{core.WithBatch(groups), core.WithObserver(m.observe)}
+		if !cfg.Ordered {
+			opts = append(opts, core.WithUnordered())
+		}
+		m.engine = &groupedEngine[I, O]{
+			group: cfg.Group,
+			d:     core.New[[]I, []O](opts...),
+			in:    in,
+			out:   out,
+		}
+		return m
+	}
+	opts := []core.Option{core.WithBatch(cfg.batch()), core.WithObserver(m.observe)}
+	if !cfg.Ordered {
+		opts = append(opts, core.WithUnordered())
+	}
+	m.engine = &plainEngine[I, O]{d: core.New[I, O](opts...), in: in, out: out}
+	return m
+}
+
+// observe folds the engine's processor lifecycle events into the
+// per-device accounting of the evaluation (§5.1).
+func (m *Master[I, O]) observe(ev core.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stats, ok := m.workers[ev.Processor]
+	if !ok {
+		stats = &WorkerStats{Name: ev.Processor, FirstSeen: time.Now()}
+		m.workers[ev.Processor] = stats
+	}
+	switch ev.Kind {
+	case "attach":
+		stats.Alive = true
+	case "result":
+		stats.recordItem(time.Now())
+	case "detach":
+		stats.Alive = false
+	}
+}
+
+// Bind attaches the input stream and returns the output stream — the
+// distributed map x1, x2, ... -> f(x1), f(x2), ... of the programming
+// model (paper §2.3).
+func (m *Master[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
+	return m.engine.Bind(src)
+}
+
+// Admit performs the '/pando/1.0.0' handshake on a fresh volunteer
+// channel and, on success, attaches the device to the computation.
+func (m *Master[I, O]) Admit(ch transport.Channel) error {
+	hello, err := ch.Recv()
+	if err != nil {
+		ch.Close()
+		return fmt.Errorf("master: admission: %w", err)
+	}
+	if err := proto.CheckHello(hello); err != nil {
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+		ch.Close()
+		return err
+	}
+	if err := ch.Send(&proto.Message{
+		Type:  proto.TypeWelcome,
+		Func:  m.cfg.FuncName,
+		Batch: m.cfg.batch(),
+	}); err != nil {
+		ch.Close()
+		return fmt.Errorf("master: welcome: %w", err)
+	}
+	name := hello.Peer
+	if name == "" {
+		m.mu.Lock()
+		m.nextID++
+		name = fmt.Sprintf("volunteer-%d", m.nextID)
+		m.mu.Unlock()
+	}
+	m.Attach(name, ch)
+	return nil
+}
+
+// Attach wires an already-admitted channel into the DistributedMap
+// engine: pull(sub.Source, Limit(MasterDuplex(ch), batch), sub.Sink).
+// Each attachment is one browser tab of the paper's deployment example.
+func (m *Master[I, O]) Attach(name string, ch transport.Channel) {
+	_ = m.engine.AttachChannel(name, ch)
+}
+
+// ServeWS accepts WebSocket-like volunteers from acc until the acceptor
+// closes, admitting each one. It mirrors volunteers opening the deployment
+// URL over a LAN or VPN (paper §5.2-5.3).
+func (m *Master[I, O]) ServeWS(acc transport.Acceptor) error {
+	for {
+		conn, err := acc.Accept()
+		if err != nil {
+			if m.isClosed() {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			_ = m.Admit(transport.NewWSock(conn, m.cfg.Channel))
+		}()
+	}
+}
+
+// ServeRTC admits WebRTC-like volunteers whose direct channels are
+// delivered by the answerer (paper §5.4, the WAN deployment).
+func (m *Master[I, O]) ServeRTC(answerer *transport.RTCAnswerer) {
+	for ch := range answerer.Incoming() {
+		go func(ch transport.Channel) {
+			_ = m.Admit(ch)
+		}(ch)
+	}
+}
+
+// Stats snapshots per-worker accounting.
+func (m *Master[I, O]) Stats() []WorkerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerStats, 0, len(m.workers))
+	for _, w := range m.workers {
+		out = append(out, *w)
+	}
+	return out
+}
+
+// TotalItems returns the number of results received from all devices.
+func (m *Master[I, O]) TotalItems() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.workers {
+		n += w.Items
+	}
+	return n
+}
+
+// LenderStats exposes the coordination counters for diagnostics.
+func (m *Master[I, O]) LenderStats() (lentNow, failedQueue, subStreams, ended int) {
+	return m.engine.Stats()
+}
+
+// Close marks the master as shutting down; in-flight Serve loops exit on
+// their next accept error.
+func (m *Master[I, O]) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+}
+
+func (m *Master[I, O]) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// ErrClosed reports operations on a closed master.
+var ErrClosed = errors.New("master: closed")

@@ -1,0 +1,435 @@
+package master
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pando/internal/netsim"
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+func jsonSquare(b []byte) ([]byte, error) {
+	var v int
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v * v)
+}
+
+func newTestMaster(t *testing.T, cfg Config) *Master[int, int] {
+	t.Helper()
+	if cfg.FuncName == "" {
+		cfg.FuncName = "square"
+	}
+	if cfg.Channel.HeartbeatInterval == 0 {
+		cfg.Channel.HeartbeatInterval = 25 * time.Millisecond
+	}
+	cfg.Ordered = true
+	return New[int, int](cfg, transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+}
+
+// startVolunteer dials the listener and joins on a goroutine, returning
+// the volunteer and its pipe for fault injection.
+func startVolunteer(t *testing.T, ln *netsim.Listener, v *worker.Volunteer) *netsim.Pipe {
+	t.Helper()
+	conn, pipe, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Channel.HeartbeatInterval == 0 {
+		v.Channel.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if v.CrashAfter == 0 {
+		v.CrashAfter = -1
+	}
+	go v.JoinWS(conn)
+	return pipe
+}
+
+func TestMasterSingleVolunteerWS(t *testing.T) {
+	m := newTestMaster(t, Config{})
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(25))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "laptop", Handler: jsonSquare, CrashAfter: -1})
+
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("got %d results, want 25", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*(i+1) {
+			t.Fatalf("got[%d] = %d, want %d", i, v, (i+1)*(i+1))
+		}
+	}
+	if m.TotalItems() != 25 {
+		t.Fatalf("accounting: %d items, want 25", m.TotalItems())
+	}
+}
+
+func TestMasterMultipleVolunteersOrdered(t *testing.T) {
+	m := newTestMaster(t, Config{Batch: 2})
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(100))
+	for i := 0; i < 4; i++ {
+		startVolunteer(t, ln, &worker.Volunteer{
+			Name:    fmt.Sprintf("dev-%d", i),
+			Handler: jsonSquare,
+			Delay:   time.Duration(i) * 500 * time.Microsecond,
+		})
+	}
+
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*(i+1) {
+			t.Fatalf("got[%d] = %d (output must be ordered)", i, v)
+		}
+	}
+}
+
+func TestMasterVolunteerCrashRecovery(t *testing.T) {
+	// Figure 4 at the system level: a volunteer crashes mid-stream; its
+	// in-flight values are re-lent to the survivor; all outputs arrive.
+	m := newTestMaster(t, Config{Batch: 2})
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(60))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "tablet", Handler: jsonSquare, CrashAfter: 5, Delay: time.Millisecond})
+	startVolunteer(t, ln, &worker.Volunteer{Name: "phone", Handler: jsonSquare})
+
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("got %d results, want 60", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*(i+1) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMasterNetworkCutRecovery(t *testing.T) {
+	// Crash injected at the network level: the link is severed without
+	// the volunteer's cooperation; heartbeats detect it.
+	m := newTestMaster(t, Config{Batch: 2})
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(40))
+	victim := startVolunteer(t, ln, &worker.Volunteer{Name: "flaky", Handler: jsonSquare, Delay: 2 * time.Millisecond})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		victim.Cut()
+	}()
+	startVolunteer(t, ln, &worker.Volunteer{Name: "stable", Handler: jsonSquare})
+
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40 {
+		t.Fatalf("got %d results, want 40", len(got))
+	}
+}
+
+func TestMasterLateJoin(t *testing.T) {
+	// Dynamic scaling: the computation starts with no volunteer at all;
+	// one joins later and the stream completes.
+	m := newTestMaster(t, Config{})
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(10))
+	outc, errc := pullstream.ToChan(out)
+
+	time.Sleep(30 * time.Millisecond) // nobody there yet
+	startVolunteer(t, ln, &worker.Volunteer{Name: "late", Handler: jsonSquare})
+
+	var got []int
+	for v := range outc {
+		got = append(got, v)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d results, want 10", len(got))
+	}
+}
+
+func TestMasterRejectsBadVersion(t *testing.T) {
+	m := newTestMaster(t, Config{})
+	ln := netsim.NewListener("master", netsim.Loopback)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	conn, _, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := transport.NewWSock(conn, transport.Config{HeartbeatInterval: -1})
+	// Wrong protocol version (a stale volunteer binary).
+	if err := ch.Send(mustHello("/pando/0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == "" {
+		t.Fatalf("expected rejection, got %+v", reply)
+	}
+}
+
+func TestMasterAdaptiveFasterDeviceProcessesMore(t *testing.T) {
+	// Table 2's % columns: throughput share tracks device speed.
+	m := newTestMaster(t, Config{Batch: 2})
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(80))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "fast", Handler: jsonSquare, Delay: 500 * time.Microsecond})
+	startVolunteer(t, ln, &worker.Volunteer{Name: "slow", Handler: jsonSquare, Delay: 8 * time.Millisecond})
+
+	if _, err := pullstream.Collect(out); err != nil {
+		t.Fatal(err)
+	}
+	var fast, slow int
+	for _, w := range m.Stats() {
+		switch w.Name {
+		case "fast":
+			fast = w.Items
+		case "slow":
+			slow = w.Items
+		}
+	}
+	if fast <= slow {
+		t.Fatalf("fast processed %d <= slow %d; lending must be adaptive", fast, slow)
+	}
+	if fast+slow != 80 {
+		t.Fatalf("accounting mismatch: %d + %d != 80", fast, slow)
+	}
+}
+
+func TestMasterWebRTCVolunteer(t *testing.T) {
+	// End-to-end WAN-style deployment: volunteer bootstraps through the
+	// public server and computes over the direct channel (paper §5.4).
+	cfg := transport.Config{HeartbeatInterval: 25 * time.Millisecond}
+	m := newTestMaster(t, Config{Batch: 4, Channel: cfg})
+
+	signalLn := netsim.NewListener("public", netsim.WAN)
+	srv := transport.NewSignalServer()
+	go srv.Serve(signalLn, cfg)
+	defer srv.Close()
+
+	directLn := netsim.NewListener("master-direct", netsim.WAN)
+	msc, _, err := signalLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterSignal := transport.NewWSock(msc, cfg)
+	if err := transport.JoinSignal(masterSignal, "master"); err != nil {
+		t.Fatal(err)
+	}
+	answerer := transport.NewRTCAnswerer(masterSignal, directLn, cfg)
+	defer answerer.Close()
+	go m.ServeRTC(answerer)
+
+	out := m.Bind(pullstream.Count(20))
+
+	vsc, _, err := signalLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	volSignal := transport.NewWSock(vsc, cfg)
+	dial := func(addr string) (net.Conn, error) {
+		c, _, err := directLn.Dial()
+		return c, err
+	}
+	v := &worker.Volunteer{Name: "planetlab-node", Handler: jsonSquare, CrashAfter: -1, Channel: cfg}
+	go v.JoinRTC(volSignal, "planetlab-node", "master", dial)
+
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("got %d results, want 20", len(got))
+	}
+	for i, r := range got {
+		if r != (i+1)*(i+1) {
+			t.Fatalf("got[%d] = %d", i, r)
+		}
+	}
+}
+
+func TestWorkerStatsThroughput(t *testing.T) {
+	w := WorkerStats{
+		Items:     100,
+		FirstSeen: time.Unix(0, 0),
+		LastSeen:  time.Unix(10, 0),
+	}
+	if tp := w.Throughput(); tp != 10 {
+		t.Fatalf("throughput = %v, want 10", tp)
+	}
+	empty := WorkerStats{}
+	if tp := empty.Throughput(); tp != 0 {
+		t.Fatalf("empty throughput = %v, want 0", tp)
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	worker.Register("test-fn-"+strconv.Itoa(int(time.Now().UnixNano())), jsonSquare)
+	if _, ok := worker.Lookup("definitely-missing"); ok {
+		t.Fatal("lookup of missing function succeeded")
+	}
+	if len(worker.Registered()) == 0 {
+		t.Fatal("registry empty after registration")
+	}
+}
+
+func mustHello(version string) *proto.Message {
+	return &proto.Message{Type: proto.TypeHello, Version: version}
+}
+
+func TestWindowedThroughput(t *testing.T) {
+	m := newTestMaster(t, Config{})
+	ln := netsim.NewListener("master-window", netsim.Loopback)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(30))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare})
+	if _, err := pullstream.Collect(out); err != nil {
+		t.Fatal(err)
+	}
+	per, total := m.WindowedThroughput(10 * time.Second)
+	if per["dev"] <= 0 {
+		t.Fatalf("dev windowed throughput = %v", per["dev"])
+	}
+	if total != per["dev"] {
+		t.Fatalf("total %v != sum of devices %v", total, per["dev"])
+	}
+	// A tiny window far after completion counts nothing.
+	time.Sleep(20 * time.Millisecond)
+	per, _ = m.WindowedThroughput(time.Millisecond)
+	if per["dev"] != 0 {
+		t.Fatalf("stale window shows %v items/s", per["dev"])
+	}
+}
+
+func TestWorkerStatsItemsWithin(t *testing.T) {
+	now := time.Now()
+	w := WorkerStats{}
+	for i := 0; i < 10; i++ {
+		w.recordItem(now.Add(time.Duration(i) * time.Second))
+	}
+	latest := now.Add(9 * time.Second)
+	if got := w.ItemsWithin(3500*time.Millisecond, latest); got != 4 {
+		t.Fatalf("ItemsWithin(3.5s) = %d, want 4 (t=6,7,8,9)", got)
+	}
+	if got := w.ItemsWithin(time.Hour, latest); got != 10 {
+		t.Fatalf("ItemsWithin(1h) = %d, want 10", got)
+	}
+}
+
+func TestHTTPInfoStatsEndpoint(t *testing.T) {
+	m := newTestMaster(t, Config{})
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := m.ServeHTTPInfo(httpLn, Invitation{Transport: "ws", DataAddr: "nowhere:1"})
+	defer srv.Close()
+
+	inv, err := proto.FetchInvitation("http://" + httpLn.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Func != "square" || inv.Transport != "ws" || inv.Batch != DefaultBatch {
+		t.Fatalf("invitation = %+v", inv)
+	}
+	resp, err := http.Get("http://" + httpLn.Addr().String() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %s", resp.Status)
+	}
+}
+
+func TestReporterEmitsLines(t *testing.T) {
+	m := newTestMaster(t, Config{})
+	ln := netsim.NewListener("master-report", netsim.Loopback)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	var buf syncBuffer
+	r := m.StartReporter(&buf, 10*time.Millisecond, time.Second)
+
+	out := m.Bind(pullstream.Count(20))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare, Delay: time.Millisecond})
+	if _, err := pullstream.Collect(out); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let at least one tick fire
+	r.Stop()
+	r.Stop() // idempotent
+
+	s := buf.String()
+	if !strings.Contains(s, "[pando]") || !strings.Contains(s, "dev") {
+		t.Fatalf("report output missing expected lines:\n%s", s)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,68 @@
+package master
+
+import (
+	"sort"
+	"time"
+)
+
+// This file implements the evaluation's measurement methodology (§5.1):
+// "We measured the computation duration and the number of items processed
+// in each Worker over a five minute period, from which we derived the
+// throughput. This diminished the impact of the variability of the
+// computing time between inputs. We also checked that the total of all
+// devices corresponded to the throughput observed at the output."
+
+// MaxWindow bounds how much per-item history is retained.
+const MaxWindow = 5 * time.Minute
+
+// recordItem appends a result timestamp to a worker's history, pruning
+// entries older than MaxWindow. Caller holds m.mu.
+func (w *WorkerStats) recordItem(now time.Time) {
+	w.Items++
+	w.LastSeen = now
+	w.history = append(w.history, now)
+	cutoff := now.Add(-MaxWindow)
+	// Prune from the front; history is in time order.
+	drop := 0
+	for drop < len(w.history) && w.history[drop].Before(cutoff) {
+		drop++
+	}
+	if drop > 0 {
+		w.history = append(w.history[:0], w.history[drop:]...)
+	}
+}
+
+// ItemsWithin returns how many items the device completed during the
+// trailing window.
+func (w WorkerStats) ItemsWithin(window time.Duration, now time.Time) int {
+	cutoff := now.Add(-window)
+	// history is sorted; binary search the first index >= cutoff.
+	i := sort.Search(len(w.history), func(i int) bool {
+		return !w.history[i].Before(cutoff)
+	})
+	return len(w.history) - i
+}
+
+// ThroughputWithin returns items per second over the trailing window.
+func (w WorkerStats) ThroughputWithin(window time.Duration, now time.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(w.ItemsWithin(window, now)) / window.Seconds()
+}
+
+// WindowedThroughput reports each device's throughput over the trailing
+// window along with the aggregate — the §5.1 cross-check that the total
+// of all devices corresponds to the output throughput.
+func (m *Master[I, O]) WindowedThroughput(window time.Duration) (perDevice map[string]float64, total float64) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	perDevice = make(map[string]float64, len(m.workers))
+	for name, w := range m.workers {
+		tp := w.ThroughputWithin(window, now)
+		perDevice[name] = tp
+		total += tp
+	}
+	return perDevice, total
+}

@@ -1,0 +1,293 @@
+// Package netsim simulates the networks of the paper's evaluation: the
+// Wi-Fi LAN of the personal-device experiment (§5.2), the France-wide VPN
+// of the Grid5000 experiment (§5.3), and the Europe-wide WAN of the
+// PlanetLab experiment (§5.4).
+//
+// NewPipe returns a pair of net.Conn endpoints joined by a link with
+// configurable propagation latency, jitter, and bandwidth. Chunks written
+// on one end are delivered on the other after the link delay, with
+// pipelining preserved: a second chunk may be in flight while the first is
+// still propagating, which is exactly the property that lets Pando hide
+// latency by batching inputs (paper §5.5).
+//
+// The link can be Cut to simulate a sudden crash or loss of connectivity,
+// the failure mode of the paper's crash-stop model (§2.3).
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Link describes one direction-symmetric network link.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per chunk.
+	Jitter time.Duration
+	// Bandwidth in bytes per second; 0 means unlimited.
+	Bandwidth int64
+	// Seed makes jitter deterministic; 0 uses a fixed default.
+	Seed int64
+}
+
+// Predefined links approximating the paper's three deployment scenarios.
+// The absolute values are scaled down so experiments complete quickly; the
+// ratios between scenarios match the paper's settings (LAN Wi-Fi vs
+// continental VPN vs Europe-wide WAN).
+var (
+	// LAN approximates a home Wi-Fi network.
+	LAN = Link{Latency: 2 * time.Millisecond, Jitter: time.Millisecond, Bandwidth: 12 << 20}
+	// VPN approximates the Grid5000 VPN reached through Wi-Fi + INRIA's
+	// network (France-wide).
+	VPN = Link{Latency: 10 * time.Millisecond, Jitter: 2 * time.Millisecond, Bandwidth: 8 << 20}
+	// WAN approximates PlanetLab EU nodes across Europe.
+	WAN = Link{Latency: 40 * time.Millisecond, Jitter: 10 * time.Millisecond, Bandwidth: 4 << 20}
+	// Loopback is an ideal link for unit tests.
+	Loopback = Link{}
+)
+
+// ErrLinkCut is reported (wrapped in net.OpError-style read errors) when a
+// pipe is severed with Cut.
+var ErrLinkCut = errors.New("netsim: link cut")
+
+// Pipe is a bidirectional in-memory connection with link simulation.
+type Pipe struct {
+	// A and B are the two endpoints.
+	A, B net.Conn
+
+	mu     sync.Mutex
+	inner  []net.Conn
+	cut    bool
+	closed chan struct{}
+	frozen chan struct{} // non-nil while the link is paused
+}
+
+// chunk is a unit of data in flight on the link.
+type chunk struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// NewPipe creates a connected pair of endpoints joined by link l.
+func NewPipe(l Link) *Pipe {
+	aUser, aInner := net.Pipe()
+	bUser, bInner := net.Pipe()
+	p := &Pipe{
+		A:      aUser,
+		B:      bUser,
+		inner:  []net.Conn{aInner, bInner},
+		closed: make(chan struct{}),
+	}
+	seed := l.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	go relay(aInner, bInner, l, rand.New(rand.NewSource(seed)), p.closed, p.gate)
+	go relay(bInner, aInner, l, rand.New(rand.NewSource(seed+1)), p.closed, p.gate)
+	return p
+}
+
+// gate blocks while the link is paused.
+func (p *Pipe) gate() {
+	p.mu.Lock()
+	frozen := p.frozen
+	p.mu.Unlock()
+	if frozen != nil {
+		select {
+		case <-frozen:
+		case <-p.closed:
+		}
+	}
+}
+
+// Pause freezes the link: bytes already in flight and new bytes are held
+// until Resume. It models a transient network stall (a Wi-Fi dropout, a
+// suspended laptop) — the partial-synchrony scenario of the paper's §2.3:
+// a stall shorter than the heartbeat timeout must not be treated as a
+// crash.
+func (p *Pipe) Pause() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen == nil {
+		p.frozen = make(chan struct{})
+	}
+}
+
+// Resume releases a paused link; held bytes are delivered immediately.
+func (p *Pipe) Resume() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen != nil {
+		close(p.frozen)
+		p.frozen = nil
+	}
+}
+
+// Cut severs the link abruptly in both directions: all pending and future
+// reads and writes on both endpoints fail. This models a browser tab
+// closing or connectivity loss without a goodbye.
+func (p *Pipe) Cut() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cut {
+		return
+	}
+	p.cut = true
+	close(p.closed)
+	for _, c := range p.inner {
+		c.Close()
+	}
+	p.A.Close()
+	p.B.Close()
+}
+
+// relay moves chunks from src to dst applying the link delay model. The
+// gate callback blocks while the link is paused.
+func relay(src, dst net.Conn, l Link, rng *rand.Rand, closed chan struct{}, gate func()) {
+	inFlight := make(chan chunk, 4096)
+
+	// Deliverer: writes chunks at their delivery time, in order.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for c := range inFlight {
+			d := time.Until(c.deliverAt)
+			if d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-closed:
+					timer.Stop()
+					return
+				}
+			}
+			gate()
+			if _, err := dst.Write(c.data); err != nil {
+				return
+			}
+		}
+		// Source ended cleanly; propagate EOF.
+		dst.Close()
+	}()
+
+	// Reader: stamps each chunk with its delivery time at read time so
+	// later chunks propagate while earlier ones are still in flight.
+	var busyUntil time.Time
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			now := time.Now()
+			start := now
+			if busyUntil.After(now) {
+				start = busyUntil
+			}
+			var tx time.Duration
+			if l.Bandwidth > 0 {
+				tx = time.Duration(float64(n) / float64(l.Bandwidth) * float64(time.Second))
+			}
+			busyUntil = start.Add(tx)
+			delay := l.Latency
+			if l.Jitter > 0 {
+				delay += time.Duration(rng.Int63n(int64(l.Jitter)))
+			}
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			select {
+			case inFlight <- chunk{data: data, deliverAt: busyUntil.Add(delay)}:
+			case <-closed:
+				close(inFlight)
+				wg.Wait()
+				return
+			}
+		}
+		if err != nil {
+			close(inFlight)
+			wg.Wait()
+			return
+		}
+	}
+}
+
+// Listener is an in-memory listener whose accepted connections go through
+// simulated links, letting tests and benchmarks stand up a full
+// master/volunteer topology without real sockets.
+type Listener struct {
+	link    Link
+	mu      sync.Mutex
+	queue   chan net.Conn
+	closed  bool
+	pipes   []*Pipe
+	addr    simAddr
+	nextSeq int64
+}
+
+type simAddr string
+
+func (a simAddr) Network() string { return "netsim" }
+func (a simAddr) String() string  { return string(a) }
+
+// NewListener creates a listener whose connections traverse link l.
+func NewListener(name string, l Link) *Listener {
+	return &Listener{
+		link:  l,
+		queue: make(chan net.Conn, 64),
+		addr:  simAddr(name),
+	}
+}
+
+// Dial connects to the listener through a fresh simulated link and returns
+// the client endpoint together with the pipe (for fault injection).
+func (ln *Listener) Dial() (net.Conn, *Pipe, error) {
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
+		return nil, nil, errors.New("netsim: listener closed")
+	}
+	link := ln.link
+	ln.nextSeq++
+	link.Seed = ln.nextSeq * 7919
+	p := NewPipe(link)
+	ln.pipes = append(ln.pipes, p)
+	ln.mu.Unlock()
+
+	select {
+	case ln.queue <- p.B:
+		return p.A, p, nil
+	default:
+		p.Cut()
+		return nil, nil, errors.New("netsim: accept queue full")
+	}
+}
+
+// Accept waits for the next inbound connection.
+func (ln *Listener) Accept() (net.Conn, error) {
+	c, ok := <-ln.queue
+	if !ok {
+		return nil, errors.New("netsim: listener closed")
+	}
+	return c, nil
+}
+
+// Close shuts the listener down and severs every connection it created.
+func (ln *Listener) Close() error {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if ln.closed {
+		return nil
+	}
+	ln.closed = true
+	close(ln.queue)
+	for _, p := range ln.pipes {
+		p.Cut()
+	}
+	return nil
+}
+
+// Addr returns the listener's simulated address.
+func (ln *Listener) Addr() net.Addr { return ln.addr }

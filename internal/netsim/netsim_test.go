@@ -1,0 +1,287 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeBasicTransfer(t *testing.T) {
+	p := NewPipe(Loopback)
+	defer p.Cut()
+	msg := []byte("hello pando")
+	go func() {
+		if _, err := p.A.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(p.B, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q, want %q", buf, msg)
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	p := NewPipe(Loopback)
+	defer p.Cut()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.A.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		io.ReadFull(p.A, buf)
+		if string(buf) != "pong" {
+			t.Errorf("A got %q", buf)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4)
+		io.ReadFull(p.B, buf)
+		if string(buf) != "ping" {
+			t.Errorf("B got %q", buf)
+		}
+		p.B.Write([]byte("pong"))
+	}()
+	wg.Wait()
+}
+
+func TestPipeLatencyApplied(t *testing.T) {
+	lat := 30 * time.Millisecond
+	p := NewPipe(Link{Latency: lat})
+	defer p.Cut()
+	start := time.Now()
+	go p.A.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(p.B, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < lat {
+		t.Fatalf("delivery took %v, want >= %v", elapsed, lat)
+	}
+	if elapsed > 10*lat {
+		t.Fatalf("delivery took %v, far more than latency %v", elapsed, lat)
+	}
+}
+
+func TestPipePipeliningHidesLatency(t *testing.T) {
+	// Two chunks sent back-to-back must arrive ~one latency apart from
+	// the send time, not two: the link pipelines (this is the property
+	// that batching exploits, paper §5.5).
+	lat := 40 * time.Millisecond
+	p := NewPipe(Link{Latency: lat})
+	defer p.Cut()
+	start := time.Now()
+	go func() {
+		p.A.Write([]byte("a"))
+		p.A.Write([]byte("b"))
+	}()
+	buf := make([]byte, 1)
+	io.ReadFull(p.B, buf)
+	io.ReadFull(p.B, buf)
+	elapsed := time.Since(start)
+	if elapsed > lat+lat/2 {
+		t.Fatalf("two chunks took %v; pipelining should deliver both in ~%v", elapsed, lat)
+	}
+}
+
+func TestPipeBandwidthPacing(t *testing.T) {
+	// 64 KiB over a 256 KiB/s link must take at least ~250ms.
+	p := NewPipe(Link{Bandwidth: 256 << 10})
+	defer p.Cut()
+	payload := make([]byte, 64<<10)
+	start := time.Now()
+	go func() {
+		p.A.Write(payload)
+	}()
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(p.B, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 200*time.Millisecond {
+		t.Fatalf("64KiB over 256KiB/s took %v, want >= ~250ms", elapsed)
+	}
+}
+
+func TestPipeCutFailsBothEnds(t *testing.T) {
+	p := NewPipe(Loopback)
+	done := make(chan error, 2)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := p.A.Read(buf)
+		done <- err
+	}()
+	go func() {
+		buf := make([]byte, 1)
+		_, err := p.B.Read(buf)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Cut()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("read succeeded after Cut")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("read did not fail after Cut")
+		}
+	}
+}
+
+func TestPipeCloseOneEndPropagatesEOF(t *testing.T) {
+	p := NewPipe(Loopback)
+	defer p.Cut()
+	p.A.Close()
+	buf := make([]byte, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	p.B.SetReadDeadline(deadline)
+	if _, err := p.B.Read(buf); err == nil {
+		t.Fatal("expected EOF after remote close")
+	}
+}
+
+func TestListenerAcceptDial(t *testing.T) {
+	ln := NewListener("master", Loopback)
+	defer ln.Close()
+
+	type acceptResult struct {
+		c   io.ReadWriteCloser
+		err error
+	}
+	acc := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		acc <- acceptResult{c, err}
+	}()
+
+	client, _, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := <-acc
+	if ar.err != nil {
+		t.Fatal(ar.err)
+	}
+	go client.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(ar.c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hi" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestListenerCloseSeversConnections(t *testing.T) {
+	ln := NewListener("master", Loopback)
+	go ln.Accept()
+	client, _, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	buf := make([]byte, 1)
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(buf); err == nil {
+		t.Fatal("read succeeded after listener close")
+	}
+	if _, _, err := ln.Dial(); err == nil {
+		t.Fatal("dial succeeded after close")
+	}
+}
+
+func TestPipeJitterDeterministic(t *testing.T) {
+	// Same seed, same jitter sequence: two pipes with identical config
+	// deliver with identical delays (within scheduling noise this just
+	// checks both complete; determinism of rng is assumed from math/rand).
+	for _, seed := range []int64{1, 2} {
+		p := NewPipe(Link{Latency: time.Millisecond, Jitter: 2 * time.Millisecond, Seed: seed})
+		go p.A.Write([]byte("x"))
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(p.B, buf); err != nil {
+			t.Fatal(err)
+		}
+		p.Cut()
+	}
+}
+
+func TestPipeLargeTransfer(t *testing.T) {
+	p := NewPipe(Link{Latency: time.Millisecond})
+	defer p.Cut()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	go func() {
+		p.A.Write(payload)
+		p.A.Close()
+	}()
+	got, err := io.ReadAll(p.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestPipePauseResumeHoldsDelivery(t *testing.T) {
+	p := NewPipe(Loopback)
+	defer p.Cut()
+	p.Pause()
+	go p.A.Write([]byte("x"))
+	delivered := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		io.ReadFull(p.B, buf)
+		close(delivered)
+	}()
+	select {
+	case <-delivered:
+		t.Fatal("byte delivered while link paused")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Resume()
+	select {
+	case <-delivered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("byte never delivered after resume")
+	}
+}
+
+func TestPipePauseIdempotent(t *testing.T) {
+	p := NewPipe(Loopback)
+	defer p.Cut()
+	p.Pause()
+	p.Pause() // second pause is a no-op
+	p.Resume()
+	p.Resume() // second resume is a no-op
+	go p.A.Write([]byte("y"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(p.B, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeCutWhilePaused(t *testing.T) {
+	p := NewPipe(Loopback)
+	p.Pause()
+	go p.A.Write([]byte("z"))
+	time.Sleep(10 * time.Millisecond)
+	p.Cut() // must not deadlock against the held delivery
+	buf := make([]byte, 1)
+	p.B.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := p.B.Read(buf); err == nil {
+		t.Fatal("read succeeded after cut")
+	}
+}

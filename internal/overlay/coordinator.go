@@ -1,0 +1,105 @@
+package overlay
+
+import (
+	"errors"
+	"sync"
+)
+
+// Coordinator assigns joining volunteers to relays, keeping the fat tree
+// balanced — the role Genet's bootstrap server plays when scaling a
+// deployment to hundreds of browsers. The master registers its relays'
+// join addresses; each volunteer asking where to join is directed to the
+// relay with the fewest assignments (ties broken by registration order).
+//
+// Assignment is advisory: a volunteer may still join any relay directly,
+// and a relay's crash simply makes its assignments stale — the volunteer
+// retries and is directed elsewhere.
+type Coordinator struct {
+	mu     sync.Mutex
+	relays []*relayEntry
+	index  map[string]*relayEntry
+}
+
+type relayEntry struct {
+	addr     string
+	assigned int
+	capacity int // 0 = unbounded
+	alive    bool
+}
+
+// ErrNoRelay is returned when no live relay has remaining capacity.
+var ErrNoRelay = errors.New("overlay: no relay available")
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{index: make(map[string]*relayEntry)}
+}
+
+// AddRelay registers a relay join address with the given capacity
+// (0 = unbounded). Re-adding an address revives it and updates capacity.
+func (c *Coordinator) AddRelay(addr string, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.index[addr]; ok {
+		e.capacity = capacity
+		e.alive = true
+		return
+	}
+	e := &relayEntry{addr: addr, capacity: capacity, alive: true}
+	c.relays = append(c.relays, e)
+	c.index[addr] = e
+}
+
+// RemoveRelay marks a relay dead (e.g. after its heartbeat failed); its
+// assignment count is kept so a revival resumes balancing correctly.
+func (c *Coordinator) RemoveRelay(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.index[addr]; ok {
+		e.alive = false
+	}
+}
+
+// Assign picks the least-loaded live relay with remaining capacity and
+// records the assignment, returning its join address.
+func (c *Coordinator) Assign() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *relayEntry
+	for _, e := range c.relays {
+		if !e.alive {
+			continue
+		}
+		if e.capacity > 0 && e.assigned >= e.capacity {
+			continue
+		}
+		if best == nil || e.assigned < best.assigned {
+			best = e
+		}
+	}
+	if best == nil {
+		return "", ErrNoRelay
+	}
+	best.assigned++
+	return best.addr, nil
+}
+
+// Release undoes one assignment (a volunteer left or failed to join).
+func (c *Coordinator) Release(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.index[addr]; ok && e.assigned > 0 {
+		e.assigned--
+	}
+}
+
+// Load reports the current assignment counts by relay address.
+func (c *Coordinator) Load() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.relays))
+	for _, e := range c.relays {
+		out[e.addr] = e.assigned
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package overlay
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pando/internal/master"
+	"pando/internal/netsim"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+func TestCoordinatorBalancesAssignments(t *testing.T) {
+	c := NewCoordinator()
+	c.AddRelay("r1", 0)
+	c.AddRelay("r2", 0)
+	c.AddRelay("r3", 0)
+	for i := 0; i < 9; i++ {
+		if _, err := c.Assign(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for addr, n := range c.Load() {
+		if n != 3 {
+			t.Fatalf("%s has %d assignments, want 3", addr, n)
+		}
+	}
+}
+
+func TestCoordinatorRespectsCapacity(t *testing.T) {
+	c := NewCoordinator()
+	c.AddRelay("small", 2)
+	got := map[string]int{}
+	for i := 0; i < 2; i++ {
+		addr, err := c.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[addr]++
+	}
+	if _, err := c.Assign(); !errors.Is(err, ErrNoRelay) {
+		t.Fatalf("err = %v, want ErrNoRelay when capacity exhausted", err)
+	}
+	c.Release("small")
+	if _, err := c.Assign(); err != nil {
+		t.Fatalf("release did not free capacity: %v", err)
+	}
+}
+
+func TestCoordinatorSkipsDeadRelays(t *testing.T) {
+	c := NewCoordinator()
+	c.AddRelay("dead", 0)
+	c.AddRelay("alive", 0)
+	c.RemoveRelay("dead")
+	for i := 0; i < 4; i++ {
+		addr, err := c.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr != "alive" {
+			t.Fatalf("assigned to dead relay %q", addr)
+		}
+	}
+	// Revival resumes balancing with retained counts.
+	c.AddRelay("dead", 0)
+	addr, err := c.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "dead" {
+		t.Fatalf("assigned %q; the revived relay has fewer assignments", addr)
+	}
+}
+
+func TestCoordinatorEmpty(t *testing.T) {
+	c := NewCoordinator()
+	if _, err := c.Assign(); !errors.Is(err, ErrNoRelay) {
+		t.Fatalf("err = %v", err)
+	}
+	c.Release("ghost") // no-op, must not panic
+}
+
+func TestQuickCoordinatorNeverExceedsCapacity(t *testing.T) {
+	f := func(caps []uint8, joins uint8) bool {
+		c := NewCoordinator()
+		limit := map[string]int{}
+		for i, cap8 := range caps {
+			if i >= 5 {
+				break
+			}
+			addr := string(rune('a' + i))
+			capn := int(cap8%5) + 1
+			c.AddRelay(addr, capn)
+			limit[addr] = capn
+		}
+		counts := map[string]int{}
+		for j := 0; j < int(joins); j++ {
+			addr, err := c.Assign()
+			if err != nil {
+				break
+			}
+			counts[addr]++
+		}
+		for addr, n := range counts {
+			if n > limit[addr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorDrivenDeployment stands up master + two relays and lets
+// the coordinator place joining volunteers, verifying balanced placement
+// and a correct distributed computation through the assigned relays.
+func TestCoordinatorDrivenDeployment(t *testing.T) {
+	cfg := transport.Config{HeartbeatInterval: 30 * time.Millisecond}
+	m := master.New[int, int](master.Config{
+		FuncName: "double", Batch: 4, Ordered: true, Channel: cfg,
+	}, transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+
+	rootLn := netsim.NewListener("coord-root", netsim.LAN)
+	defer rootLn.Close()
+	go m.ServeWS(rootLn)
+
+	coord := NewCoordinator()
+	childLns := map[string]*netsim.Listener{}
+	for r := 0; r < 2; r++ {
+		relay := NewNode(fmt.Sprintf("coord-relay-%d", r))
+		relay.Channel = cfg
+		addr := fmt.Sprintf("coord-relay-%d-children", r)
+		ln := netsim.NewListener(addr, netsim.LAN)
+		defer ln.Close()
+		childLns[addr] = ln
+		go relay.ServeChildren(ln)
+		conn, _, err := rootLn.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go relay.Run(transport.NewWSock(conn, cfg))
+		coord.AddRelay(addr, 0)
+	}
+
+	double := func(b []byte) ([]byte, error) {
+		var v int
+		if err := json.Unmarshal(b, &v); err != nil {
+			return nil, err
+		}
+		return json.Marshal(v * 2)
+	}
+
+	// Six volunteers ask the coordinator where to join.
+	for i := 0; i < 6; i++ {
+		addr, err := coord.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, _, err := childLns[addr].Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := &worker.Volunteer{
+			Name:       fmt.Sprintf("assigned-%d", i),
+			Handler:    double,
+			Channel:    cfg,
+			CrashAfter: -1,
+		}
+		go v.JoinWS(conn)
+	}
+
+	// Placement is balanced.
+	for addr, n := range coord.Load() {
+		if n != 3 {
+			t.Fatalf("%s got %d volunteers, want 3", addr, n)
+		}
+	}
+
+	out := m.Bind(pullstream.Count(60))
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*2 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}

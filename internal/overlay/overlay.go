@@ -1,0 +1,267 @@
+// Package overlay implements a fat-tree overlay in the style of Genet
+// (Lavoie et al., SASO'19), the companion work the paper's evaluation
+// refers to: "The design of Pando has also been shown to scale up to at
+// least a thousand browsers when combined with a fat-tree overlay" (§5).
+//
+// A relay Node joins a master (or another relay) exactly like a
+// volunteer, but instead of processing inputs itself it re-lends them to
+// its own children through a nested StreamLender. Because StreamLender
+// already provides laziness, ordering, fault-tolerance and adaptivity,
+// the relay is a thin composition: inputs received from the parent form
+// its input stream, children are its sub-streams, and results flow back
+// up in arrival order. A crashed child is handled inside the relay; a
+// crashed relay is handled by its parent, which re-lends the whole
+// subtree's outstanding values.
+package overlay
+
+import (
+	"fmt"
+	"sync"
+
+	"pando/internal/lender"
+	"pando/internal/limiter"
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+)
+
+// Node is one interior node of the fat tree.
+type Node struct {
+	// Name identifies the relay to its parent.
+	Name string
+	// Fanout bounds values in flight per child (the child-side Limiter
+	// bound); zero selects the parent's batch size.
+	Fanout int
+	// Channel tunes heartbeats on both the parent and child channels.
+	Channel transport.Config
+
+	mu       sync.Mutex
+	funcName string
+	batch    int
+	children int
+	live     int
+	parent   transport.Channel
+	l        *lender.Lender[payload, payload]
+}
+
+// payload carries one opaque value with its upstream sequence number.
+type payload struct {
+	seq  uint64
+	data []byte
+}
+
+// NewNode creates an idle relay.
+func NewNode(name string) *Node {
+	return &Node{Name: name, l: lender.New[payload, payload]()}
+}
+
+// Run joins the parent over ch (performing the volunteer handshake),
+// relays inputs to children and results back, and returns when the
+// parent's stream completes or the channel fails. Children are accepted
+// concurrently via ServeChildren.
+func (n *Node) Run(parent transport.Channel) error {
+	if err := parent.Send(&proto.Message{
+		Type:    proto.TypeHello,
+		Version: proto.Version,
+		Peer:    n.Name,
+	}); err != nil {
+		parent.Close()
+		return err
+	}
+	welcome, err := parent.Recv()
+	if err != nil {
+		parent.Close()
+		return err
+	}
+	if welcome.Type != proto.TypeWelcome {
+		parent.Close()
+		return fmt.Errorf("overlay: handshake reply %q", welcome.Type)
+	}
+	n.mu.Lock()
+	n.funcName = welcome.Func
+	n.batch = welcome.Batch
+	if n.batch <= 0 {
+		n.batch = 2
+	}
+	n.parent = parent
+	n.mu.Unlock()
+
+	// Inputs from the parent feed the nested lender.
+	in := make(chan payload, 64)
+	parentErr := make(chan error, 1)
+	out := n.l.Bind(pullstream.FromChan(in, parentErr))
+
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for {
+			m, err := parent.Recv()
+			if err != nil {
+				parentErr <- err
+				return
+			}
+			switch m.Type {
+			case proto.TypeInput:
+				in <- payload{seq: m.Seq, data: m.Data}
+			case proto.TypeGoodbye:
+				close(in)
+				return
+			}
+		}
+	}()
+
+	// Results flow back up in arrival-order (the ordered lender restores
+	// input order, which is what the parent's FIFO matching expects).
+	drainErr := pullstream.Drain(out, func(p payload) error {
+		return parent.Send(&proto.Message{Type: proto.TypeResult, Seq: p.seq, Data: p.data})
+	})
+	<-recvDone
+	if drainErr != nil && !pullstream.IsNormalEnd(drainErr) {
+		parent.Close()
+		return drainErr
+	}
+	_ = parent.Send(&proto.Message{Type: proto.TypeGoodbye})
+	parent.Close()
+	return nil
+}
+
+// ServeChildren accepts child volunteers (leaves or deeper relays) until
+// the acceptor closes. Run it on its own goroutine alongside Run.
+func (n *Node) ServeChildren(acc transport.Acceptor) error {
+	for {
+		conn, err := acc.Accept()
+		if err != nil {
+			return nil
+		}
+		go func() {
+			_ = n.AdmitChild(transport.NewWSock(conn, n.Channel))
+		}()
+	}
+}
+
+// AdmitChild performs the handshake with one child and attaches it to the
+// nested lender.
+func (n *Node) AdmitChild(ch transport.Channel) error {
+	hello, err := ch.Recv()
+	if err != nil {
+		ch.Close()
+		return err
+	}
+	if err := proto.CheckHello(hello); err != nil {
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+		ch.Close()
+		return err
+	}
+	n.mu.Lock()
+	funcName, batch := n.funcName, n.batch
+	fanout := n.Fanout
+	if fanout <= 0 {
+		fanout = batch
+	}
+	n.children++
+	n.live++
+	n.mu.Unlock()
+	if err := ch.Send(&proto.Message{Type: proto.TypeWelcome, Func: funcName, Batch: batch}); err != nil {
+		ch.Close()
+		n.childGone()
+		return err
+	}
+
+	_, sd := n.l.LendStream()
+	d := childDuplex(ch)
+	results := limiter.Limit(d, fanout)(sd.Source)
+	watched := func(abort error, cb pullstream.Callback[payload]) {
+		results(abort, func(end error, v payload) {
+			if end != nil {
+				n.childGone()
+			}
+			cb(end, v)
+		})
+	}
+	sd.Sink(watched)
+	return nil
+}
+
+// childGone records a child's departure. A relay whose children are all
+// gone while it still holds unanswered values is useless yet looks alive
+// to its parent (its own heartbeats still flow); it therefore disconnects
+// so the parent re-lends the subtree's values elsewhere — crash-stop
+// applied to itself.
+func (n *Node) childGone() {
+	n.mu.Lock()
+	n.live--
+	orphaned := n.live <= 0
+	parent := n.parent
+	n.mu.Unlock()
+	if !orphaned || parent == nil {
+		return
+	}
+	lentNow, failedQ, _, _ := n.l.Stats()
+	if lentNow > 0 || failedQ > 0 {
+		parent.Close()
+	}
+}
+
+// Children returns how many children have been admitted.
+func (n *Node) Children() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.children
+}
+
+// childDuplex frames payloads for a child channel, preserving the
+// upstream sequence numbers so results can be matched at the root.
+func childDuplex(ch transport.Channel) pullstream.Duplex[payload, payload] {
+	return pullstream.Duplex[payload, payload]{
+		Sink: func(src pullstream.Source[payload]) {
+			for {
+				type ans struct {
+					end error
+					v   payload
+				}
+				ansc := make(chan ans, 1)
+				src(nil, func(end error, v payload) { ansc <- ans{end, v} })
+				a := <-ansc
+				if a.end != nil {
+					if pullstream.IsNormalEnd(a.end) {
+						_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+					} else {
+						ch.Close()
+					}
+					return
+				}
+				if err := ch.Send(&proto.Message{Type: proto.TypeInput, Seq: a.v.seq, Data: a.v.data}); err != nil {
+					return
+				}
+			}
+		},
+		Source: func(abort error, cb pullstream.Callback[payload]) {
+			var zero payload
+			if abort != nil {
+				ch.Close()
+				cb(abort, zero)
+				return
+			}
+			for {
+				m, err := ch.Recv()
+				if err != nil {
+					cb(err, zero)
+					return
+				}
+				switch m.Type {
+				case proto.TypeResult:
+					if m.Err != "" {
+						ch.Close()
+						cb(&transport.WorkerError{Seq: m.Seq, Msg: m.Err}, zero)
+						return
+					}
+					cb(nil, payload{seq: m.Seq, data: m.Data})
+					return
+				case proto.TypeGoodbye:
+					cb(pullstream.ErrDone, zero)
+					return
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,230 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"pando/internal/master"
+	"pando/internal/netsim"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+func jsonDouble(b []byte) ([]byte, error) {
+	var v int
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v * 2)
+}
+
+// buildTree stands up: master <- nRelays relays <- leavesPerRelay leaves,
+// returning the master and the leaf pipes for fault injection.
+func buildTree(t *testing.T, nRelays, leavesPerRelay int, leafCrashAfter int) (*master.Master[int, int], []*netsim.Pipe, []*netsim.Pipe) {
+	t.Helper()
+	cfg := transport.Config{HeartbeatInterval: 25 * time.Millisecond}
+	m := master.New[int, int](master.Config{
+		FuncName: "double",
+		Batch:    4,
+		Ordered:  true,
+		Channel:  cfg,
+	}, transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+
+	rootLn := netsim.NewListener("root", netsim.LAN)
+	t.Cleanup(func() { rootLn.Close() })
+	go m.ServeWS(rootLn)
+
+	var relayPipes, leafPipes []*netsim.Pipe
+	for r := 0; r < nRelays; r++ {
+		relay := NewNode(fmt.Sprintf("relay-%d", r))
+		relay.Channel = cfg
+
+		childLn := netsim.NewListener(fmt.Sprintf("relay-%d-children", r), netsim.LAN)
+		t.Cleanup(func() { childLn.Close() })
+		go relay.ServeChildren(childLn)
+
+		conn, pipe, err := rootLn.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		relayPipes = append(relayPipes, pipe)
+		go relay.Run(transport.NewWSock(conn, cfg))
+
+		for l := 0; l < leavesPerRelay; l++ {
+			leafConn, leafPipe, err := childLn.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			leafPipes = append(leafPipes, leafPipe)
+			v := &worker.Volunteer{
+				Name:       fmt.Sprintf("leaf-%d-%d", r, l),
+				Handler:    jsonDouble,
+				Channel:    cfg,
+				CrashAfter: leafCrashAfter,
+			}
+			go v.JoinWS(leafConn)
+		}
+	}
+	return m, relayPipes, leafPipes
+}
+
+func TestFatTreeComputesOrdered(t *testing.T) {
+	m, _, _ := buildTree(t, 2, 2, -1)
+	out := m.Bind(pullstream.Count(80))
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 80 {
+		t.Fatalf("got %d results, want 80", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*2 {
+			t.Fatalf("got[%d] = %d, want %d (order must survive the tree)", i, v, (i+1)*2)
+		}
+	}
+}
+
+func TestFatTreeLeafCrashRecovered(t *testing.T) {
+	// Leaves crash after 3 items each; relays re-lend within their
+	// subtree and the computation still completes. One extra reliable
+	// leaf guarantees liveness.
+	m, _, leafPipes := buildTree(t, 2, 2, 3)
+	// Attach one reliable leaf directly to the master as a safety net.
+	rootLn := netsim.NewListener("root-direct", netsim.LAN)
+	defer rootLn.Close()
+	go m.ServeWS(rootLn)
+	conn, _, err := rootLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := transport.Config{HeartbeatInterval: 25 * time.Millisecond}
+	reliable := &worker.Volunteer{Name: "reliable", Handler: jsonDouble, Channel: cfg, CrashAfter: -1}
+	go reliable.JoinWS(conn)
+
+	out := m.Bind(pullstream.Count(60))
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("got %d results, want 60", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*2 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	_ = leafPipes
+}
+
+func TestFatTreeRelayCrashRecovered(t *testing.T) {
+	// An entire relay (with its subtree) is severed mid-run; the master
+	// re-lends its outstanding values to the surviving relay.
+	m, relayPipes, _ := buildTree(t, 2, 2, -1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		relayPipes[0].Cut()
+	}()
+	out := m.Bind(pullstream.Count(100))
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*2 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRelayCountsChildren(t *testing.T) {
+	cfg := transport.Config{HeartbeatInterval: -1}
+	relay := NewNode("r")
+	relay.Channel = cfg
+	relay.mu.Lock()
+	relay.funcName = "double"
+	relay.batch = 2
+	relay.mu.Unlock()
+
+	ln := netsim.NewListener("children", netsim.Loopback)
+	defer ln.Close()
+	go relay.ServeChildren(ln)
+
+	conn, _, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &worker.Volunteer{Name: "leaf", Handler: jsonDouble, Channel: cfg, CrashAfter: -1}
+	go v.JoinWS(conn)
+
+	deadline := time.After(2 * time.Second)
+	for relay.Children() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("child never admitted")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestDeepTreeThreeLevels(t *testing.T) {
+	// master <- relay1 <- relay2 <- leaf: values traverse two relay hops.
+	cfg := transport.Config{HeartbeatInterval: 25 * time.Millisecond}
+	m := master.New[int, int](master.Config{
+		FuncName: "double", Batch: 2, Ordered: true, Channel: cfg,
+	}, transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+
+	rootLn := netsim.NewListener("root3", netsim.LAN)
+	defer rootLn.Close()
+	go m.ServeWS(rootLn)
+
+	r1 := NewNode("r1")
+	r1.Channel = cfg
+	l1 := netsim.NewListener("r1-children", netsim.LAN)
+	defer l1.Close()
+	go r1.ServeChildren(l1)
+	c1, _, err := rootLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r1.Run(transport.NewWSock(c1, cfg))
+
+	r2 := NewNode("r2")
+	r2.Channel = cfg
+	l2 := netsim.NewListener("r2-children", netsim.LAN)
+	defer l2.Close()
+	go r2.ServeChildren(l2)
+	c2, _, err := l1.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r2.Run(transport.NewWSock(c2, cfg))
+
+	leafConn, _, err := l2.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := &worker.Volunteer{Name: "deep-leaf", Handler: jsonDouble, Channel: cfg, CrashAfter: -1}
+	go leaf.JoinWS(leafConn)
+
+	out := m.Bind(pullstream.Count(20))
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("got %d results, want 20", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*2 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"pando/internal/master"
+	"pando/internal/netsim"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+// TestFatTreeScale32 runs the §5 scaling path at CI size: 32 leaves
+// behind 4 relays (the paper's companion work scaled the same design to
+// a thousand browsers). Checks ordering, completeness, and that every
+// subtree contributed.
+func TestFatTreeScale32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := transport.Config{HeartbeatInterval: 50 * time.Millisecond}
+	m := master.New[int, int](master.Config{
+		FuncName: "inc", Batch: 8, Ordered: true, Channel: cfg,
+	}, transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+
+	rootLn := netsim.NewListener("scale-root", netsim.LAN)
+	defer rootLn.Close()
+	go m.ServeWS(rootLn)
+
+	inc := func(b []byte) ([]byte, error) {
+		var v int
+		if err := json.Unmarshal(b, &v); err != nil {
+			return nil, err
+		}
+		return json.Marshal(v + 1)
+	}
+
+	const relays, leavesPer = 4, 8
+	relayNodes := make([]*Node, relays)
+	for r := 0; r < relays; r++ {
+		relay := NewNode(fmt.Sprintf("scale-relay-%d", r))
+		relay.Channel = cfg
+		relay.Fanout = 4
+		relayNodes[r] = relay
+
+		childLn := netsim.NewListener(fmt.Sprintf("scale-relay-%d-children", r), netsim.LAN)
+		defer childLn.Close()
+		go relay.ServeChildren(childLn)
+
+		conn, _, err := rootLn.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go relay.Run(transport.NewWSock(conn, cfg))
+
+		for l := 0; l < leavesPer; l++ {
+			leafConn, _, err := childLn.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := &worker.Volunteer{
+				Name:       fmt.Sprintf("scale-leaf-%d-%d", r, l),
+				Handler:    inc,
+				Channel:    cfg,
+				CrashAfter: -1,
+				Delay:      500 * time.Microsecond,
+			}
+			go v.JoinWS(leafConn)
+		}
+	}
+
+	const items = 600
+	out := m.Bind(pullstream.Count(items))
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != items {
+		t.Fatalf("got %d results, want %d", len(got), items)
+	}
+	for i, v := range got {
+		if v != i+2 {
+			t.Fatalf("got[%d] = %d, want %d (ordering through 32 leaves)", i, v, i+2)
+		}
+	}
+	// Every relay subtree contributed (adaptive lending spreads work).
+	for r, relay := range relayNodes {
+		if relay.Children() == 0 {
+			t.Errorf("relay %d admitted no children", r)
+		}
+	}
+	stats := m.Stats()
+	contributing := 0
+	for _, w := range stats {
+		if w.Items > 0 {
+			contributing++
+		}
+	}
+	if contributing < relays {
+		t.Errorf("only %d of %d relays contributed", contributing, relays)
+	}
+}

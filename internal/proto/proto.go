@@ -1,0 +1,165 @@
+// Package proto defines the wire protocol spoken between a Pando master,
+// its volunteers, and the public (signalling) server. It is the Go
+// rendering of the '/pando/1.0.0' protocol the paper's Figure 2 refers to:
+// a worker declares which protocol version its processing function targets
+// and the master streams inputs and collects results over a framed,
+// heartbeat-monitored message channel.
+//
+// Frames are length-prefixed JSON: a 4-byte big-endian length followed by
+// the JSON encoding of Message. JSON keeps the protocol debuggable and
+// mirrors the JavaScript original; the fixed-size prefix gives the
+// unambiguous message boundaries that WebSocket frames provided.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version tag, mirroring the '/pando/1.0.0'
+// property of the paper's programming interface (Figure 2).
+const Version = "/pando/1.0.0"
+
+// MaxFrameSize bounds a single frame. The paper notes a limitation on the
+// size of individual WebRTC messages in the simple-peer library (§5.1);
+// we keep an explicit, much larger bound purely as a safety limit.
+const MaxFrameSize = 64 << 20 // 64 MiB
+
+// Type enumerates the message kinds.
+type Type string
+
+// Message kinds.
+const (
+	// Handshake.
+	TypeHello   Type = "hello"   // worker → master: version, function, cores
+	TypeWelcome Type = "welcome" // master → worker: accepted, batch size
+
+	// Data plane.
+	TypeInput  Type = "input"  // master → worker: one input value
+	TypeResult Type = "result" // worker → master: one result or error
+
+	// Grouped data plane (extension): several values per frame, cutting
+	// per-message overhead on high-latency links ("batching inputs for
+	// distribution", paper §1/§5.5).
+	TypeInputBatch  Type = "inputs"  // master → worker: array of inputs
+	TypeResultBatch Type = "results" // worker → master: array of results
+
+	// Liveness (the heartbeat mechanism of WebSockets and WebRTC that
+	// Pando's fault-tolerance relies on, paper §1 and §2.4.1).
+	TypePing Type = "ping"
+	TypePong Type = "pong"
+
+	// Orderly shutdown.
+	TypeGoodbye Type = "goodbye"
+
+	// Signalling through the public server (WebRTC bootstrap, Figure 7).
+	TypeJoin      Type = "join"      // peer → server: register peer ID
+	TypeOffer     Type = "offer"     // peer → server → peer
+	TypeAnswer    Type = "answer"    // peer → server → peer
+	TypeCandidate Type = "candidate" // connection endpoint advertisement
+	TypeError     Type = "error"
+)
+
+// Message is the single envelope used for every exchange. Unused fields
+// are omitted from the wire encoding.
+type Message struct {
+	Type Type   `json:"t"`
+	Seq  uint64 `json:"seq,omitempty"` // input/result sequence number
+	Data []byte `json:"d,omitempty"`   // payload (JSON or opaque bytes)
+	Err  string `json:"e,omitempty"`   // error carried by a result
+
+	// Handshake fields.
+	Version string `json:"v,omitempty"`  // protocol version
+	Func    string `json:"f,omitempty"`  // processing function name
+	Cores   int    `json:"c,omitempty"`  // worker parallelism
+	Batch   int    `json:"b,omitempty"`  // values in flight (Limiter bound)
+	Token   string `json:"tk,omitempty"` // deployment invitation token
+
+	// Signalling fields.
+	Peer string `json:"p,omitempty"`  // sender peer ID
+	To   string `json:"to,omitempty"` // destination peer ID
+	Addr string `json:"a,omitempty"`  // candidate network address
+}
+
+// BatchItem is one element of a grouped input or result frame.
+type BatchItem struct {
+	// D is the payload.
+	D []byte `json:"d,omitempty"`
+	// E is a per-item error (results only).
+	E string `json:"e,omitempty"`
+}
+
+// EncodeBatch serializes grouped payloads for a frame's Data field.
+func EncodeBatch(items []BatchItem) ([]byte, error) {
+	return json.Marshal(items)
+}
+
+// DecodeBatch parses a grouped frame's Data field.
+func DecodeBatch(data []byte) ([]BatchItem, error) {
+	var items []BatchItem
+	if err := json.Unmarshal(data, &items); err != nil {
+		return nil, fmt.Errorf("proto: decode batch: %w", err)
+	}
+	return items, nil
+}
+
+// Errors returned by the framing layer.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
+	ErrBadVersion    = errors.New("proto: protocol version mismatch")
+)
+
+// WriteFrame encodes m as one frame on w. It performs a single Write call
+// for the whole frame so interleaved writers cannot corrupt the stream
+// boundary mid-frame (callers should still serialize writes).
+func WriteFrame(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("proto: marshal: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("proto: short frame body: %w", err)
+	}
+	m := new(Message)
+	if err := json.Unmarshal(body, m); err != nil {
+		return nil, fmt.Errorf("proto: unmarshal: %w", err)
+	}
+	return m, nil
+}
+
+// CheckHello validates a worker's hello message.
+func CheckHello(m *Message) error {
+	if m.Type != TypeHello {
+		return fmt.Errorf("proto: expected hello, got %q", m.Type)
+	}
+	if m.Version != Version {
+		return fmt.Errorf("%w: got %q, want %q", ErrBadVersion, m.Version, Version)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{
+		Type:    TypeInput,
+		Seq:     42,
+		Data:    []byte(`{"cameraPos":"1.57"}`),
+		Version: Version,
+	}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Seq != in.Seq || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestFrameMultipleSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		if err := WriteFrame(&buf, &Message{Type: TypeResult, Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		m, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != i {
+			t.Fatalf("frame %d: seq = %d", i, m.Seq)
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestFrameTooLargeOnRead(t *testing.T) {
+	var buf bytes.Buffer
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], MaxFrameSize+1)
+	buf.Write(lenBuf[:])
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Message{Type: TypePing}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	truncated := bytes.NewReader(raw[:len(raw)-2])
+	if _, err := ReadFrame(truncated); err == nil {
+		t.Fatal("expected error on truncated frame")
+	}
+}
+
+func TestCheckHello(t *testing.T) {
+	ok := &Message{Type: TypeHello, Version: Version, Func: "render"}
+	if err := CheckHello(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHello(&Message{Type: TypePing}); err == nil {
+		t.Fatal("expected error for wrong type")
+	}
+	bad := &Message{Type: TypeHello, Version: "/pando/0.9.0"}
+	if err := CheckHello(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(seq uint64, data []byte, errStr string, peer string) bool {
+		var buf bytes.Buffer
+		in := &Message{Type: TypeResult, Seq: seq, Data: data, Err: errStr, Peer: peer}
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.Seq == in.Seq &&
+			bytes.Equal(out.Data, in.Data) &&
+			out.Err == in.Err &&
+			out.Peer == in.Peer
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzReadFrame exercises the framing layer against adversarial bytes.
+// Without -fuzz it runs the seed corpus as a regular test; with
+// `go test -fuzz=FuzzReadFrame ./internal/proto` it explores further.
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed frame.
+	var good bytes.Buffer
+	_ = WriteFrame(&good, &Message{Type: TypeInput, Seq: 3, Data: []byte(`"x"`)})
+	f.Add(good.Bytes())
+	// Truncations, garbage, hostile lengths.
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x41})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x05, '{', '"', 't', '"', ':'})
+	f.Add(append([]byte{0x00, 0x00, 0x00, 0x02}, []byte("{}")...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and never allocate beyond the frame cap.
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err == nil && m == nil {
+			t.Fatal("nil message with nil error")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks Write/Read inversion for arbitrary payloads.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), []byte("data"), "err", "peer")
+	f.Add(uint64(0), []byte{}, "", "")
+	f.Fuzz(func(t *testing.T, seq uint64, data []byte, errStr, peer string) {
+		var buf bytes.Buffer
+		in := &Message{Type: TypeResult, Seq: seq, Data: data, Err: errStr, Peer: peer}
+		if err := WriteFrame(&buf, in); err != nil {
+			return // oversize payloads may legitimately fail
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("round trip read: %v", err)
+		}
+		if out.Seq != seq || !bytes.Equal(out.Data, data) || out.Err != errStr || out.Peer != peer {
+			t.Fatalf("round trip mismatch: %+v", out)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package pullstream
+
+import (
+	"errors"
+	"sync"
+)
+
+// This file ports additional modules from the pull-stream ecosystem
+// (paper §2.4.2: "a community has grown around the pattern and more than
+// a hundred modules have been contributed") that are useful when building
+// Pando-style pipelines: grouping values into batches, flattening them
+// back, deduplicating, counting, and buffering between a fast producer
+// and a slow consumer.
+
+// Group collects values into slices of size n (the last group may be
+// shorter). It is the input-batching building block: several values can
+// then travel in one network message.
+func Group[T any](n int) Through[T, []T] {
+	if n < 1 {
+		n = 1
+	}
+	return func(src Source[T]) Source[[]T] {
+		ended := false
+		var endErr error
+		return func(abort error, cb Callback[[]T]) {
+			if abort != nil {
+				src(abort, func(end error, _ T) { cb(end, nil) })
+				return
+			}
+			if ended {
+				e := endErr
+				if e == nil {
+					e = ErrDone
+				}
+				cb(e, nil)
+				return
+			}
+			group := make([]T, 0, n)
+			var pull func()
+			pull = func() {
+				src(nil, func(end error, v T) {
+					if end != nil {
+						ended = true
+						if !IsNormalEnd(end) {
+							endErr = end
+						}
+						if len(group) > 0 {
+							cb(nil, group)
+							return
+						}
+						e := endErr
+						if e == nil {
+							e = ErrDone
+						}
+						cb(e, nil)
+						return
+					}
+					group = append(group, v)
+					if len(group) == n {
+						cb(nil, group)
+						return
+					}
+					pull()
+				})
+			}
+			pull()
+		}
+	}
+}
+
+// Flatten expands slices back into individual values, the inverse of
+// Group.
+func Flatten[T any]() Through[[]T, T] {
+	return func(src Source[[]T]) Source[T] {
+		var pending []T
+		return func(abort error, cb Callback[T]) {
+			var zero T
+			if abort != nil {
+				src(abort, func(end error, _ []T) { cb(end, zero) })
+				return
+			}
+			if len(pending) > 0 {
+				v := pending[0]
+				pending = pending[1:]
+				cb(nil, v)
+				return
+			}
+			var pull func()
+			pull = func() {
+				src(nil, func(end error, vs []T) {
+					if end != nil {
+						cb(end, zero)
+						return
+					}
+					if len(vs) == 0 {
+						pull()
+						return
+					}
+					pending = vs[1:]
+					cb(nil, vs[0])
+				})
+			}
+			pull()
+		}
+	}
+}
+
+// Unique drops values whose key has been seen before.
+func Unique[T any, K comparable](key func(T) K) Through[T, T] {
+	seen := make(map[K]bool)
+	return Filter(func(v T) bool {
+		k := key(v)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	})
+}
+
+// CountValues consumes nothing but counts the values that flow through.
+func CountValues[T any](counter *int, mu *sync.Mutex) Through[T, T] {
+	return Tee(func(T) {
+		mu.Lock()
+		*counter++
+		mu.Unlock()
+	})
+}
+
+// Buffer decouples a fast producer from a slow consumer with a bounded
+// queue of size n, pulling eagerly from upstream on a dedicated goroutine
+// (the behaviour the Limiter exists to bound on network channels).
+func Buffer[T any](n int) Through[T, T] {
+	if n < 1 {
+		n = 1
+	}
+	return func(src Source[T]) Source[T] {
+		type item struct {
+			v   T
+			end error
+		}
+		ch := make(chan item, n)
+		go func() {
+			defer close(ch)
+			for {
+				done := make(chan item, 1)
+				src(nil, func(end error, v T) { done <- item{v: v, end: end} })
+				it := <-done
+				ch <- it
+				if it.end != nil {
+					return
+				}
+			}
+		}()
+		var terminal error
+		return func(abort error, cb Callback[T]) {
+			var zero T
+			if abort != nil {
+				// Drain whatever the eager reader produced; upstream will
+				// finish on its own. Then answer the abort.
+				go func() {
+					for range ch {
+					}
+				}()
+				cb(abort, zero)
+				return
+			}
+			if terminal != nil {
+				cb(terminal, zero)
+				return
+			}
+			it, ok := <-ch
+			if !ok {
+				cb(ErrDone, zero)
+				return
+			}
+			if it.end != nil {
+				terminal = it.end
+				cb(it.end, zero)
+				return
+			}
+			cb(nil, it.v)
+		}
+	}
+}
+
+// ErrStreamEmpty is returned by Last on an empty stream.
+var ErrStreamEmpty = errors.New("pullstream: empty stream")
+
+// Last consumes the whole source and returns its final value.
+func Last[T any](src Source[T]) (T, error) {
+	var last T
+	n := 0
+	err := Drain(src, func(v T) error {
+		last = v
+		n++
+		return nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if n == 0 {
+		var zero T
+		return zero, ErrStreamEmpty
+	}
+	return last, nil
+}
+
+// Interleave alternates values from several sources until all are done.
+// A failing source fails the merged stream. Unlike Concat, it does not
+// wait for one source to finish before visiting the next.
+func Interleave[T any](srcs ...Source[T]) Source[T] {
+	live := make([]Source[T], len(srcs))
+	copy(live, srcs)
+	next := 0
+	return func(abort error, cb Callback[T]) {
+		var zero T
+		if abort != nil {
+			for _, s := range live {
+				s(abort, func(error, T) {})
+			}
+			cb(abort, zero)
+			return
+		}
+		var pull func(tried int)
+		pull = func(tried int) {
+			if len(live) == 0 {
+				cb(ErrDone, zero)
+				return
+			}
+			if tried >= len(live) {
+				cb(ErrDone, zero)
+				return
+			}
+			idx := next % len(live)
+			src := live[idx]
+			src(nil, func(end error, v T) {
+				if errors.Is(end, ErrDone) || errors.Is(end, ErrAborted) {
+					live = append(live[:idx], live[idx+1:]...)
+					pull(tried)
+					return
+				}
+				if end != nil {
+					cb(end, zero)
+					return
+				}
+				next = idx + 1
+				cb(nil, v)
+			})
+		}
+		pull(0)
+	}
+}

@@ -1,0 +1,258 @@
+package pullstream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGroupExactMultiple(t *testing.T) {
+	got, err := Collect(Group[int](3)(Count(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d groups", len(got))
+	}
+	if got[0][0] != 1 || got[2][2] != 9 {
+		t.Fatalf("groups = %v", got)
+	}
+}
+
+func TestGroupRemainder(t *testing.T) {
+	got, err := Collect(Group[int](4)(Count(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d groups", len(got))
+	}
+	if len(got[2]) != 2 {
+		t.Fatalf("last group = %v, want 2 elements", got[2])
+	}
+}
+
+func TestGroupEmpty(t *testing.T) {
+	got, err := Collect(Group[int](4)(Empty[int]()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupErrorAfterPartial(t *testing.T) {
+	boom := errors.New("boom")
+	src := Concat(Count(5), Error[int](boom))
+	got, err := Collect(Group[int](3)(src))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The partial group before the failure is still delivered.
+	if len(got) != 2 || len(got[1]) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+}
+
+func TestFlattenInverseOfGroup(t *testing.T) {
+	th := Chain(Group[int](4), Flatten[int]())
+	got, err := Collect(th(Count(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestQuickGroupFlattenRoundTrip(t *testing.T) {
+	f := func(vs []int16, n uint8) bool {
+		size := int(n%7) + 1
+		th := Chain(Group[int16](size), Flatten[int16]())
+		got, err := Collect(th(Values(vs...)))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenSkipsEmptySlices(t *testing.T) {
+	src := Values([]int{}, []int{1}, []int{}, []int{2, 3}, []int{})
+	got, err := Collect(Flatten[int]()(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnique(t *testing.T) {
+	src := Values(1, 2, 1, 3, 2, 4)
+	got, err := Collect(Unique(func(v int) int { return v })(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCountValues(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	if _, err := Collect(CountValues[int](&n, &mu)(Count(17))); err != nil {
+		t.Fatal(err)
+	}
+	if n != 17 {
+		t.Fatalf("counted %d", n)
+	}
+}
+
+func TestBufferDelivery(t *testing.T) {
+	got, err := Collect(Buffer[int](4)(Count(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d (order must be preserved)", i, v)
+		}
+	}
+}
+
+func TestBufferEagerlyReadsAhead(t *testing.T) {
+	var mu sync.Mutex
+	reads := 0
+	src := func(abort error, cb Callback[int]) {
+		if abort != nil {
+			cb(abort, 0)
+			return
+		}
+		mu.Lock()
+		reads++
+		r := reads
+		mu.Unlock()
+		if r > 10 {
+			cb(ErrDone, 0)
+			return
+		}
+		cb(nil, r)
+	}
+	out := Buffer[int](8)(src)
+	// Pull a single value; the eager reader runs ahead regardless.
+	v, err := First(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("v = %d", v)
+	}
+	// The eager goroutine reads to completion on its own; wait for it.
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		r := reads
+		mu.Unlock()
+		if r >= 2 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("reads = %d; buffer did not read ahead", r)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestBufferPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	src := Concat(Count(3), Error[int](boom))
+	got, err := Collect(Buffer[int](2)(src))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLast(t *testing.T) {
+	v, err := Last(Count(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("v = %d", v)
+	}
+	if _, err := Last(Empty[int]()); !errors.Is(err, ErrStreamEmpty) {
+		t.Fatalf("err = %v, want ErrStreamEmpty", err)
+	}
+}
+
+func TestInterleaveAlternates(t *testing.T) {
+	got, err := Collect(Interleave(Values(1, 3, 5), Values(2, 4, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveUnevenLengths(t *testing.T) {
+	got, err := Collect(Interleave(Values(1), Values(2, 4, 6, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInterleaveEmpty(t *testing.T) {
+	got, err := Collect(Interleave[int]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInterleavePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Collect(Interleave(Count(3), Error[int](boom)))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,510 @@
+// Package pullstream is a faithful Go port of the pull-stream design
+// pattern that Pando's implementation is organized around (paper §2.4.2,
+// Figures 5 and 6).
+//
+// The callback protocol consists of a request followed by an answer. A
+// request may ask for a value (abort == nil), abort the stream normally
+// (abort == ErrAborted or ErrDone), or fail because of an error (any other
+// non-nil abort). Symmetrically the answer may produce a value (end == nil),
+// signify the end of the stream (end == ErrDone), or stop because of an
+// error (any other non-nil end).
+//
+// A Source is a function that answers one request at a time: a caller must
+// not issue a new request before the previous request has been answered.
+// A Sink consumes a Source until it is done. A Through transforms a Source
+// into another Source; pipelines are built by ordinary function
+// composition, mirroring pull(source, through..., sink) in JavaScript.
+package pullstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDone is the sentinel "end" signal of the pull-stream protocol. It is
+// the Go rendering of the JavaScript protocol's literal `true`: a source
+// answers (ErrDone, zero) when the stream terminated normally, and a caller
+// requests with abort == ErrDone to shut a source down without error.
+var ErrDone = errors.New("pullstream: done")
+
+// ErrAborted is returned by sources that were aborted by a downstream
+// request before producing all of their values.
+var ErrAborted = errors.New("pullstream: aborted")
+
+// IsEnd reports whether an answer's end signal terminates the stream,
+// normally or otherwise.
+func IsEnd(end error) bool { return end != nil }
+
+// IsNormalEnd reports whether end is a normal termination (done or
+// aborted) rather than a failure.
+func IsNormalEnd(end error) bool {
+	return errors.Is(end, ErrDone) || errors.Is(end, ErrAborted)
+}
+
+// Callback answers a single request. end == nil delivers v; end == ErrDone
+// signals normal termination; any other error signals failure.
+type Callback[T any] func(end error, v T)
+
+// Source answers requests one at a time. abort == nil asks for the next
+// value; a non-nil abort instructs the source to release its resources and
+// answer with a non-nil end (conventionally the same abort value).
+type Source[T any] func(abort error, cb Callback[T])
+
+// Sink consumes a source until it is done.
+type Sink[T any] func(src Source[T])
+
+// Through transforms a source of I into a source of O.
+type Through[I, O any] func(src Source[I]) Source[O]
+
+// Duplex pairs a Source and a Sink, representing one endpoint of a
+// bidirectional stream such as a network channel or a StreamLender
+// sub-stream (paper Figure 9).
+type Duplex[In, Out any] struct {
+	// Sink consumes the values flowing into this endpoint.
+	Sink Sink[In]
+	// Source produces the values flowing out of this endpoint.
+	Source Source[Out]
+}
+
+// answer carries one protocol answer through a channel.
+type answer[T any] struct {
+	end error
+	v   T
+}
+
+// await issues a single request against src and blocks until it is
+// answered. It is the bridge from the callback protocol to Go's
+// synchronous style and underpins Drain, Collect and friends.
+func await[T any](src Source[T], abort error) (T, error) {
+	ch := make(chan answer[T], 1)
+	src(abort, func(end error, v T) {
+		ch <- answer[T]{end: end, v: v}
+	})
+	a := <-ch
+	return a.v, a.end
+}
+
+// Count returns a source that lazily counts from 1 to n, mirroring the
+// source of the paper's Figure 5.
+func Count(n int) Source[int] {
+	i := 0
+	return func(abort error, cb Callback[int]) {
+		if abort != nil {
+			cb(abort, 0)
+			return
+		}
+		if i >= n {
+			cb(ErrDone, 0)
+			return
+		}
+		i++
+		cb(nil, i)
+	}
+}
+
+// Values returns a source producing the given values in order.
+func Values[T any](vs ...T) Source[T] {
+	i := 0
+	return func(abort error, cb Callback[T]) {
+		var zero T
+		if abort != nil {
+			cb(abort, zero)
+			return
+		}
+		if i >= len(vs) {
+			cb(ErrDone, zero)
+			return
+		}
+		v := vs[i]
+		i++
+		cb(nil, v)
+	}
+}
+
+// Empty returns a source that is immediately done.
+func Empty[T any]() Source[T] {
+	return func(abort error, cb Callback[T]) {
+		var zero T
+		if abort != nil {
+			cb(abort, zero)
+			return
+		}
+		cb(ErrDone, zero)
+	}
+}
+
+// Error returns a source that immediately fails with err.
+func Error[T any](err error) Source[T] {
+	return func(abort error, cb Callback[T]) {
+		var zero T
+		if abort != nil {
+			cb(abort, zero)
+			return
+		}
+		cb(err, zero)
+	}
+}
+
+// Infinite returns an unbounded source whose i-th answer (0-based) is
+// gen(i). It demonstrates the programming model's support for infinite
+// streams (paper §2.3).
+func Infinite[T any](gen func(i int) T) Source[T] {
+	i := 0
+	return func(abort error, cb Callback[T]) {
+		if abort != nil {
+			var zero T
+			cb(abort, zero)
+			return
+		}
+		v := gen(i)
+		i++
+		cb(nil, v)
+	}
+}
+
+// Drain consumes src, invoking each for every value, until the source is
+// done. If each returns a non-nil error the source is aborted with that
+// error and the error is returned. A nil each discards the values.
+func Drain[T any](src Source[T], each func(T) error) error {
+	for {
+		v, end := await(src, nil)
+		if end != nil {
+			if IsNormalEnd(end) {
+				return nil
+			}
+			return end
+		}
+		if each == nil {
+			continue
+		}
+		if err := each(v); err != nil {
+			_, abortEnd := await(src, err)
+			if abortEnd != nil && !IsNormalEnd(abortEnd) && !errors.Is(abortEnd, err) {
+				return fmt.Errorf("%w (abort also failed: %v)", err, abortEnd)
+			}
+			return err
+		}
+	}
+}
+
+// Collect consumes src and returns all of its values.
+func Collect[T any](src Source[T]) ([]T, error) {
+	var out []T
+	err := Drain(src, func(v T) error {
+		out = append(out, v)
+		return nil
+	})
+	return out, err
+}
+
+// Reduce folds src into a single value starting from init.
+func Reduce[T, A any](src Source[T], init A, fn func(A, T) A) (A, error) {
+	acc := init
+	err := Drain(src, func(v T) error {
+		acc = fn(acc, v)
+		return nil
+	})
+	return acc, err
+}
+
+// First returns the first value of src, then aborts it.
+func First[T any](src Source[T]) (T, error) {
+	v, end := await(src, nil)
+	if end != nil {
+		var zero T
+		if errors.Is(end, ErrDone) {
+			return zero, ErrDone
+		}
+		return zero, end
+	}
+	// Release the source.
+	_, _ = await(src, ErrAborted)
+	return v, nil
+}
+
+// Map transforms each value of the source with fn.
+func Map[I, O any](fn func(I) O) Through[I, O] {
+	return func(src Source[I]) Source[O] {
+		return func(abort error, cb Callback[O]) {
+			src(abort, func(end error, v I) {
+				var zero O
+				if end != nil {
+					cb(end, zero)
+					return
+				}
+				cb(nil, fn(v))
+			})
+		}
+	}
+}
+
+// MapErr transforms each value with fn; a non-nil error fails the stream.
+func MapErr[I, O any](fn func(I) (O, error)) Through[I, O] {
+	return func(src Source[I]) Source[O] {
+		failed := false
+		return func(abort error, cb Callback[O]) {
+			var zero O
+			if failed {
+				cb(ErrDone, zero)
+				return
+			}
+			src(abort, func(end error, v I) {
+				if end != nil {
+					cb(end, zero)
+					return
+				}
+				o, err := fn(v)
+				if err != nil {
+					failed = true
+					cb(err, zero)
+					return
+				}
+				cb(nil, o)
+			})
+		}
+	}
+}
+
+// AsyncFunc is the worker-side processing function signature of Pando's
+// programming interface (paper Figure 2): it receives one input and
+// answers exactly once through the callback, either with an error or with
+// a result.
+type AsyncFunc[I, O any] func(v I, cb func(err error, result O))
+
+// AsyncMap applies an asynchronous function to each value, one value at a
+// time, preserving order. It is the port of the async-map module that
+// Pando Workers use to apply f (paper Figure 7).
+func AsyncMap[I, O any](fn AsyncFunc[I, O]) Through[I, O] {
+	return func(src Source[I]) Source[O] {
+		return func(abort error, cb Callback[O]) {
+			src(abort, func(end error, v I) {
+				var zero O
+				if end != nil {
+					cb(end, zero)
+					return
+				}
+				fn(v, func(err error, result O) {
+					if err != nil {
+						cb(err, zero)
+						return
+					}
+					cb(nil, result)
+				})
+			})
+		}
+	}
+}
+
+// Filter keeps only the values for which pred returns true.
+func Filter[T any](pred func(T) bool) Through[T, T] {
+	return func(src Source[T]) Source[T] {
+		var pull func(abort error, cb Callback[T])
+		pull = func(abort error, cb Callback[T]) {
+			src(abort, func(end error, v T) {
+				if end != nil {
+					cb(end, v)
+					return
+				}
+				if pred(v) {
+					cb(nil, v)
+					return
+				}
+				pull(nil, cb)
+			})
+		}
+		return pull
+	}
+}
+
+// Take passes through the first n values and then aborts upstream.
+func Take[T any](n int) Through[T, T] {
+	return func(src Source[T]) Source[T] {
+		seen := 0
+		ended := false
+		return func(abort error, cb Callback[T]) {
+			var zero T
+			if abort != nil {
+				src(abort, func(end error, v T) { cb(end, v) })
+				return
+			}
+			if ended {
+				cb(ErrDone, zero)
+				return
+			}
+			if seen >= n {
+				ended = true
+				src(ErrAborted, func(error, T) {})
+				cb(ErrDone, zero)
+				return
+			}
+			src(nil, func(end error, v T) {
+				if end != nil {
+					ended = true
+					cb(end, zero)
+					return
+				}
+				seen++
+				cb(nil, v)
+			})
+		}
+	}
+}
+
+// TakeWhile passes through values while pred holds, then aborts upstream.
+func TakeWhile[T any](pred func(T) bool) Through[T, T] {
+	return func(src Source[T]) Source[T] {
+		ended := false
+		return func(abort error, cb Callback[T]) {
+			var zero T
+			if abort != nil {
+				src(abort, func(end error, v T) { cb(end, v) })
+				return
+			}
+			if ended {
+				cb(ErrDone, zero)
+				return
+			}
+			src(nil, func(end error, v T) {
+				if end != nil {
+					ended = true
+					cb(end, zero)
+					return
+				}
+				if !pred(v) {
+					ended = true
+					src(ErrAborted, func(error, T) {})
+					cb(ErrDone, zero)
+					return
+				}
+				cb(nil, v)
+			})
+		}
+	}
+}
+
+// Tee invokes observe on every value without altering the stream.
+func Tee[T any](observe func(T)) Through[T, T] {
+	return Map(func(v T) T {
+		observe(v)
+		return v
+	})
+}
+
+// Chain composes two throughs left-to-right.
+func Chain[A, B, C any](f Through[A, B], g Through[B, C]) Through[A, C] {
+	return func(src Source[A]) Source[C] { return g(f(src)) }
+}
+
+// Pipe connects a source to a sink, mirroring pull(source, sink).
+func Pipe[T any](src Source[T], sink Sink[T]) { sink(src) }
+
+// DrainSink returns a sink that drains its source with each, reporting the
+// terminal state through done (which may be nil).
+func DrainSink[T any](each func(T) error, done func(error)) Sink[T] {
+	return func(src Source[T]) {
+		err := Drain(src, each)
+		if done != nil {
+			done(err)
+		}
+	}
+}
+
+// FromChan adapts a receive channel into a source. The source ends
+// normally when the channel is closed. If errc is non-nil and delivers an
+// error before the channel closes, the source fails with it.
+func FromChan[T any](ch <-chan T, errc <-chan error) Source[T] {
+	var ended error
+	return func(abort error, cb Callback[T]) {
+		var zero T
+		if abort != nil {
+			ended = abort
+			cb(abort, zero)
+			return
+		}
+		if ended != nil {
+			cb(ended, zero)
+			return
+		}
+		if errc == nil {
+			v, ok := <-ch
+			if !ok {
+				ended = ErrDone
+				cb(ErrDone, zero)
+				return
+			}
+			cb(nil, v)
+			return
+		}
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				ended = ErrDone
+				cb(ErrDone, zero)
+				return
+			}
+			cb(nil, v)
+		case err := <-errc:
+			if err == nil {
+				err = ErrDone
+			}
+			ended = err
+			cb(err, zero)
+		}
+	}
+}
+
+// ToChan drains src into a newly created channel. The channel is closed
+// when the source ends; a failure is delivered on the returned error
+// channel (capacity 1).
+func ToChan[T any](src Source[T]) (<-chan T, <-chan error) {
+	out := make(chan T)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(out)
+		err := Drain(src, func(v T) error {
+			out <- v
+			return nil
+		})
+		if err != nil && !IsNormalEnd(err) {
+			errc <- err
+		}
+		close(errc)
+	}()
+	return out, errc
+}
+
+// Concat concatenates several sources into one.
+func Concat[T any](srcs ...Source[T]) Source[T] {
+	idx := 0
+	return func(abort error, cb Callback[T]) {
+		var zero T
+		if abort != nil {
+			if idx < len(srcs) {
+				srcs[idx](abort, func(end error, v T) { cb(end, v) })
+				return
+			}
+			cb(abort, zero)
+			return
+		}
+		var pull func()
+		pull = func() {
+			if idx >= len(srcs) {
+				cb(ErrDone, zero)
+				return
+			}
+			srcs[idx](nil, func(end error, v T) {
+				if errors.Is(end, ErrDone) {
+					idx++
+					pull()
+					return
+				}
+				if end != nil {
+					cb(end, zero)
+					return
+				}
+				cb(nil, v)
+			})
+		}
+		pull()
+	}
+}

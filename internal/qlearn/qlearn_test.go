@@ -1,0 +1,248 @@
+package qlearn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseParams() Params {
+	return Params{
+		Alpha:    0.5,
+		Gamma:    0.95,
+		Epsilon:  0.1,
+		Episodes: 200,
+		MaxSteps: 200,
+		Seed:     7,
+		GridSize: 6,
+	}
+}
+
+func TestGridWorldStepBounds(t *testing.T) {
+	w := &GridWorld{Size: 4, Obstacles: map[[2]int]bool{}}
+	// Moving off every edge keeps the agent in place.
+	if x, y, _, _ := w.Step(0, 0, Up); x != 0 || y != 0 {
+		t.Fatalf("Up off edge moved to (%d,%d)", x, y)
+	}
+	if x, y, _, _ := w.Step(0, 0, Left); x != 0 || y != 0 {
+		t.Fatalf("Left off edge moved to (%d,%d)", x, y)
+	}
+	if x, y, _, _ := w.Step(3, 3, Down); x != 3 || y != 3 {
+		t.Fatalf("Down off edge moved to (%d,%d)", x, y)
+	}
+	if x, y, _, _ := w.Step(3, 3, Right); x != 3 || y != 3 {
+		t.Fatalf("Right off edge moved to (%d,%d)", x, y)
+	}
+}
+
+func TestGridWorldObstacleBlocks(t *testing.T) {
+	w := &GridWorld{Size: 4, Obstacles: map[[2]int]bool{{1, 0}: true}}
+	x, y, r, done := w.Step(0, 0, Right)
+	if x != 0 || y != 0 {
+		t.Fatalf("moved into obstacle: (%d,%d)", x, y)
+	}
+	if r != -1 || done {
+		t.Fatalf("r=%v done=%v", r, done)
+	}
+}
+
+func TestGridWorldGoalReward(t *testing.T) {
+	w := &GridWorld{Size: 3, Obstacles: map[[2]int]bool{}}
+	x, y, r, done := w.Step(1, 2, Right) // into (2,2), the goal
+	if x != 2 || y != 2 || r != 100 || !done {
+		t.Fatalf("goal step: (%d,%d) r=%v done=%v", x, y, r, done)
+	}
+}
+
+func TestGridWorldDeterministicGeneration(t *testing.T) {
+	a := NewGridWorld(8, 3)
+	b := NewGridWorld(8, 3)
+	if len(a.Obstacles) != len(b.Obstacles) {
+		t.Fatal("same seed must give same world")
+	}
+	for k := range a.Obstacles {
+		if !b.Obstacles[k] {
+			t.Fatal("same seed must give same obstacles")
+		}
+	}
+	if a.Obstacles[[2]int{0, 0}] || a.Obstacles[[2]int{7, 7}] {
+		t.Fatal("start/goal must stay free")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	p := baseParams()
+	o1, err := Train(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Train(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Steps != o2.Steps || o1.AvgStepsToGoal != o2.AvgStepsToGoal {
+		t.Fatalf("training not deterministic: %+v vs %+v", o1, o2)
+	}
+}
+
+func TestTrainLearnsSomething(t *testing.T) {
+	o, err := Train(baseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.SuccessRate < 0.5 {
+		t.Fatalf("success rate %.2f after training; agent failed to learn", o.SuccessRate)
+	}
+	// The learned policy must be much shorter than the cutoff.
+	if o.AvgStepsToGoal >= float64(baseParams().MaxSteps) {
+		t.Fatalf("avg steps %.1f did not improve", o.AvgStepsToGoal)
+	}
+	if o.Steps == 0 {
+		t.Fatal("no steps counted")
+	}
+}
+
+func TestTrainBadLearningRateFailsToLearnWell(t *testing.T) {
+	// The application's premise: learning rate matters. A tiny alpha
+	// learns much more slowly than a good one on the same budget.
+	good := baseParams()
+	bad := baseParams()
+	bad.Alpha = 0.001
+	og, err := Train(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := Train(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(og.SuccessRate > ob.SuccessRate || og.AvgStepsToGoal < ob.AvgStepsToGoal) {
+		t.Fatalf("alpha=0.5 (%+v) should beat alpha=0.001 (%+v)", og, ob)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	bad := baseParams()
+	bad.Alpha = 0
+	if _, err := Train(bad); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	bad = baseParams()
+	bad.Gamma = 1.5
+	if _, err := Train(bad); err == nil {
+		t.Fatal("gamma=1.5 accepted")
+	}
+	bad = baseParams()
+	bad.Episodes = 0
+	if _, err := Train(bad); err == nil {
+		t.Fatal("episodes=0 accepted")
+	}
+}
+
+func TestSweepAlphas(t *testing.T) {
+	alphas := []float64{0.1, 0.5, 0.9}
+	ps := SweepAlphas(alphas, baseParams())
+	if len(ps) != 3 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	for i, p := range ps {
+		if p.Alpha != alphas[i] {
+			t.Fatalf("ps[%d].Alpha = %v", i, p.Alpha)
+		}
+		if p.Gamma != baseParams().Gamma {
+			t.Fatal("base parameters must carry over")
+		}
+	}
+}
+
+func TestBestSelection(t *testing.T) {
+	outs := []Outcome{
+		{Params: Params{Alpha: 0.1}, SuccessRate: 0.5, AvgStepsToGoal: 40},
+		{Params: Params{Alpha: 0.5}, SuccessRate: 0.9, AvgStepsToGoal: 20},
+		{Params: Params{Alpha: 0.9}, SuccessRate: 0.9, AvgStepsToGoal: 15},
+	}
+	best, ok := Best(outs)
+	if !ok || best.Params.Alpha != 0.9 {
+		t.Fatalf("best = %+v", best)
+	}
+	if _, ok := Best(nil); ok {
+		t.Fatal("Best(nil) must report no result")
+	}
+}
+
+func TestQuickStepStaysOnGrid(t *testing.T) {
+	w := NewGridWorld(6, 11)
+	f := func(x, y uint8, a uint8) bool {
+		sx, sy := int(x)%6, int(y)%6
+		if w.Obstacles[[2]int{sx, sy}] {
+			return true // cannot start inside an obstacle
+		}
+		nx, ny, _, _ := w.Step(sx, sy, Action(a%NumActions))
+		return nx >= 0 && ny >= 0 && nx < 6 && ny < 6 && !w.Obstacles[[2]int{nx, ny}]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainInteractiveObserverSeesEveryEpisode(t *testing.T) {
+	p := baseParams()
+	p.Episodes = 20
+	count := 0
+	o, err := TrainInteractive(p, func(Progress) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 || o.EpisodesRun != 20 || o.Aborted {
+		t.Fatalf("count=%d outcome=%+v", count, o)
+	}
+}
+
+func TestTrainInteractiveEarlyAbort(t *testing.T) {
+	p := baseParams()
+	o, err := TrainInteractive(p, func(pr Progress) bool {
+		return pr.Episode < 9 // "user" closes the case after 10 episodes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Aborted {
+		t.Fatal("outcome not marked aborted")
+	}
+	if o.EpisodesRun != 10 {
+		t.Fatalf("episodesRun = %d, want 10", o.EpisodesRun)
+	}
+	if o.Steps == 0 {
+		t.Fatal("partial outcome lost its step count")
+	}
+}
+
+func TestAbortIfNotLearningAbortsHopelessCase(t *testing.T) {
+	// An agent whose episodes are shorter than the shortest path to the
+	// goal can never succeed; the simulated user aborts the case.
+	p := baseParams()
+	p.Alpha = 1e-9
+	p.MaxSteps = 8 // the 6x6 goal is at least 10 steps away
+	o, err := TrainInteractive(p, AbortIfNotLearning(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Aborted {
+		t.Fatal("hopeless case not aborted")
+	}
+	if o.EpisodesRun >= p.Episodes {
+		t.Fatalf("ran all %d episodes", o.EpisodesRun)
+	}
+}
+
+func TestAbortIfNotLearningKeepsHealthyCase(t *testing.T) {
+	o, err := TrainInteractive(baseParams(), AbortIfNotLearning(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Aborted {
+		t.Fatalf("healthy case aborted after %d episodes", o.EpisodesRun)
+	}
+}

@@ -1,0 +1,209 @@
+// Package stubborn ports Pando's pull-stubborn module (paper §4.3,
+// Figure 12): stubborn processing with failure-prone external data
+// distribution.
+//
+// When results' data are transferred outside of Pando (e.g. through the
+// DAT or WebTorrent protocols), a worker may report success and still
+// crash before the data have been fully downloaded. The stubborn module
+// factors out the monitoring feedback loop: an input is output only after
+// its confirmation (download) succeeds; otherwise it is resubmitted for
+// computation.
+//
+// The same Loop combinator also expresses the synchronous-parallel-search
+// monitor of §4.2 (crypto-currency mining), where the next inputs to
+// process depend on the last valid result.
+package stubborn
+
+import (
+	"sync"
+
+	"pando/internal/pullstream"
+)
+
+// Verdict classifies one result of the processing stage.
+type Verdict int
+
+const (
+	// Accept emits the result on the output.
+	Accept Verdict = iota
+	// Retry resubmits a (possibly new) input for processing.
+	Retry
+	// Drop discards the result without emitting or retrying.
+	Drop
+)
+
+// Loop wraps a 1-input-1-output stream transformer (such as Pando's
+// distributed map) in a feedback loop. For every result, classify returns
+// a verdict; on Retry the returned input is resubmitted ahead of fresh
+// inputs. The loop terminates when the original input is exhausted and no
+// resubmission is pending.
+func Loop[I, O any](th pullstream.Through[I, O], classify func(O) (Verdict, I)) pullstream.Through[I, O] {
+	return func(input pullstream.Source[I]) pullstream.Source[O] {
+		fb := &feedback[I, O]{input: input}
+		inner := th(fb.source)
+		return func(abort error, cb pullstream.Callback[O]) {
+			if abort != nil {
+				inner(abort, cb)
+				return
+			}
+			var pull func()
+			pull = func() {
+				inner(nil, func(end error, v O) {
+					if end != nil {
+						cb(end, v)
+						return
+					}
+					verdict, retry := classify(v)
+					switch verdict {
+					case Accept:
+						fb.completed()
+						cb(nil, v)
+					case Retry:
+						fb.resubmit(retry)
+						pull()
+					default: // Drop
+						fb.completed()
+						pull()
+					}
+				})
+			}
+			pull()
+		}
+	}
+}
+
+// Stubborn applies confirm to every result of th; a result is output only
+// after confirm succeeds, otherwise the original input is resubmitted
+// (paper Figure 12). th must map each input to exactly one result and the
+// result must identify its input through the key function.
+func Stubborn[I, O any](th pullstream.Through[I, O], confirm func(O) error, key func(O) I) pullstream.Through[I, O] {
+	return Loop(th, func(v O) (Verdict, I) {
+		if err := confirm(v); err != nil {
+			return Retry, key(v)
+		}
+		var zero I
+		return Accept, zero
+	})
+}
+
+// feedback merges the original input with the resubmission queue, serving
+// resubmissions first, and tracks in-flight values so the merged source
+// knows when everything is complete.
+type feedback[I, O any] struct {
+	mu       sync.Mutex
+	input    pullstream.Source[I]
+	retries  []I
+	inEnd    error
+	inFlight int
+	parked   []pullstream.Callback[I]
+	reading  bool
+}
+
+func (f *feedback[I, O]) resubmit(v I) {
+	f.mu.Lock()
+	f.inFlight--
+	f.retries = append(f.retries, v)
+	actions := f.serviceLocked()
+	f.mu.Unlock()
+	for _, a := range actions {
+		a()
+	}
+}
+
+func (f *feedback[I, O]) completed() {
+	f.mu.Lock()
+	f.inFlight--
+	actions := f.serviceLocked()
+	f.mu.Unlock()
+	for _, a := range actions {
+		a()
+	}
+}
+
+func (f *feedback[I, O]) source(abort error, cb pullstream.Callback[I]) {
+	var zero I
+	if abort != nil {
+		f.mu.Lock()
+		needAbort := f.inEnd == nil && !f.reading
+		if needAbort {
+			f.reading = true
+		}
+		f.mu.Unlock()
+		if needAbort {
+			done := make(chan struct{})
+			f.input(abort, func(error, I) { close(done) })
+			<-done
+			f.mu.Lock()
+			f.reading = false
+			f.inEnd = abort
+			f.mu.Unlock()
+		}
+		cb(abort, zero)
+		return
+	}
+	f.mu.Lock()
+	f.parked = append(f.parked, cb)
+	actions := f.serviceLocked()
+	f.mu.Unlock()
+	for _, a := range actions {
+		a()
+	}
+}
+
+func (f *feedback[I, O]) serviceLocked() []func() {
+	var actions []func()
+	for len(f.parked) > 0 {
+		cb := f.parked[0]
+		switch {
+		case len(f.retries) > 0:
+			v := f.retries[0]
+			f.retries = f.retries[1:]
+			f.parked = f.parked[1:]
+			f.inFlight++
+			actions = append(actions, func() { cb(nil, v) })
+		case f.inEnd != nil:
+			if f.inFlight > 0 {
+				// A result may still come back as a retry; keep parked.
+				return actions
+			}
+			f.parked = f.parked[1:]
+			end := f.inEnd
+			actions = append(actions, func() {
+				var zero I
+				cb(end, zero)
+			})
+		default:
+			if !f.reading {
+				f.reading = true
+				// On its own goroutine: the input may block until a value
+				// is available (see the same pattern in internal/lender).
+				actions = append(actions, func() { go f.input(nil, f.inputAnswer) })
+			}
+			return actions
+		}
+	}
+	return actions
+}
+
+func (f *feedback[I, O]) inputAnswer(end error, v I) {
+	f.mu.Lock()
+	f.reading = false
+	var actions []func()
+	if end != nil {
+		f.inEnd = end
+	} else if len(f.parked) > 0 {
+		cb := f.parked[0]
+		f.parked = f.parked[1:]
+		f.inFlight++
+		actions = append(actions, func() { cb(nil, v) })
+	} else {
+		// No parked ask (cannot normally happen since reads are demand
+		// driven); requeue so the value is not lost.
+		f.retries = append(f.retries, v)
+	}
+	actions = append(actions, f.serviceLocked()...)
+	f.mu.Unlock()
+	for _, a := range actions {
+		a()
+	}
+}

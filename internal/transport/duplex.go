@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+)
+
+// Codec serializes stream values for the wire. JSONCodec suits most
+// applications; payload-heavy applications can provide their own.
+type Codec[T any] interface {
+	Encode(T) ([]byte, error)
+	Decode([]byte) (T, error)
+}
+
+// JSONCodec encodes values with encoding/json.
+type JSONCodec[T any] struct{}
+
+// Encode marshals v.
+func (JSONCodec[T]) Encode(v T) ([]byte, error) { return json.Marshal(v) }
+
+// Decode unmarshals data.
+func (JSONCodec[T]) Decode(data []byte) (T, error) {
+	var v T
+	err := json.Unmarshal(data, &v)
+	return v, err
+}
+
+// WorkerError wraps an application-level error reported by a worker's
+// processing function. The master treats it as a channel failure so the
+// input is re-lent to another device (a persistent f error should be
+// handled with the stubborn module instead).
+type WorkerError struct {
+	Seq uint64
+	Msg string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("transport: worker failed on input %d: %s", e.Seq, e.Msg)
+}
+
+// MasterDuplex exposes a channel to the master as a pull-stream duplex:
+// its Sink consumes the inputs lent to the worker (sending them as input
+// frames) and its Source produces the worker's results. The duplex is
+// meant to be wrapped with limiter.Limit and wired to a StreamLender
+// sub-stream: pull(sub.Source, Limit(MasterDuplex(ch), batch), sub.Sink).
+//
+// Failure semantics: a channel error (including heartbeat timeout) or an
+// application error reported by the worker ends the Source with an error,
+// which the StreamLender converts into re-lending.
+func MasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullstream.Duplex[I, O] {
+	return pullstream.Duplex[I, O]{
+		Sink: func(src pullstream.Source[I]) {
+			var seq uint64
+			for {
+				type ans struct {
+					end error
+					v   I
+				}
+				ansc := make(chan ans, 1)
+				src(nil, func(end error, v I) { ansc <- ans{end, v} })
+				a := <-ansc
+				if a.end != nil {
+					if pullstream.IsNormalEnd(a.end) {
+						// No more inputs for this worker: orderly goodbye.
+						_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+					} else {
+						ch.Close()
+					}
+					return
+				}
+				data, err := in.Encode(a.v)
+				if err != nil {
+					// Encoding failures are programming errors; fail the
+					// channel so the value is re-lent (and likely fails
+					// again, surfacing loudly).
+					ch.Close()
+					return
+				}
+				seq++
+				if err := ch.Send(&proto.Message{Type: proto.TypeInput, Seq: seq, Data: data}); err != nil {
+					// Channel failed: stop pulling. The Source side
+					// reports the error to the lender.
+					return
+				}
+			}
+		},
+		Source: func(abort error, cb pullstream.Callback[O]) {
+			var zero O
+			if abort != nil {
+				ch.Close()
+				cb(abort, zero)
+				return
+			}
+			for {
+				m, err := ch.Recv()
+				if err != nil {
+					cb(err, zero)
+					return
+				}
+				switch m.Type {
+				case proto.TypeResult:
+					if m.Err != "" {
+						err := &WorkerError{Seq: m.Seq, Msg: m.Err}
+						ch.Close()
+						cb(err, zero)
+						return
+					}
+					v, err := out.Decode(m.Data)
+					if err != nil {
+						ch.Close()
+						cb(fmt.Errorf("transport: decode result %d: %w", m.Seq, err), zero)
+						return
+					}
+					cb(nil, v)
+					return
+				case proto.TypeGoodbye:
+					cb(pullstream.ErrDone, zero)
+					return
+				default:
+					// Ignore stray control messages.
+				}
+			}
+		},
+	}
+}
+
+// WorkerServe runs the volunteer side of a channel: it receives inputs,
+// applies f one value at a time (as a browser tab does), and sends results
+// back. It returns when the master says goodbye (nil) or the channel fails.
+func WorkerServe[I, O any](ch Channel, in Codec[I], out Codec[O], f func(I) (O, error)) error {
+	for {
+		m, err := ch.Recv()
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case proto.TypeInput:
+			v, err := in.Decode(m.Data)
+			if err != nil {
+				_ = ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Err: "decode: " + err.Error()})
+				continue
+			}
+			r, err := f(v)
+			if err != nil {
+				_ = ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Err: err.Error()})
+				continue
+			}
+			data, err := out.Encode(r)
+			if err != nil {
+				_ = ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Err: "encode: " + err.Error()})
+				continue
+			}
+			if err := ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Data: data}); err != nil {
+				return err
+			}
+		case proto.TypeGoodbye:
+			_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+			ch.Close()
+			return nil
+		default:
+			// Ignore stray control messages.
+		}
+	}
+}

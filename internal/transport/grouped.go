@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"fmt"
+
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+)
+
+// This file implements message-level input grouping, an extension of the
+// paper's batching idea (§5.5): beyond keeping several values in flight
+// (the Limiter), several values can travel in a single frame, cutting the
+// per-message overhead that dominates small-item workloads on
+// high-latency links. It is built by composing the Group and Flatten
+// pull-stream modules around a duplex that speaks the grouped frames —
+// the modularity the design principles call for (DP5).
+
+// GroupedMasterDuplex is MasterDuplex speaking grouped frames: its Sink
+// consumes slices of inputs (one frame each) and its Source produces
+// slices of results.
+func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullstream.Duplex[[]I, []O] {
+	return pullstream.Duplex[[]I, []O]{
+		Sink: func(src pullstream.Source[[]I]) {
+			var seq uint64
+			for {
+				type ans struct {
+					end error
+					v   []I
+				}
+				ansc := make(chan ans, 1)
+				src(nil, func(end error, v []I) { ansc <- ans{end, v} })
+				a := <-ansc
+				if a.end != nil {
+					if pullstream.IsNormalEnd(a.end) {
+						_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+					} else {
+						ch.Close()
+					}
+					return
+				}
+				items := make([]proto.BatchItem, 0, len(a.v))
+				ok := true
+				for _, v := range a.v {
+					data, err := in.Encode(v)
+					if err != nil {
+						ok = false
+						break
+					}
+					items = append(items, proto.BatchItem{D: data})
+				}
+				if !ok {
+					ch.Close()
+					return
+				}
+				data, err := proto.EncodeBatch(items)
+				if err != nil {
+					ch.Close()
+					return
+				}
+				seq++
+				if err := ch.Send(&proto.Message{Type: proto.TypeInputBatch, Seq: seq, Data: data}); err != nil {
+					return
+				}
+			}
+		},
+		Source: func(abort error, cb pullstream.Callback[[]O]) {
+			if abort != nil {
+				ch.Close()
+				cb(abort, nil)
+				return
+			}
+			for {
+				m, err := ch.Recv()
+				if err != nil {
+					cb(err, nil)
+					return
+				}
+				switch m.Type {
+				case proto.TypeResultBatch:
+					items, err := proto.DecodeBatch(m.Data)
+					if err != nil {
+						ch.Close()
+						cb(fmt.Errorf("transport: decode result batch %d: %w", m.Seq, err), nil)
+						return
+					}
+					results := make([]O, 0, len(items))
+					for i, it := range items {
+						if it.E != "" {
+							err := &WorkerError{Seq: m.Seq, Msg: it.E}
+							ch.Close()
+							cb(err, nil)
+							return
+						}
+						v, err := out.Decode(it.D)
+						if err != nil {
+							ch.Close()
+							cb(fmt.Errorf("transport: decode result %d[%d]: %w", m.Seq, i, err), nil)
+							return
+						}
+						results = append(results, v)
+					}
+					cb(nil, results)
+					return
+				case proto.TypeGoodbye:
+					cb(pullstream.ErrDone, nil)
+					return
+				default:
+					// Ignore stray control messages.
+				}
+			}
+		},
+	}
+}
+
+// WorkerServeGrouped serves both the plain and grouped data planes: it
+// handles single inputs exactly like WorkerServe and grouped frames by
+// applying f to every item, reporting per-item errors in the result
+// batch.
+func WorkerServeGrouped[I, O any](ch Channel, in Codec[I], out Codec[O], f func(I) (O, error)) error {
+	for {
+		m, err := ch.Recv()
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case proto.TypeInput:
+			reply := applyOne(m.Seq, m.Data, in, out, f)
+			if err := ch.Send(reply); err != nil {
+				return err
+			}
+		case proto.TypeInputBatch:
+			items, err := proto.DecodeBatch(m.Data)
+			if err != nil {
+				_ = ch.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Err: "decode batch: " + err.Error()})
+				continue
+			}
+			results := make([]proto.BatchItem, 0, len(items))
+			for _, it := range items {
+				one := applyOne(m.Seq, it.D, in, out, f)
+				results = append(results, proto.BatchItem{D: one.Data, E: one.Err})
+			}
+			data, err := proto.EncodeBatch(results)
+			if err != nil {
+				_ = ch.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Err: "encode batch: " + err.Error()})
+				continue
+			}
+			if err := ch.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Data: data}); err != nil {
+				return err
+			}
+		case proto.TypeGoodbye:
+			_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+			ch.Close()
+			return nil
+		default:
+			// Ignore stray control messages.
+		}
+	}
+}
+
+// applyOne applies f to a single encoded input, producing a result frame.
+func applyOne[I, O any](seq uint64, data []byte, in Codec[I], out Codec[O], f func(I) (O, error)) *proto.Message {
+	v, err := in.Decode(data)
+	if err != nil {
+		return &proto.Message{Type: proto.TypeResult, Seq: seq, Err: "decode: " + err.Error()}
+	}
+	r, err := f(v)
+	if err != nil {
+		return &proto.Message{Type: proto.TypeResult, Seq: seq, Err: err.Error()}
+	}
+	encoded, err := out.Encode(r)
+	if err != nil {
+		return &proto.Message{Type: proto.TypeResult, Seq: seq, Err: "encode: " + err.Error()}
+	}
+	return &proto.Message{Type: proto.TypeResult, Seq: seq, Data: encoded}
+}

@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"pando/internal/proto"
+)
+
+// SignalServer is the Public Server of the paper's architecture (Figure
+// 7): a small relay, deployable on a free cloud tier or a Raspberry Pi,
+// used only to bootstrap WebRTC connections. Peers join with an ID and
+// exchange offer/answer/candidate messages addressed by ID; the relay
+// never sees application data.
+type SignalServer struct {
+	mu    sync.Mutex
+	peers map[string]Channel
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewSignalServer returns an idle signalling relay.
+func NewSignalServer() *SignalServer {
+	return &SignalServer{
+		peers: make(map[string]Channel),
+		done:  make(chan struct{}),
+	}
+}
+
+// Serve accepts signalling connections from acc until the acceptor or the
+// server is closed. Each connection is handled on its own goroutine.
+func (s *SignalServer) Serve(acc Acceptor, cfg Config) error {
+	for {
+		conn, err := acc.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.handle(NewWSock(conn, cfg))
+	}
+}
+
+// Close shuts the relay down and disconnects every registered peer.
+func (s *SignalServer) Close() {
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ch := range s.peers {
+		ch.Close()
+		delete(s.peers, id)
+	}
+}
+
+// Peers returns the IDs currently registered, for diagnostics.
+func (s *SignalServer) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.peers))
+	for id := range s.peers {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (s *SignalServer) handle(ch Channel) {
+	defer ch.Close()
+
+	// The first message must register the peer.
+	m, err := ch.Recv()
+	if err != nil {
+		return
+	}
+	if m.Type != proto.TypeJoin || m.Peer == "" {
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: "expected join with peer id"})
+		return
+	}
+	id := m.Peer
+
+	s.mu.Lock()
+	if _, taken := s.peers[id]; taken {
+		s.mu.Unlock()
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: fmt.Sprintf("peer id %q already joined", id)})
+		return
+	}
+	s.peers[id] = ch
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		if s.peers[id] == ch {
+			delete(s.peers, id)
+		}
+		s.mu.Unlock()
+	}()
+
+	// Acknowledge the registration.
+	if err := ch.Send(&proto.Message{Type: proto.TypeWelcome, Peer: id}); err != nil {
+		return
+	}
+
+	// Relay loop: forward addressed messages.
+	for {
+		m, err := ch.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case proto.TypeOffer, proto.TypeAnswer, proto.TypeCandidate:
+			s.mu.Lock()
+			dst, ok := s.peers[m.To]
+			s.mu.Unlock()
+			if !ok {
+				_ = ch.Send(&proto.Message{
+					Type: proto.TypeError,
+					To:   m.To,
+					Err:  fmt.Sprintf("peer %q not connected", m.To),
+				})
+				continue
+			}
+			fwd := *m
+			fwd.Peer = id // authoritative sender
+			if err := dst.Send(&fwd); err != nil {
+				_ = ch.Send(&proto.Message{
+					Type: proto.TypeError,
+					To:   m.To,
+					Err:  "relay failed: " + err.Error(),
+				})
+			}
+		case proto.TypeGoodbye:
+			return
+		default:
+			_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: "unsupported signalling message"})
+		}
+	}
+}
+
+// JoinSignal connects a peer to the signalling relay over ch: it sends the
+// join message and waits for the acknowledgement.
+func JoinSignal(ch Channel, peerID string) error {
+	if err := ch.Send(&proto.Message{Type: proto.TypeJoin, Peer: peerID}); err != nil {
+		return err
+	}
+	m, err := ch.Recv()
+	if err != nil {
+		return err
+	}
+	if m.Type == proto.TypeError {
+		return fmt.Errorf("transport: join rejected: %s", m.Err)
+	}
+	if m.Type != proto.TypeWelcome {
+		return fmt.Errorf("transport: unexpected join reply %q", m.Type)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"pando/internal/proto"
+)
+
+// This file implements the WebRTC-like bootstrap of the paper's
+// architecture (Figure 7): the signalling of possible connection endpoints
+// between peers is done through a Public Server over a separate WebSocket
+// connection, a direct peer connection is then established, and the
+// signalling connection closes once the direct connection exists.
+//
+// Compared to real ICE we exchange a single host candidate (the answering
+// peer's listen address) plus a session nonce; NAT traversal is modelled
+// by the answering side being the one that must be reachable — volunteers
+// behind NAT always dial out, exactly the property WebRTC gave the paper.
+
+// RTCAnswerer accepts WebRTC-like connections: it answers offers arriving
+// on its signalling channel with its own candidate address and then
+// matches inbound direct connections to the offer by nonce.
+type RTCAnswerer struct {
+	signal Channel
+	acc    Acceptor
+	cfg    Config
+
+	mu      sync.Mutex
+	pending map[string]chan Channel // nonce -> delivery
+	closed  bool
+
+	// Incoming delivers fully established peer channels.
+	incoming chan Channel
+}
+
+// NewRTCAnswerer starts answering offers received on signal, instructing
+// peers to connect directly to acc's address. The caller must already have
+// joined the signalling relay (JoinSignal). Established channels are
+// delivered on Incoming().
+func NewRTCAnswerer(signal Channel, acc Acceptor, cfg Config) *RTCAnswerer {
+	a := &RTCAnswerer{
+		signal:   signal,
+		acc:      acc,
+		cfg:      cfg,
+		pending:  make(map[string]chan Channel),
+		incoming: make(chan Channel, 16),
+	}
+	go a.signalLoop()
+	go a.acceptLoop()
+	return a
+}
+
+// Incoming delivers established peer channels.
+func (a *RTCAnswerer) Incoming() <-chan Channel { return a.incoming }
+
+// Close stops answering.
+func (a *RTCAnswerer) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	a.signal.Close()
+	a.acc.Close()
+}
+
+func (a *RTCAnswerer) signalLoop() {
+	for {
+		m, err := a.signal.Recv()
+		if err != nil {
+			return
+		}
+		if m.Type != proto.TypeOffer {
+			continue
+		}
+		nonce := newNonce()
+		ch := make(chan Channel, 1)
+		a.mu.Lock()
+		a.pending[nonce] = ch
+		a.mu.Unlock()
+		// Answer with our host candidate and the session nonce.
+		_ = a.signal.Send(&proto.Message{
+			Type:  proto.TypeAnswer,
+			To:    m.Peer,
+			Addr:  a.acc.Addr().String(),
+			Token: nonce,
+		})
+	}
+}
+
+func (a *RTCAnswerer) acceptLoop() {
+	for {
+		conn, err := a.acc.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			ch := NewWSock(conn, a.cfg)
+			m, err := ch.Recv()
+			if err != nil {
+				ch.Close()
+				return
+			}
+			if m.Type != proto.TypeCandidate || m.Token == "" {
+				ch.Close()
+				return
+			}
+			a.mu.Lock()
+			deliver, ok := a.pending[m.Token]
+			delete(a.pending, m.Token)
+			a.mu.Unlock()
+			if !ok {
+				ch.Close()
+				return
+			}
+			// Confirm establishment to the peer.
+			if err := ch.Send(&proto.Message{Type: proto.TypeWelcome}); err != nil {
+				ch.Close()
+				return
+			}
+			deliver <- ch
+			select {
+			case a.incoming <- ch:
+			default:
+				// Receiver gone; drop.
+				ch.Close()
+			}
+		}()
+	}
+}
+
+// RTCOffer establishes a WebRTC-like direct channel to remoteID: it sends
+// an offer through the signalling channel, receives the answer's candidate
+// address and nonce, dials the candidate directly, and proves the session
+// with the nonce. On success the signalling channel is closed, as in the
+// paper ("That connection closes after the WebRTC connection is
+// established").
+func RTCOffer(signal Channel, selfID, remoteID string, dial Dialer, cfg Config) (Channel, error) {
+	if err := signal.Send(&proto.Message{Type: proto.TypeOffer, To: remoteID, Peer: selfID}); err != nil {
+		return nil, fmt.Errorf("transport: send offer: %w", err)
+	}
+	var answer *proto.Message
+	for {
+		m, err := signal.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: awaiting answer: %w", err)
+		}
+		if m.Type == proto.TypeError {
+			return nil, fmt.Errorf("transport: signalling error: %s", m.Err)
+		}
+		if m.Type == proto.TypeAnswer && m.Peer == remoteID {
+			answer = m
+			break
+		}
+	}
+
+	conn, err := dial(answer.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial candidate %q: %w", answer.Addr, err)
+	}
+	ch := NewWSock(conn, cfg)
+	if err := ch.Send(&proto.Message{Type: proto.TypeCandidate, Token: answer.Token, Peer: selfID}); err != nil {
+		ch.Close()
+		return nil, err
+	}
+	m, err := ch.Recv()
+	if err != nil {
+		ch.Close()
+		return nil, fmt.Errorf("transport: establishment: %w", err)
+	}
+	if m.Type != proto.TypeWelcome {
+		ch.Close()
+		return nil, fmt.Errorf("transport: unexpected establishment reply %q", m.Type)
+	}
+	// Direct connection established: the signalling connection closes.
+	signal.Close()
+	return ch, nil
+}
+
+func newNonce() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// fixed nonce only to keep the bootstrap total.
+		return "fallback-nonce"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pando/internal/proto"
+)
+
+// WSock is the WebSocket-like channel: proto frames over a stream
+// connection, with ping/pong heartbeats and deadline-based disconnection
+// detection. It reproduces the two properties of RFC 6455 that Pando
+// depends on — ordered reliable message delivery and heartbeat-based
+// failure suspicion (paper §2.4.1).
+type WSock struct {
+	conn net.Conn
+	cfg  Config
+
+	wmu sync.Mutex // serializes frame writes
+
+	recvq chan *proto.Message
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+	done   chan struct{}
+}
+
+var _ Channel = (*WSock)(nil)
+
+// NewWSock wraps conn into a heartbeat-monitored message channel and
+// starts its read and ping loops.
+func NewWSock(conn net.Conn, cfg Config) *WSock {
+	w := &WSock{
+		conn:  conn,
+		cfg:   cfg,
+		recvq: make(chan *proto.Message, 64),
+		done:  make(chan struct{}),
+	}
+	go w.readLoop()
+	if iv := cfg.interval(); iv > 0 {
+		go w.pingLoop(iv)
+	}
+	return w
+}
+
+// Send transmits one message.
+func (w *WSock) Send(m *proto.Message) error {
+	w.mu.Lock()
+	if w.closed {
+		err := w.err
+		w.mu.Unlock()
+		if err == nil {
+			err = ErrChannelClosed
+		}
+		return err
+	}
+	w.mu.Unlock()
+
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if to := w.cfg.timeout(); to > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(to))
+	}
+	if err := proto.WriteFrame(w.conn, m); err != nil {
+		w.fail(fmt.Errorf("transport: send: %w", err))
+		return err
+	}
+	return nil
+}
+
+// Recv returns the next non-heartbeat message.
+func (w *WSock) Recv() (*proto.Message, error) {
+	select {
+	case m, ok := <-w.recvq:
+		if !ok {
+			return nil, w.Err()
+		}
+		return m, nil
+	case <-w.done:
+		// Drain anything queued before the failure.
+		select {
+		case m, ok := <-w.recvq:
+			if ok {
+				return m, nil
+			}
+		default:
+		}
+		return nil, w.Err()
+	}
+}
+
+// Err returns the terminal error of the channel, if any.
+func (w *WSock) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return ErrChannelClosed
+}
+
+// Close shuts the channel down gracefully.
+func (w *WSock) Close() error {
+	w.fail(ErrChannelClosed)
+	return nil
+}
+
+// RemoteAddr describes the peer.
+func (w *WSock) RemoteAddr() string {
+	if a := w.conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "unknown"
+}
+
+func (w *WSock) fail(err error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.err = err
+	close(w.done)
+	w.mu.Unlock()
+	w.conn.Close()
+}
+
+func (w *WSock) readLoop() {
+	defer close(w.recvq)
+	for {
+		if to := w.cfg.timeout(); to > 0 {
+			_ = w.conn.SetReadDeadline(time.Now().Add(to))
+		}
+		m, err := proto.ReadFrame(w.conn)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded) {
+				err = ErrHeartbeatTimeout
+			}
+			w.fail(err)
+			return
+		}
+		switch m.Type {
+		case proto.TypePing:
+			// Answer immediately; receiving anything also proves
+			// liveness, so no extra bookkeeping is needed.
+			_ = w.Send(&proto.Message{Type: proto.TypePong})
+		case proto.TypePong:
+			// Liveness proven by reception itself.
+		default:
+			select {
+			case w.recvq <- m:
+			case <-w.done:
+				return
+			}
+		}
+	}
+}
+
+func (w *WSock) pingLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := w.Send(&proto.Message{Type: proto.TypePing}); err != nil {
+				return
+			}
+		case <-w.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pando/internal/transport"
+)
+
+// This file implements the crash-recovery participation mode the paper's
+// §2.3 footnote describes ("crash-recovery, in which a process may fail
+// then recover and try participating again"): a volunteer that keeps
+// rejoining the deployment after transient failures, with exponential
+// backoff. From the master's point of view each rejoin is simply a new
+// device joining dynamically — no protocol change is needed, which is the
+// point of the crash-stop design.
+
+// ReconnectConfig tunes the rejoin loop.
+type ReconnectConfig struct {
+	// InitialBackoff before the first retry; zero selects 200ms.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth; zero selects 30s.
+	MaxBackoff time.Duration
+	// MaxAttempts bounds consecutive failed attempts; zero means
+	// unlimited.
+	MaxAttempts int
+}
+
+func (c ReconnectConfig) initial() time.Duration {
+	if c.InitialBackoff <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.InitialBackoff
+}
+
+func (c ReconnectConfig) max() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 30 * time.Second
+	}
+	return c.MaxBackoff
+}
+
+// ErrRetriesExhausted reports that MaxAttempts consecutive joins failed.
+var ErrRetriesExhausted = errors.New("worker: reconnect attempts exhausted")
+
+// ServeWithReconnect keeps the volunteer participating until the stream
+// completes gracefully (join returns nil), the context is cancelled, or
+// MaxAttempts consecutive attempts fail. join performs one full join
+// (e.g. dial + JoinWS); a successful period of participation resets the
+// backoff.
+func ServeWithReconnect(ctx context.Context, v *Volunteer, cfg ReconnectConfig, join func() error) error {
+	backoff := cfg.initial()
+	failures := 0
+	for {
+		before := v.Processed()
+		err := join()
+		if err == nil {
+			// Graceful completion: the stream is done.
+			return nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if v.Processed() > before {
+			// We participated before failing: this was a working period,
+			// so the backoff resets (the paper's transient-fault case).
+			backoff = cfg.initial()
+			failures = 0
+		} else {
+			failures++
+			if cfg.MaxAttempts > 0 && failures >= cfg.MaxAttempts {
+				return fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, failures, err)
+			}
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctxDone(ctx):
+			return ctx.Err()
+		}
+		backoff *= 2
+		if backoff > cfg.max() {
+			backoff = cfg.max()
+		}
+	}
+}
+
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// ReconnectWS is a convenience: ServeWithReconnect joining over the
+// WebSocket-like transport through dial each time.
+func ReconnectWS(ctx context.Context, v *Volunteer, cfg ReconnectConfig, dial transport.Dialer, addr string) error {
+	return ServeWithReconnect(ctx, v, cfg, func() error {
+		conn, err := dial(addr)
+		if err != nil {
+			return err
+		}
+		return v.JoinWS(conn)
+	})
+}

@@ -1,0 +1,231 @@
+// Package worker implements the Volunteer side of Pando (paper Figure 7):
+// a processor that joins a master by "opening the URL", resolves the
+// processing function, and applies it to a stream of inputs — the
+// Worker (browser tab) of the paper.
+//
+// Code shipping substitution: the JavaScript implementation browserifies
+// the user's function and serves it to the volunteer's browser. A Go
+// binary cannot load code at runtime, so volunteers carry a registry of
+// named processing functions; the master's welcome message names the one
+// to apply. The observable behaviour — a generic volunteer binary that
+// works for any project — is preserved.
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pando/internal/proto"
+	"pando/internal/transport"
+)
+
+// Handler is a registered processing function operating on raw payloads;
+// applications decode and encode their own value types inside it,
+// mirroring the glue code of the paper's Figure 2.
+type Handler func(input []byte) ([]byte, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Handler)
+)
+
+// Register adds a named processing function to the volunteer registry.
+// It panics on duplicate registration, which is a programming error.
+func Register(name string, h Handler) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("worker: duplicate registration of %q", name))
+	}
+	registry[name] = h
+}
+
+// Lookup resolves a registered function.
+func Lookup(name string) (Handler, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	h, ok := registry[name]
+	return h, ok
+}
+
+// Registered lists the registered function names, sorted.
+func Registered() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RawCodec passes payloads through untouched; the volunteer does not
+// interpret application data.
+type RawCodec struct{}
+
+// Encode returns data unchanged.
+func (RawCodec) Encode(b []byte) ([]byte, error) { return b, nil }
+
+// Decode returns data unchanged.
+func (RawCodec) Decode(b []byte) ([]byte, error) { return b, nil }
+
+// ErrCrashed is the internal signal a Volunteer uses to simulate a
+// crash-stop failure (a browser tab suddenly closed).
+var ErrCrashed = errors.New("worker: injected crash")
+
+// Volunteer is one participating device process.
+type Volunteer struct {
+	// Name identifies the device in the master's accounting (e.g.
+	// "iPhone SE"); empty lets the master assign one.
+	Name string
+	// Channel tunes heartbeats.
+	Channel transport.Config
+	// Handler overrides the registry lookup when non-nil (useful for
+	// tests and for single-purpose volunteers).
+	Handler Handler
+	// Delay adds per-item processing time, simulating a slower device
+	// (the device profiles of the evaluation harness).
+	Delay time.Duration
+	// CrashAfter makes the volunteer crash abruptly after processing
+	// that many items; negative means never. The crash severs the
+	// connection without a goodbye, the paper's crash-stop failure.
+	CrashAfter int
+
+	mu        sync.Mutex
+	processed int
+}
+
+// Processed returns how many items this volunteer completed.
+func (v *Volunteer) Processed() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.processed
+}
+
+// JoinWS joins a master over an established raw connection using the
+// WebSocket-like channel, performs the handshake, and serves until the
+// stream completes, the volunteer crashes, or the channel fails.
+func (v *Volunteer) JoinWS(conn net.Conn) error {
+	ch := transport.NewWSock(conn, v.Channel)
+	return v.serve(ch)
+}
+
+// JoinURL performs the full volunteer bootstrap of the paper's §2.1.2:
+// fetch the deployment invitation from the URL the master printed on
+// startup, then join over the transport it names — a direct
+// WebSocket-like connection, or signalling through a public server
+// followed by a direct WebRTC-like channel. dial opens raw connections
+// (use transport.TCPDialer for real networks).
+func (v *Volunteer) JoinURL(url string, dial transport.Dialer) error {
+	inv, err := proto.FetchInvitation(url)
+	if err != nil {
+		return err
+	}
+	switch inv.Transport {
+	case "ws", "":
+		conn, err := dial(inv.DataAddr)
+		if err != nil {
+			return fmt.Errorf("worker: dial %s: %w", inv.DataAddr, err)
+		}
+		return v.JoinWS(conn)
+	case "webrtc":
+		sc, err := dial(inv.DataAddr)
+		if err != nil {
+			return fmt.Errorf("worker: dial signalling %s: %w", inv.DataAddr, err)
+		}
+		signal := transport.NewWSock(sc, v.Channel)
+		self := v.Name
+		if self == "" {
+			self = fmt.Sprintf("volunteer-%p", v)
+		}
+		return v.JoinRTC(signal, self, inv.MasterID, dial)
+	default:
+		return fmt.Errorf("worker: unsupported transport %q in invitation", inv.Transport)
+	}
+}
+
+// JoinRTC joins a master through the WebRTC-like bootstrap: signalling
+// via the public server channel, then a direct connection (paper §5.4).
+func (v *Volunteer) JoinRTC(signal transport.Channel, selfID, masterID string, dial transport.Dialer) error {
+	if err := transport.JoinSignal(signal, selfID); err != nil {
+		return err
+	}
+	ch, err := transport.RTCOffer(signal, selfID, masterID, dial, v.Channel)
+	if err != nil {
+		return err
+	}
+	return v.serve(ch)
+}
+
+func (v *Volunteer) serve(ch transport.Channel) error {
+	if err := ch.Send(&proto.Message{
+		Type:    proto.TypeHello,
+		Version: proto.Version,
+		Peer:    v.Name,
+	}); err != nil {
+		ch.Close()
+		return err
+	}
+	welcome, err := ch.Recv()
+	if err != nil {
+		ch.Close()
+		return err
+	}
+	if welcome.Type == proto.TypeError {
+		ch.Close()
+		return fmt.Errorf("worker: rejected: %s", welcome.Err)
+	}
+	if welcome.Type != proto.TypeWelcome {
+		ch.Close()
+		return fmt.Errorf("worker: unexpected handshake reply %q", welcome.Type)
+	}
+
+	h := v.Handler
+	if h == nil {
+		var ok bool
+		h, ok = Lookup(welcome.Func)
+		if !ok {
+			ch.Close()
+			return fmt.Errorf("worker: unknown function %q (registered: %v)", welcome.Func, Registered())
+		}
+	}
+
+	wrapped := func(input []byte) ([]byte, error) {
+		v.mu.Lock()
+		crash := v.CrashAfter >= 0 && v.processed >= v.CrashAfter
+		v.mu.Unlock()
+		if crash {
+			// Sever abruptly: no goodbye, no result — crash-stop.
+			ch.Close()
+			return nil, ErrCrashed
+		}
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		out, err := h(input)
+		if err != nil {
+			return nil, err
+		}
+		v.mu.Lock()
+		v.processed++
+		v.mu.Unlock()
+		return out, nil
+	}
+
+	err = transport.WorkerServeGrouped[[]byte, []byte](ch, RawCodec{}, RawCodec{}, wrapped)
+	if err != nil && v.crashed() {
+		return ErrCrashed
+	}
+	return err
+}
+
+func (v *Volunteer) crashed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.CrashAfter >= 0 && v.processed >= v.CrashAfter
+}

@@ -1,0 +1,264 @@
+// Package pando is a Go implementation of Pando, the personal volunteer
+// computing tool of Lavoie et al. (MIDDLEWARE 2019): it parallelizes the
+// application of a function on a stream of values across a dynamically
+// varying number of failure-prone devices contributed by volunteers.
+//
+// The programming model is a streaming version of the functional map
+// operation (paper Table 1): Pando applies f to inputs x1, x2, ... and
+// outputs f(x1), f(x2), ... in input order, reading inputs lazily, with a
+// single copy of each input in flight, adapting to device speed, and
+// tolerating crash-stop failures transparently.
+//
+// Quickstart:
+//
+//	p := pando.New("square", func(v int) (int, error) { return v * v, nil })
+//	p.AddLocalWorkers(4)
+//	outs, errs := p.Process(ctx, inputs) // channels in, channels out
+//
+// Remote volunteers join over the WebSocket-like transport (ServeWS) or
+// through the WebRTC-like bootstrap via a public signalling server
+// (ServeRTC); see the examples directory and cmd/pando.
+package pando
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"pando/internal/master"
+	"pando/internal/netsim"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+// Re-exported configuration types. They alias internal types so the whole
+// toolkit is usable through this package alone.
+type (
+	// Acceptor abstracts a listener accepting volunteer connections
+	// (net.Listener satisfies it, as does the simulated network's).
+	Acceptor = transport.Acceptor
+	// ChannelConfig tunes heartbeat failure detection.
+	ChannelConfig = transport.Config
+	// WorkerStats is the per-device throughput accounting.
+	WorkerStats = master.WorkerStats
+	// Dialer opens a raw connection to a candidate address during the
+	// WebRTC-like bootstrap.
+	Dialer = transport.Dialer
+)
+
+// Option configures a Pando instance.
+type Option func(*options)
+
+type options struct {
+	batch     int
+	group     int
+	unordered bool
+	channel   transport.Config
+	register  bool
+}
+
+// WithBatch sets how many values may be in flight per device (the Limiter
+// bound). The paper used 2 on LAN/VPN and 4 on WAN deployments to hide
+// network latency (§5.5).
+func WithBatch(n int) Option { return func(o *options) { o.batch = n } }
+
+// WithGroup sends several inputs per network frame (message-level
+// batching). The total values in flight per device stays bounded by the
+// batch size; grouping additionally reduces per-message overhead, which
+// matters for small items on high-latency links.
+func WithGroup(n int) Option { return func(o *options) { o.group = n } }
+
+// WithUnordered emits results in completion order instead of input order,
+// the relaxation the paper suggests for synchronous parallel search
+// (§4.2).
+func WithUnordered() Option { return func(o *options) { o.unordered = true } }
+
+// WithChannelConfig tunes heartbeat intervals on volunteer channels.
+func WithChannelConfig(cfg ChannelConfig) Option {
+	return func(o *options) { o.channel = cfg }
+}
+
+// WithoutRegistry skips registering the processing function in the global
+// volunteer registry (useful when creating many instances with the same
+// name in tests).
+func WithoutRegistry() Option { return func(o *options) { o.register = false } }
+
+// Pando is one deployment: a single project, a single user, the lifetime
+// of the corresponding tasks (design principle DP1).
+type Pando[I, O any] struct {
+	name string
+	f    func(I) (O, error)
+	m    *master.Master[I, O]
+	opts options
+
+	mu     sync.Mutex
+	locals []*worker.Volunteer
+	pipes  []*netsim.Pipe
+}
+
+// New creates a deployment that applies f, registered under name so that
+// generic volunteer binaries can resolve it (the Go substitute for
+// shipping browserified code).
+func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, O] {
+	o := options{batch: master.DefaultBatch, register: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p := &Pando[I, O]{
+		name: name,
+		f:    f,
+		opts: o,
+		m: master.New[I, O](master.Config{
+			FuncName: name,
+			Batch:    o.batch,
+			Ordered:  !o.unordered,
+			Group:    o.group,
+			Channel:  o.channel,
+		}, transport.JSONCodec[I]{}, transport.JSONCodec[O]{}),
+	}
+	if o.register {
+		if _, exists := worker.Lookup(name); !exists {
+			worker.Register(name, Handler(f))
+		}
+	}
+	return p
+}
+
+// Handler adapts a typed processing function into a registry handler, the
+// equivalent of the paper's Figure 2 glue code: decode the input, apply
+// the function, encode the result, report errors through the callback.
+func Handler[I, O any](f func(I) (O, error)) worker.Handler {
+	return func(input []byte) ([]byte, error) {
+		var v I
+		if err := json.Unmarshal(input, &v); err != nil {
+			return nil, fmt.Errorf("pando: decode input: %w", err)
+		}
+		r, err := f(v)
+		if err != nil {
+			return nil, err
+		}
+		out, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("pando: encode result: %w", err)
+		}
+		return out, nil
+	}
+}
+
+// Process applies f to every value received on in and delivers results on
+// the returned channel, closed at end of stream. A failure (input error
+// or context cancellation) is delivered on the error channel (capacity 1).
+// Results arrive in input order unless WithUnordered was set.
+func (p *Pando[I, O]) Process(ctx context.Context, in <-chan I) (<-chan O, <-chan error) {
+	ctxErr := make(chan error, 1)
+	if ctx != nil {
+		go func() {
+			<-ctx.Done()
+			ctxErr <- ctx.Err()
+		}()
+	}
+	src := pullstream.FromChan(in, ctxErr)
+	out := p.m.Bind(src)
+	return pullstream.ToChan(out)
+}
+
+// ProcessSlice is a convenience for finite workloads: it feeds every
+// element of inputs through the deployment and collects the results.
+func (p *Pando[I, O]) ProcessSlice(ctx context.Context, inputs []I) ([]O, error) {
+	in := make(chan I)
+	go func() {
+		defer close(in)
+		for _, v := range inputs {
+			select {
+			case in <- v:
+			case <-ctxDone(ctx):
+				return
+			}
+		}
+	}()
+	outc, errc := p.Process(ctx, in)
+	var out []O
+	for v := range outc {
+		out = append(out, v)
+	}
+	if err := <-errc; err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// AddLocalWorkers attaches n in-process volunteers, one per core the user
+// wants to dedicate — "Pando trivially enables parallel processing on
+// multicore architectures on a single machine while enabling dynamically
+// scaling up to other devices if necessary" (paper §2.4.3).
+func (p *Pando[I, O]) AddLocalWorkers(n int) {
+	p.AddSimulatedWorkers(n, "local", netsim.Loopback, 0, -1)
+}
+
+// AddSimulatedWorkers attaches n volunteers connected through a simulated
+// link, each with a fixed per-item delay (modelling device speed) and an
+// optional crash after crashAfter items (negative: never). It returns
+// nothing; per-device accounting is visible through Stats.
+func (p *Pando[I, O]) AddSimulatedWorkers(n int, namePrefix string, link netsim.Link, delay time.Duration, crashAfter int) {
+	for i := 0; i < n; i++ {
+		p.AddWorker(fmt.Sprintf("%s-%d", namePrefix, i+1), link, delay, crashAfter)
+	}
+}
+
+// AddWorker attaches one volunteer under an exact name. Attaching several
+// volunteers under the same name models one device contributing several
+// cores (one browser tab per core, as in the paper's evaluation): their
+// accounting aggregates into a single Stats row.
+func (p *Pando[I, O]) AddWorker(name string, link netsim.Link, delay time.Duration, crashAfter int) {
+	v := &worker.Volunteer{
+		Name:       name,
+		Handler:    Handler(p.f),
+		Channel:    p.opts.channel,
+		Delay:      delay,
+		CrashAfter: crashAfter,
+	}
+	pipe := netsim.NewPipe(link)
+	p.mu.Lock()
+	p.locals = append(p.locals, v)
+	p.pipes = append(p.pipes, pipe)
+	p.mu.Unlock()
+	go func() { _ = v.JoinWS(pipe.A) }()
+	go func() { _ = p.m.Admit(transport.NewWSock(pipe.B, p.opts.channel)) }()
+}
+
+// ServeWS accepts remote volunteers over the WebSocket-like transport
+// until the acceptor closes. Run it on a goroutine.
+func (p *Pando[I, O]) ServeWS(acc Acceptor) error { return p.m.ServeWS(acc) }
+
+// ServeRTC admits volunteers arriving through the WebRTC-like bootstrap.
+// Run it on a goroutine.
+func (p *Pando[I, O]) ServeRTC(answerer *transport.RTCAnswerer) { p.m.ServeRTC(answerer) }
+
+// Stats snapshots per-device accounting (items processed, active period).
+func (p *Pando[I, O]) Stats() []WorkerStats { return p.m.Stats() }
+
+// TotalItems is the total number of results received from all devices.
+func (p *Pando[I, O]) TotalItems() int { return p.m.TotalItems() }
+
+// Close releases local resources; remote volunteers observe the
+// disconnection through their heartbeats.
+func (p *Pando[I, O]) Close() {
+	p.m.Close()
+	p.mu.Lock()
+	pipes := p.pipes
+	p.pipes = nil
+	p.mu.Unlock()
+	for _, pipe := range pipes {
+		pipe.Cut()
+	}
+}

@@ -1,0 +1,306 @@
+package pando
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pando/internal/netsim"
+)
+
+var nameSeq atomic.Int64
+
+func uniqueName(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, nameSeq.Add(1))
+}
+
+func TestProcessSliceLocalWorkers(t *testing.T) {
+	p := New(uniqueName("square"), func(v int) (int, error) { return v * v, nil })
+	defer p.Close()
+	p.AddLocalWorkers(4)
+
+	inputs := make([]int, 50)
+	for i := range inputs {
+		inputs[i] = i + 1
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("got %d results, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*(i+1) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestProcessChannelsStreaming(t *testing.T) {
+	p := New(uniqueName("upper"), func(s string) (string, error) {
+		return strings.ToUpper(s), nil
+	})
+	defer p.Close()
+	p.AddLocalWorkers(2)
+
+	in := make(chan string)
+	outc, errc := p.Process(context.Background(), in)
+	go func() {
+		defer close(in)
+		for _, s := range []string{"a", "b", "c"} {
+			in <- s
+		}
+	}()
+	var got []string
+	for v := range outc {
+		got = append(got, v)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "A" || got[2] != "C" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestProcessContextCancellation(t *testing.T) {
+	p := New(uniqueName("slow"), func(v int) (int, error) {
+		time.Sleep(5 * time.Millisecond)
+		return v, nil
+	})
+	defer p.Close()
+	p.AddLocalWorkers(1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan int)
+	go func() {
+		// Deliberately never closes in: cancellation must be what ends
+		// the stream.
+		i := 0
+		for {
+			select {
+			case in <- i:
+				i++
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	outc, errc := p.Process(ctx, in)
+	<-outc // at least one result
+	cancel()
+	for range outc {
+	}
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStructuredValues(t *testing.T) {
+	type frame struct {
+		Index  int     `json:"index"`
+		Angle  float64 `json:"angle"`
+		Pixels string  `json:"pixels,omitempty"`
+	}
+	p := New(uniqueName("render"), func(f frame) (frame, error) {
+		f.Pixels = fmt.Sprintf("rendered@%.2f", f.Angle)
+		return f, nil
+	})
+	defer p.Close()
+	p.AddLocalWorkers(3)
+
+	var inputs []frame
+	for i := 0; i < 12; i++ {
+		inputs = append(inputs, frame{Index: i, Angle: float64(i) * 0.52})
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range got {
+		if f.Index != i || f.Pixels == "" {
+			t.Fatalf("got[%d] = %+v", i, f)
+		}
+	}
+}
+
+func TestUnorderedOption(t *testing.T) {
+	p := New(uniqueName("id"), func(v int) (int, error) { return v, nil }, WithUnordered())
+	defer p.Close()
+	p.AddLocalWorkers(3)
+	got, err := p.ProcessSlice(context.Background(), []int{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("got %v, want all of 1..8 exactly once", got)
+	}
+}
+
+func TestSimulatedWorkersCrashRecovery(t *testing.T) {
+	p := New(uniqueName("inc"), func(v int) (int, error) { return v + 1, nil },
+		WithBatch(2),
+		WithChannelConfig(ChannelConfig{HeartbeatInterval: 20 * time.Millisecond}))
+	defer p.Close()
+	p.AddSimulatedWorkers(2, "crashy", netsim.LAN, time.Millisecond, 4)
+	p.AddSimulatedWorkers(1, "steady", netsim.LAN, 0, -1)
+
+	inputs := make([]int, 60)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("got %d results, want 60", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(uniqueName("acct"), func(v int) (int, error) { return v, nil })
+	defer p.Close()
+	p.AddLocalWorkers(2)
+	if _, err := p.ProcessSlice(context.Background(), []int{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalItems() != 5 {
+		t.Fatalf("TotalItems = %d, want 5", p.TotalItems())
+	}
+	total := 0
+	for _, w := range p.Stats() {
+		total += w.Items
+	}
+	if total != 5 {
+		t.Fatalf("stats total = %d, want 5", total)
+	}
+}
+
+func TestEmptyInputCompletes(t *testing.T) {
+	p := New(uniqueName("empty"), func(v int) (int, error) { return v, nil })
+	defer p.Close()
+	p.AddLocalWorkers(1)
+	got, err := p.ProcessSlice(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestHandlerAdapterErrors(t *testing.T) {
+	h := Handler(func(v int) (int, error) {
+		if v < 0 {
+			return 0, errors.New("negative")
+		}
+		return v, nil
+	})
+	if _, err := h([]byte("not-json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := h([]byte("-3")); err == nil {
+		t.Fatal("expected application error")
+	}
+	out, err := h([]byte("7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "7" {
+		t.Fatalf("out = %s", out)
+	}
+}
+
+func TestInfiniteStreamWithEarlyStop(t *testing.T) {
+	// Laziness makes infinite input streams usable: consume a few results
+	// then cancel.
+	p := New(uniqueName("inf"), func(v int) (int, error) { return v * 10, nil })
+	defer p.Close()
+	p.AddLocalWorkers(2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan int)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case in <- i:
+			case <-ctx.Done():
+				close(in)
+				return
+			}
+		}
+	}()
+	outc, errc := p.Process(ctx, in)
+	for i := 0; i < 10; i++ {
+		if _, ok := <-outc; !ok {
+			t.Fatal("stream ended early")
+		}
+	}
+	cancel()
+	for range outc {
+	}
+	<-errc
+}
+
+func TestWithGroupEndToEnd(t *testing.T) {
+	p := New(uniqueName("grouped"), func(v int) (int, error) { return v * 3, nil },
+		WithBatch(8), WithGroup(4))
+	defer p.Close()
+	p.AddLocalWorkers(2)
+	inputs := make([]int, 50)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("got[%d] = %d (ordered through grouped frames)", i, v)
+		}
+	}
+}
+
+func TestWithGroupCrashRecovery(t *testing.T) {
+	p := New(uniqueName("grouped-crash"), func(v int) (int, error) { return v, nil },
+		WithBatch(8), WithGroup(4),
+		WithChannelConfig(ChannelConfig{HeartbeatInterval: 20 * time.Millisecond}))
+	defer p.Close()
+	p.AddSimulatedWorkers(1, "crashy", netsim.LAN, time.Millisecond, 5)
+	p.AddSimulatedWorkers(1, "steady", netsim.LAN, 0, -1)
+	inputs := make([]int, 60)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
