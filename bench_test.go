@@ -17,6 +17,7 @@ package pando_test
 import (
 	"context"
 	"fmt"
+	"math/big"
 	"testing"
 	"time"
 
@@ -263,6 +264,66 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 		if _, err := a.Recv(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Wire-format benchmarks (ISSUE 1: v1 JSON vs v2 binary) ---
+
+// benchWireDeployment runs a full deployment — master, negotiated
+// channel, one local volunteer — pinned to one wire format, over the
+// given inputs, and reports items/s.
+func benchWireDeployment[I, O any](b *testing.B, wire string, name string, f func(I) (O, error), inputs []I, opts ...pando.Option) {
+	b.Helper()
+	opts = append(opts, pando.WithoutRegistry(), pando.WithWireFormat(wire), pando.WithBatch(8))
+	var processed int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		p := pando.New(fmt.Sprintf("%s-%d", name, i), f, opts...)
+		p.AddLocalWorkers(1)
+		out, err := p.ProcessSlice(context.Background(), inputs)
+		p.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(inputs) {
+			b.Fatalf("got %d results, want %d", len(out), len(inputs))
+		}
+		processed += len(out)
+	}
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(processed)/el, "items/s")
+	}
+}
+
+// BenchmarkWireSmallCollatz compares the formats end to end on the
+// small-item workload: JSON-string inputs, envelope-dominated frames.
+func BenchmarkWireSmallCollatz(b *testing.B) {
+	inputs := apps.CollatzInputs(big.NewInt(1_000_000), 64)
+	f := func(n string) (int, error) {
+		r, err := apps.CollatzSteps(n)
+		if err != nil {
+			return 0, err
+		}
+		return r.Steps, nil
+	}
+	for _, wire := range []string{pando.WireV1, pando.WireV2} {
+		b.Run(wire, func(b *testing.B) {
+			benchWireDeployment(b, wire, "bench-collatz", f, inputs)
+		})
+	}
+}
+
+// BenchmarkWireLargeImgproc compares the formats end to end on the
+// large-payload workload: 16 KiB raw tiles through RawCodec, where v1
+// pays base64 inflation on every frame and v2 ships the bytes verbatim.
+func BenchmarkWireLargeImgproc(b *testing.B) {
+	tiles := bench.ImgprocWirePayloads(16, 128).Items           // 16 tiles of 16 KiB
+	f := func(tile []byte) ([]byte, error) { return tile, nil } // transfer-bound
+	for _, wire := range []string{pando.WireV1, pando.WireV2} {
+		b.Run(wire, func(b *testing.B) {
+			benchWireDeployment(b, wire, "bench-imgproc", f, tiles,
+				pando.WithCodec[[]byte, []byte](pando.RawCodec{}, pando.RawCodec{}))
+		})
 	}
 }
 

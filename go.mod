@@ -1,0 +1,3 @@
+module pando
+
+go 1.24

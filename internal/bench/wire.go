@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"pando/internal/proto"
+)
+
+// This file measures what the '/pando/2.0.0' binary wire format buys over
+// the '/pando/1.0.0' JSON framing, on the two workload shapes the paper's
+// evaluation spans: small JSON-ish items (collatz starting integers,
+// Table 2's Bignum workload) where the envelope dominates, and large
+// opaque payloads (imgproc tiles, §4.1) where v1's base64 inflation of
+// Data dominates. The comparison feeds the BenchmarkWire* benchmarks and
+// the bytes-on-wire regression test.
+
+// WirePayloads builds representative encoded payloads for one workload.
+type WirePayloads struct {
+	// Name identifies the workload ("collatz" or "imgproc").
+	Name string
+	// Items are the encoded payloads exactly as a payload codec would
+	// hand them to the transport (JSON for collatz, raw for imgproc).
+	Items [][]byte
+}
+
+// CollatzWirePayloads encodes n collatz inputs the way the deployment
+// does: JSON-marshalled decimal strings, a few dozen bytes each.
+func CollatzWirePayloads(n int) WirePayloads {
+	items := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		data, _ := json.Marshal(fmt.Sprintf("%d", 1_000_000_000+i))
+		items = append(items, data)
+	}
+	return WirePayloads{Name: "collatz", Items: items}
+}
+
+// ImgprocWirePayloads generates n raw tile payloads of the given edge
+// size, the []byte-shaped workload RawCodec carries verbatim: grayscale
+// pixels with tile-dependent content, incompressible from the framing
+// layer's point of view.
+func ImgprocWirePayloads(n, edge int) WirePayloads {
+	items := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		tile := make([]byte, edge*edge)
+		for j := range tile {
+			tile[j] = byte(i*31 + j*7)
+		}
+		items = append(items, tile)
+	}
+	return WirePayloads{Name: "imgproc", Items: items}
+}
+
+// WireCost is the measured cost of moving one workload's payloads through
+// a wire format.
+type WireCost struct {
+	Format string
+	// FrameBytes is the total bytes-on-wire for one input frame per item
+	// (plain data plane).
+	FrameBytes int
+	// BatchBytes is the total bytes-on-wire with all items grouped into
+	// a single batch frame (grouped data plane).
+	BatchBytes int
+}
+
+// MeasureWire encodes every payload of w through wf — once as individual
+// input frames, once as one grouped batch frame — and counts the bytes
+// that would cross the network. Frames are decoded back and verified, so
+// the numbers describe working round trips, not just encoders.
+func MeasureWire(wf proto.WireFormat, w WirePayloads) (WireCost, error) {
+	cost := WireCost{Format: wf.Name()}
+
+	var buf bytes.Buffer
+	for i, item := range w.Items {
+		buf.Reset()
+		m := &proto.Message{Type: proto.TypeInput, Seq: uint64(i + 1), Data: item}
+		if err := wf.WriteFrame(&buf, m); err != nil {
+			return cost, fmt.Errorf("bench: %s frame %d: %w", wf.Name(), i, err)
+		}
+		cost.FrameBytes += buf.Len()
+		back, err := wf.ReadFrame(&buf)
+		if err != nil {
+			return cost, fmt.Errorf("bench: %s read %d: %w", wf.Name(), i, err)
+		}
+		if !bytes.Equal(back.Data, item) {
+			return cost, fmt.Errorf("bench: %s frame %d corrupted payload", wf.Name(), i)
+		}
+	}
+
+	items := make([]proto.BatchItem, 0, len(w.Items))
+	for _, item := range w.Items {
+		items = append(items, proto.BatchItem{D: item})
+	}
+	data, err := wf.EncodeBatch(items)
+	if err != nil {
+		return cost, fmt.Errorf("bench: %s batch: %w", wf.Name(), err)
+	}
+	buf.Reset()
+	if err := wf.WriteFrame(&buf, &proto.Message{Type: proto.TypeInputBatch, Seq: 1, Data: data}); err != nil {
+		return cost, fmt.Errorf("bench: %s batch frame: %w", wf.Name(), err)
+	}
+	cost.BatchBytes = buf.Len()
+	back, err := wf.ReadFrame(&buf)
+	if err != nil {
+		return cost, fmt.Errorf("bench: %s batch read: %w", wf.Name(), err)
+	}
+	decoded, err := proto.DecodeBatch(back.Data)
+	if err != nil {
+		return cost, fmt.Errorf("bench: %s batch decode: %w", wf.Name(), err)
+	}
+	if len(decoded) != len(w.Items) {
+		return cost, fmt.Errorf("bench: %s batch lost items: %d != %d", wf.Name(), len(decoded), len(w.Items))
+	}
+	return cost, nil
+}
+
+// CompareWire measures both formats on w and returns v1, v2.
+func CompareWire(w WirePayloads) (WireCost, WireCost, error) {
+	v1, err := MeasureWire(proto.V1, w)
+	if err != nil {
+		return v1, WireCost{}, err
+	}
+	v2, err := MeasureWire(proto.V2, w)
+	return v1, v2, err
+}

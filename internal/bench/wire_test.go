@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"testing"
+
+	"pando/internal/proto"
+)
+
+// TestWireBinaryShrinksLargePayloads pins the headline claim of the v2
+// format: on []byte-heavy workloads (imgproc tiles) the binary envelope
+// removes v1's base64 inflation, cutting bytes-on-wire by roughly a
+// quarter on both data planes.
+func TestWireBinaryShrinksLargePayloads(t *testing.T) {
+	v1, v2, err := CompareWire(ImgprocWirePayloads(16, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.FrameBytes >= v1.FrameBytes {
+		t.Fatalf("plain plane: v2 %d B >= v1 %d B", v2.FrameBytes, v1.FrameBytes)
+	}
+	if v2.BatchBytes >= v1.BatchBytes {
+		t.Fatalf("grouped plane: v2 %d B >= v1 %d B", v2.BatchBytes, v1.BatchBytes)
+	}
+	// base64 alone inflates by 4/3; require at least a 20% total cut so
+	// envelope overhead cannot silently eat the win.
+	if ratio := float64(v2.FrameBytes) / float64(v1.FrameBytes); ratio > 0.8 {
+		t.Fatalf("plain plane: v2/v1 = %.2f, want <= 0.80", ratio)
+	}
+	t.Logf("imgproc 16x128x128: plain v1=%dB v2=%dB, grouped v1=%dB v2=%dB",
+		v1.FrameBytes, v2.FrameBytes, v1.BatchBytes, v2.BatchBytes)
+}
+
+// TestWireBinaryShrinksSmallItems: even envelope-dominated workloads
+// (collatz strings) must not regress, and the grouped plane's binary
+// batch must beat the JSON array encoding.
+func TestWireBinaryShrinksSmallItems(t *testing.T) {
+	v1, v2, err := CompareWire(CollatzWirePayloads(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.FrameBytes >= v1.FrameBytes {
+		t.Fatalf("plain plane: v2 %d B >= v1 %d B", v2.FrameBytes, v1.FrameBytes)
+	}
+	if v2.BatchBytes >= v1.BatchBytes {
+		t.Fatalf("grouped plane: v2 %d B >= v1 %d B", v2.BatchBytes, v1.BatchBytes)
+	}
+	t.Logf("collatz 256: plain v1=%dB v2=%dB, grouped v1=%dB v2=%dB",
+		v1.FrameBytes, v2.FrameBytes, v1.BatchBytes, v2.BatchBytes)
+}
+
+// BenchmarkWireCollatz compares encode+decode cost of the two formats on
+// the small-item workload.
+func BenchmarkWireCollatz(b *testing.B) {
+	payloads := CollatzWirePayloads(64)
+	for _, wf := range []proto.WireFormat{proto.V1, proto.V2} {
+		b.Run(wf.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var last WireCost
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = MeasureWire(wf, payloads)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.FrameBytes)/float64(len(payloads.Items)), "wire-B/item")
+		})
+	}
+}
+
+// BenchmarkWireImgproc compares the formats on the large-payload
+// workload, where v1 pays JSON marshalling plus base64 for every tile.
+func BenchmarkWireImgproc(b *testing.B) {
+	payloads := ImgprocWirePayloads(4, 256) // 4 tiles of 64 KiB
+	for _, wf := range []proto.WireFormat{proto.V1, proto.V2} {
+		b.Run(wf.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var last WireCost
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = MeasureWire(wf, payloads)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(last.FrameBytes))
+			b.ReportMetric(float64(last.FrameBytes)/float64(len(payloads.Items)), "wire-B/item")
+		})
+	}
+}

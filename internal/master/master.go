@@ -37,6 +37,13 @@ type Config struct {
 	Group int
 	// Channel tunes heartbeat detection on volunteer channels.
 	Channel transport.Config
+	// Formats restricts the wire formats this master will negotiate, best
+	// first. Empty allows everything this build supports (binary
+	// '/pando/2.0.0' preferred, JSON '/pando/1.0.0' fallback). When
+	// non-empty, volunteers that speak none of the listed formats are
+	// refused with ErrNoCommonFormat — so a list excluding '/pando/1.0.0'
+	// turns off the v1 fallback entirely.
+	Formats []string
 }
 
 func (c Config) batch() int {
@@ -55,6 +62,9 @@ type WorkerStats struct {
 	FirstSeen time.Time
 	LastSeen  time.Time
 	Alive     bool
+	// Wire is the wire format negotiated at admission ("/pando/1.0.0" or
+	// "/pando/2.0.0"); empty for devices attached without a handshake.
+	Wire string
 
 	// history holds recent per-item completion times (pruned to
 	// MaxWindow) for windowed throughput, the §5.1 methodology.
@@ -191,26 +201,32 @@ func (m *Master[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
 	return m.engine.Bind(src)
 }
 
-// Admit performs the '/pando/1.0.0' handshake on a fresh volunteer
+// Admit performs the hello/welcome handshake on a fresh volunteer
 // channel and, on success, attaches the device to the computation.
+//
+// Wire-format negotiation rides on the handshake: the hello lists the
+// formats the worker speaks (absent for pre-/pando/2.0.0 workers), the
+// master picks the best one its own Formats allow, and the welcome —
+// still sent in v1, which every worker reads — names the choice. Both
+// sides then switch their outgoing frames; reception sniffs per frame, so
+// no ordering between the switches matters.
 func (m *Master[I, O]) Admit(ch transport.Channel) error {
-	hello, err := ch.Recv()
-	if err != nil {
+	if m.isClosed() {
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: ErrClosed.Error()})
 		ch.Close()
+		return ErrClosed
+	}
+	hello, wire, err := transport.AdmitHandshake(ch, m.cfg.FuncName, m.cfg.batch(), m.cfg.Formats)
+	if err != nil {
 		return fmt.Errorf("master: admission: %w", err)
 	}
-	if err := proto.CheckHello(hello); err != nil {
-		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+	// Close may have raced the handshake; re-check before attaching so a
+	// volunteer is never wired into a shut-down deployment. It already
+	// received the welcome, so dismiss it with an orderly goodbye.
+	if m.isClosed() {
+		_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
 		ch.Close()
-		return err
-	}
-	if err := ch.Send(&proto.Message{
-		Type:  proto.TypeWelcome,
-		Func:  m.cfg.FuncName,
-		Batch: m.cfg.batch(),
-	}); err != nil {
-		ch.Close()
-		return fmt.Errorf("master: welcome: %w", err)
+		return ErrClosed
 	}
 	name := hello.Peer
 	if name == "" {
@@ -219,8 +235,22 @@ func (m *Master[I, O]) Admit(ch transport.Channel) error {
 		name = fmt.Sprintf("volunteer-%d", m.nextID)
 		m.mu.Unlock()
 	}
+	m.recordWire(name, wire.Name())
 	m.Attach(name, ch)
 	return nil
+}
+
+// recordWire notes the negotiated wire format in the device's stats row,
+// creating it if the attach event has not fired yet.
+func (m *Master[I, O]) recordWire(name, wire string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stats, ok := m.workers[name]
+	if !ok {
+		stats = &WorkerStats{Name: name, FirstSeen: time.Now()}
+		m.workers[name] = stats
+	}
+	stats.Wire = wire
 }
 
 // Attach wires an already-admitted channel into the DistributedMap
@@ -301,3 +331,8 @@ func (m *Master[I, O]) isClosed() bool {
 
 // ErrClosed reports operations on a closed master.
 var ErrClosed = errors.New("master: closed")
+
+// ErrNoCommonFormat reports a volunteer refused because it speaks none of
+// the wire formats Config.Formats allows. It matches relay refusals too,
+// which share the proto-level sentinel.
+var ErrNoCommonFormat = proto.ErrNoCommonFormat

@@ -72,7 +72,11 @@ func (m *Master[I, O]) report(w io.Writer, window time.Duration) {
 		if s.Alive {
 			state = "alive"
 		}
-		fmt.Fprintf(w, "[pando]   %-24s %s %6d items %8.1f items/s\n",
-			s.Name, state, s.Items, perDevice[s.Name])
+		wire := s.Wire
+		if wire == "" {
+			wire = "-"
+		}
+		fmt.Fprintf(w, "[pando]   %-24s %s %-13s %6d items %8.1f items/s\n",
+			s.Name, state, wire, s.Items, perDevice[s.Name])
 	}
 }

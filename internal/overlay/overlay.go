@@ -17,6 +17,7 @@ package overlay
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pando/internal/lender"
 	"pando/internal/limiter"
@@ -35,14 +36,28 @@ type Node struct {
 	// Channel tunes heartbeats on both the parent and child channels.
 	Channel transport.Config
 
-	mu       sync.Mutex
-	funcName string
-	batch    int
-	children int
-	live     int
-	parent   transport.Channel
-	l        *lender.Lender[payload, payload]
+	mu         sync.Mutex
+	funcName   string
+	batch      int
+	formats    []string // deployment's allowed wire formats (from the welcome)
+	configured bool     // deployment parameters are known (Configure ran)
+	children   int
+	live       int
+	parent     transport.Channel
+	l          *lender.Lender[payload, payload]
+
+	// ready is closed once the parent handshake concluded — successfully
+	// (configured is then true) or not — gating child admission on the
+	// deployment parameters the welcome carries (function name, batch,
+	// wire-format restriction) without hanging children forever when the
+	// parent refused this relay.
+	ready     chan struct{}
+	readyOnce sync.Once
 }
+
+// admitWait bounds how long a child waits for the relay's own handshake
+// to conclude before being refused.
+const admitWait = 10 * time.Second
 
 // payload carries one opaque value with its upstream sequence number.
 type payload struct {
@@ -52,7 +67,24 @@ type payload struct {
 
 // NewNode creates an idle relay.
 func NewNode(name string) *Node {
-	return &Node{Name: name, l: lender.New[payload, payload]()}
+	return &Node{Name: name, l: lender.New[payload, payload](), ready: make(chan struct{})}
+}
+
+// Configure sets the deployment parameters directly and marks the relay
+// ready to admit children — for relays operated without a parent
+// handshake (static topologies, tests). Run performs the same steps from
+// the parent's welcome.
+func (n *Node) Configure(funcName string, batch int, formats []string) {
+	n.mu.Lock()
+	n.funcName = funcName
+	n.batch = batch
+	if n.batch <= 0 {
+		n.batch = 2
+	}
+	n.formats = formats
+	n.configured = true
+	n.mu.Unlock()
+	n.readyOnce.Do(func() { close(n.ready) })
 }
 
 // Run joins the parent over ch (performing the volunteer handshake),
@@ -60,31 +92,19 @@ func NewNode(name string) *Node {
 // parent's stream completes or the channel fails. Children are accepted
 // concurrently via ServeChildren.
 func (n *Node) Run(parent transport.Channel) error {
-	if err := parent.Send(&proto.Message{
-		Type:    proto.TypeHello,
-		Version: proto.Version,
-		Peer:    n.Name,
-	}); err != nil {
-		parent.Close()
-		return err
-	}
-	welcome, err := parent.Recv()
+	// Whatever way Run exits, release children parked in AdmitChild; on
+	// failure paths configured stays false and they are refused.
+	defer n.readyOnce.Do(func() { close(n.ready) })
+	welcome, err := transport.ClientHandshake(parent, n.Name, nil)
 	if err != nil {
-		parent.Close()
-		return err
-	}
-	if welcome.Type != proto.TypeWelcome {
-		parent.Close()
-		return fmt.Errorf("overlay: handshake reply %q", welcome.Type)
+		return fmt.Errorf("overlay: %w", err)
 	}
 	n.mu.Lock()
-	n.funcName = welcome.Func
-	n.batch = welcome.Batch
-	if n.batch <= 0 {
-		n.batch = 2
-	}
 	n.parent = parent
 	n.mu.Unlock()
+	// The welcome carries the deployment restriction, enforced on
+	// children too.
+	n.Configure(welcome.Func, welcome.Batch, welcome.Formats)
 
 	// Inputs from the parent feed the nested lender.
 	in := make(chan payload, 64)
@@ -142,30 +162,44 @@ func (n *Node) ServeChildren(acc transport.Acceptor) error {
 // AdmitChild performs the handshake with one child and attaches it to the
 // nested lender.
 func (n *Node) AdmitChild(ch transport.Channel) error {
-	hello, err := ch.Recv()
-	if err != nil {
-		ch.Close()
-		return err
-	}
-	if err := proto.CheckHello(hello); err != nil {
+	// A child connecting before this relay's own handshake concluded
+	// must not be admitted with unknown deployment parameters (empty
+	// function name, unrestricted wire formats). Wait — bounded, so a
+	// parentless relay refuses children instead of parking them forever —
+	// for the welcome; the child's hello sits in the channel meanwhile.
+	select {
+	case <-n.ready:
+	case <-time.After(admitWait):
+		err := fmt.Errorf("overlay: relay %q has no deployment after %v", n.Name, admitWait)
 		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
 		ch.Close()
 		return err
 	}
 	n.mu.Lock()
+	configured := n.configured
 	funcName, batch := n.funcName, n.batch
+	restricted := n.formats
 	fanout := n.Fanout
 	if fanout <= 0 {
 		fanout = batch
 	}
+	n.mu.Unlock()
+	if !configured {
+		err := fmt.Errorf("overlay: relay %q has no deployment (parent handshake failed)", n.Name)
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+		ch.Close()
+		return err
+	}
+	// The same admission the master performs, honoring the deployment
+	// restriction the welcome carried down — a relay must not admit a
+	// device the master itself would refuse.
+	if _, _, err := transport.AdmitHandshake(ch, funcName, batch, restricted); err != nil {
+		return fmt.Errorf("overlay: admission: %w", err)
+	}
+	n.mu.Lock()
 	n.children++
 	n.live++
 	n.mu.Unlock()
-	if err := ch.Send(&proto.Message{Type: proto.TypeWelcome, Func: funcName, Batch: batch}); err != nil {
-		ch.Close()
-		n.childGone()
-		return err
-	}
 
 	_, sd := n.l.LendStream()
 	d := childDuplex(ch)

@@ -148,10 +148,7 @@ func TestRelayCountsChildren(t *testing.T) {
 	cfg := transport.Config{HeartbeatInterval: -1}
 	relay := NewNode("r")
 	relay.Channel = cfg
-	relay.mu.Lock()
-	relay.funcName = "double"
-	relay.batch = 2
-	relay.mu.Unlock()
+	relay.Configure("double", 2, nil)
 
 	ln := netsim.NewListener("children", netsim.Loopback)
 	defer ln.Close()

@@ -1,0 +1,118 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"pando/internal/master"
+	"pando/internal/netsim"
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+// TestRelayRefusesChildrenAfterParentRejection: when the relay's own
+// handshake fails, children waiting for admission must be refused with an
+// error, not parked forever.
+func TestRelayRefusesChildrenAfterParentRejection(t *testing.T) {
+	cfg := transport.Config{HeartbeatInterval: -1}
+	m := master.New[int, int](master.Config{FuncName: "double", Channel: cfg},
+		transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+	m.Close() // parent refuses every handshake
+
+	relay := NewNode("orphan")
+	relay.Channel = cfg
+	childLn := netsim.NewListener("orphan-children", netsim.Loopback)
+	defer childLn.Close()
+	go relay.ServeChildren(childLn)
+
+	p := netsim.NewPipe(netsim.Loopback)
+	go m.Admit(transport.NewWSock(p.A, cfg))
+	runErr := make(chan error, 1)
+	go func() { runErr <- relay.Run(transport.NewWSock(p.B, cfg)) }()
+
+	conn, _, err := childLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := &worker.Volunteer{Name: "leaf", Handler: jsonDouble, Channel: cfg, CrashAfter: -1}
+	joinErr := make(chan error, 1)
+	go func() { joinErr <- leaf.JoinWS(conn) }()
+
+	select {
+	case err := <-joinErr:
+		if err == nil {
+			t.Fatal("child joined an orphaned relay")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("child admission hung on the failed relay")
+	}
+	if err := <-runErr; err == nil {
+		t.Fatal("relay Run succeeded against a closed master")
+	}
+}
+
+// TestRelayEnforcesDeploymentFormats: the master's welcome carries the
+// deployment's allowed wire formats down to relays, so a relay refuses a
+// child the master itself would refuse — the restriction does not stop at
+// the first overlay hop.
+func TestRelayEnforcesDeploymentFormats(t *testing.T) {
+	cfg := transport.Config{HeartbeatInterval: 25 * time.Millisecond}
+	m := master.New[int, int](master.Config{
+		FuncName: "double",
+		Batch:    4,
+		Ordered:  true,
+		Channel:  cfg,
+		Formats:  []string{proto.Version2}, // binary wire only
+	}, transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+
+	rootLn := netsim.NewListener("root", netsim.LAN)
+	defer rootLn.Close()
+	go m.ServeWS(rootLn)
+
+	relay := NewNode("relay")
+	relay.Channel = cfg
+	childLn := netsim.NewListener("relay-children", netsim.LAN)
+	defer childLn.Close()
+	go relay.ServeChildren(childLn)
+
+	conn, _, err := rootLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go relay.Run(transport.NewWSock(conn, cfg))
+
+	// A v1-only leaf must be refused by the relay.
+	v1Conn, _, err := childLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1leaf := &worker.Volunteer{Name: "legacy", Handler: jsonDouble, Channel: cfg,
+		CrashAfter: -1, Formats: []string{proto.Version}}
+	if err := v1leaf.JoinWS(v1Conn); err == nil {
+		t.Fatal("v1-only leaf joined a v2-only deployment through a relay")
+	}
+
+	// A v2-capable leaf completes the computation through the relay.
+	v2Conn, _, err := childLn.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2leaf := &worker.Volunteer{Name: "modern", Handler: jsonDouble, Channel: cfg, CrashAfter: -1}
+	go v2leaf.JoinWS(v2Conn)
+
+	out := m.Bind(pullstream.Count(20))
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("got %d results, want 20", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*2 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}

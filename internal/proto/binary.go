@@ -1,0 +1,304 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements the '/pando/2.0.0' binary wire format. The outer
+// framing (4-byte big-endian body length) is shared with v1; the body is
+//
+//	magic byte 0xB2, then a sequence of fields:
+//	  tag byte with the high bit clear:  uvarint value      (numeric)
+//	  tag byte with the high bit set:    uvarint length + raw bytes
+//
+// Zero-valued fields are omitted, mirroring JSON's omitempty, and unknown
+// tags are skipped (the high bit tells a decoder how), so fields can be
+// added without breaking older v2 peers. Message types are one-byte codes
+// instead of strings, and Data travels as raw bytes — eliminating the
+// base64 inflation that dominated v1 frames carrying binary payloads.
+//
+// Grouped batches (the Data field of inputs/results frames) get their own
+// compact encoding: magic 0xB3, uvarint item count, then per item a
+// uvarint payload length + payload and a uvarint error length + error.
+
+const (
+	binMagic      = 0xB2 // first body byte of a v2 envelope
+	binBatchMagic = 0xB3 // first byte of a v2 batch payload
+)
+
+// Field tags. The high bit selects the wire kind so unknown tags remain
+// skippable: clear = uvarint value, set = uvarint length + bytes.
+const (
+	tagType  = 0x01 // type code (see typeCodes)
+	tagSeq   = 0x02
+	tagCores = 0x03
+	tagBatch = 0x04
+
+	tagTypeStr = 0x81 // type as string, for types without a code
+	tagData    = 0x82
+	tagErr     = 0x83
+	tagVersion = 0x84
+	tagFunc    = 0x85
+	tagToken   = 0x86
+	tagPeer    = 0x87
+	tagTo      = 0x88
+	tagAddr    = 0x89
+	tagFormat  = 0x8A // repeated, one per supported format
+	tagWire    = 0x8B
+)
+
+// typeCodes maps every known message type to a one-byte code; codeTypes
+// is the inverse. Code 0 is reserved (meaning "encoded as tagTypeStr").
+var typeCodes = map[Type]uint64{
+	TypeHello: 1, TypeWelcome: 2,
+	TypeInput: 3, TypeResult: 4,
+	TypeInputBatch: 5, TypeResultBatch: 6,
+	TypePing: 7, TypePong: 8,
+	TypeGoodbye: 9,
+	TypeJoin:    10, TypeOffer: 11, TypeAnswer: 12, TypeCandidate: 13,
+	TypeError: 14,
+}
+
+var codeTypes = func() map[uint64]Type {
+	m := make(map[uint64]Type, len(typeCodes))
+	for t, c := range typeCodes {
+		m[c] = t
+	}
+	return m
+}()
+
+// binaryWire is the '/pando/2.0.0' WireFormat.
+type binaryWire struct{}
+
+func (binaryWire) Name() string { return Version2 }
+
+func appendUint(b []byte, tag byte, v uint64) []byte {
+	if v == 0 {
+		return b
+	}
+	b = append(b, tag)
+	return binary.AppendUvarint(b, v)
+}
+
+func appendBytes(b []byte, tag byte, v []byte) []byte {
+	if len(v) == 0 {
+		return b
+	}
+	b = append(b, tag)
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func appendString(b []byte, tag byte, v string) []byte {
+	if v == "" {
+		return b
+	}
+	b = append(b, tag)
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+// encodeBinaryFrame serializes m as a complete v2 frame, reserving the
+// 4-byte length prefix at the head of the same buffer so WriteFrame needs
+// no second allocation-and-copy to prepend it.
+func encodeBinaryFrame(m *Message) []byte {
+	// Envelope overhead is small and payload-dominated; size the buffer
+	// for Data plus a modest field margin to avoid regrowth.
+	b := make([]byte, 4, 4+len(m.Data)+64)
+	b = append(b, binMagic)
+	if code, ok := typeCodes[m.Type]; ok {
+		b = appendUint(b, tagType, code)
+	} else {
+		b = appendString(b, tagTypeStr, string(m.Type))
+	}
+	b = appendUint(b, tagSeq, m.Seq)
+	b = appendUint(b, tagCores, uint64(m.Cores))
+	b = appendUint(b, tagBatch, uint64(m.Batch))
+	b = appendBytes(b, tagData, m.Data)
+	b = appendString(b, tagErr, m.Err)
+	b = appendString(b, tagVersion, m.Version)
+	b = appendString(b, tagFunc, m.Func)
+	b = appendString(b, tagToken, m.Token)
+	b = appendString(b, tagPeer, m.Peer)
+	b = appendString(b, tagTo, m.To)
+	b = appendString(b, tagAddr, m.Addr)
+	for _, f := range m.Formats {
+		b = appendString(b, tagFormat, f)
+	}
+	b = appendString(b, tagWire, m.Wire)
+	return b
+}
+
+// decodeBinaryBody parses a v2 body (including the magic byte).
+func decodeBinaryBody(body []byte) (*Message, error) {
+	if len(body) == 0 || body[0] != binMagic {
+		return nil, fmt.Errorf("%w: missing v2 magic", ErrBadFrame)
+	}
+	m := new(Message)
+	rest := body[1:]
+	for len(rest) > 0 {
+		tag := rest[0]
+		rest = rest[1:]
+		if tag&0x80 == 0 {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad varint for tag %#x", ErrBadFrame, tag)
+			}
+			rest = rest[n:]
+			switch tag {
+			case tagType:
+				t, ok := codeTypes[v]
+				if !ok {
+					// A code from a newer peer: surface an opaque type
+					// the receive loops skip, mirroring how v1 treats
+					// unknown type strings, instead of failing the
+					// whole channel.
+					t = Type(fmt.Sprintf("unknown-%d", v))
+				}
+				m.Type = t
+			case tagSeq:
+				m.Seq = v
+			case tagCores:
+				m.Cores = int(v)
+			case tagBatch:
+				m.Batch = int(v)
+			default:
+				// Unknown numeric field from a newer peer: skip.
+			}
+			continue
+		}
+		l, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad length for tag %#x", ErrBadFrame, tag)
+		}
+		rest = rest[n:]
+		if l > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: field length %d exceeds body", ErrBadFrame, l)
+		}
+		val := rest[:l]
+		rest = rest[l:]
+		switch tag {
+		case tagTypeStr:
+			m.Type = Type(val)
+		case tagData:
+			// Alias the body: readBody allocates a fresh buffer per
+			// frame, so no copy is needed even for large payloads.
+			m.Data = val
+		case tagErr:
+			m.Err = string(val)
+		case tagVersion:
+			m.Version = string(val)
+		case tagFunc:
+			m.Func = string(val)
+		case tagToken:
+			m.Token = string(val)
+		case tagPeer:
+			m.Peer = string(val)
+		case tagTo:
+			m.To = string(val)
+		case tagAddr:
+			m.Addr = string(val)
+		case tagFormat:
+			m.Formats = append(m.Formats, string(val))
+		case tagWire:
+			m.Wire = string(val)
+		default:
+			// Unknown length-delimited field from a newer peer: skip.
+		}
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("%w: missing message type", ErrBadFrame)
+	}
+	return m, nil
+}
+
+func (binaryWire) WriteFrame(w io.Writer, m *Message) error {
+	frame := encodeBinaryFrame(m)
+	body := len(frame) - 4
+	if body > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(body))
+	// A single Write for the whole frame, like writeBody, so interleaved
+	// writers cannot corrupt the stream boundary mid-frame.
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
+	}
+	return nil
+}
+
+func (binaryWire) ReadFrame(r io.Reader) (*Message, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBinaryBody(body)
+}
+
+func (binaryWire) EncodeBatch(items []BatchItem) ([]byte, error) {
+	size := 16
+	for _, it := range items {
+		size += len(it.D) + len(it.E) + 10
+	}
+	b := make([]byte, 0, size)
+	b = append(b, binBatchMagic)
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for _, it := range items {
+		b = binary.AppendUvarint(b, uint64(len(it.D)))
+		b = append(b, it.D...)
+		b = binary.AppendUvarint(b, uint64(len(it.E)))
+		b = append(b, it.E...)
+	}
+	return b, nil
+}
+
+func (binaryWire) DecodeBatch(data []byte) ([]BatchItem, error) {
+	if len(data) == 0 || data[0] != binBatchMagic {
+		return nil, fmt.Errorf("%w: missing batch magic", ErrBadFrame)
+	}
+	rest := data[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad batch count", ErrBadFrame)
+	}
+	rest = rest[n:]
+	// Each item needs at least two varint bytes; reject counts the body
+	// cannot possibly hold before allocating for them.
+	if count > uint64(len(rest)/2) {
+		return nil, fmt.Errorf("%w: batch count %d exceeds body", ErrBadFrame, count)
+	}
+	items := make([]BatchItem, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var it BatchItem
+		for f := 0; f < 2; f++ {
+			l, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad batch item length", ErrBadFrame)
+			}
+			rest = rest[n:]
+			if l > uint64(len(rest)) {
+				return nil, fmt.Errorf("%w: batch item length %d exceeds body", ErrBadFrame, l)
+			}
+			if f == 0 {
+				if l > 0 {
+					// Copy: aliasing the frame here would let one
+					// retained item pin the whole multi-item frame
+					// buffer for its lifetime (batch-size memory
+					// amplification). Message.Data stays aliased —
+					// there the mapping is 1:1.
+					it.D = append([]byte(nil), rest[:l]...)
+				}
+			} else if l > 0 {
+				it.E = string(rest[:l])
+			}
+			rest = rest[l:]
+		}
+		items = append(items, it)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(rest))
+	}
+	return items, nil
+}

@@ -5,10 +5,15 @@
 // and the master streams inputs and collects results over a framed,
 // heartbeat-monitored message channel.
 //
-// Frames are length-prefixed JSON: a 4-byte big-endian length followed by
-// the JSON encoding of Message. JSON keeps the protocol debuggable and
-// mirrors the JavaScript original; the fixed-size prefix gives the
-// unambiguous message boundaries that WebSocket frames provided.
+// Two wire formats share the same outer framing (a 4-byte big-endian body
+// length): '/pando/1.0.0' encodes the body as JSON, keeping the protocol
+// debuggable and mirroring the JavaScript original, while '/pando/2.0.0'
+// encodes it as binary tag-length-value fields with varint lengths and raw
+// payload bytes, removing the base64 inflation JSON imposes on []byte
+// payloads. Bodies are self-describing (a v2 body starts with a magic byte
+// no JSON body can start with), so a reader accepts both formats at any
+// time; which format a peer *writes* is negotiated during the
+// hello/welcome handshake (see WireFormat and Negotiate).
 package proto
 
 import (
@@ -19,9 +24,16 @@ import (
 	"io"
 )
 
-// Version is the protocol version tag, mirroring the '/pando/1.0.0'
-// property of the paper's programming interface (Figure 2).
+// Version is the baseline protocol version tag, mirroring the
+// '/pando/1.0.0' property of the paper's programming interface (Figure 2).
+// Every peer speaks it; hellos always declare it so v1-only masters admit
+// newer workers unchanged.
 const Version = "/pando/1.0.0"
+
+// Version2 tags the binary wire format: same message vocabulary, binary
+// tag-length-value envelope, raw payload bytes (no base64), varint
+// lengths, and binary grouped batches.
+const Version2 = "/pando/2.0.0"
 
 // MaxFrameSize bounds a single frame. The paper notes a limitation on the
 // size of individual WebRTC messages in the simple-peer library (§5.1);
@@ -78,6 +90,13 @@ type Message struct {
 	Batch   int    `json:"b,omitempty"`  // values in flight (Limiter bound)
 	Token   string `json:"tk,omitempty"` // deployment invitation token
 
+	// Wire-format negotiation (hello/welcome only). A worker's hello
+	// lists the formats it can speak, best first; the master's welcome
+	// names the one chosen for the rest of the session. Absent fields
+	// mean v1, which is how pre-negotiation peers interoperate.
+	Formats []string `json:"fmts,omitempty"` // hello: supported wire formats
+	Wire    string   `json:"w,omitempty"`    // welcome: selected wire format
+
 	// Signalling fields.
 	Peer string `json:"p,omitempty"`  // sender peer ID
 	To   string `json:"to,omitempty"` // destination peer ID
@@ -92,34 +111,39 @@ type BatchItem struct {
 	E string `json:"e,omitempty"`
 }
 
-// EncodeBatch serializes grouped payloads for a frame's Data field.
+// EncodeBatch serializes grouped payloads for a frame's Data field in the
+// v1 (JSON array) encoding. Negotiated channels should call the selected
+// WireFormat's EncodeBatch instead.
 func EncodeBatch(items []BatchItem) ([]byte, error) {
-	return json.Marshal(items)
+	return V1.EncodeBatch(items)
 }
 
-// DecodeBatch parses a grouped frame's Data field.
+// DecodeBatch parses a grouped frame's Data field, accepting both the v1
+// JSON array and the v2 binary batch encoding (a binary batch starts with
+// a magic byte no JSON value can start with).
 func DecodeBatch(data []byte) ([]BatchItem, error) {
-	var items []BatchItem
-	if err := json.Unmarshal(data, &items); err != nil {
-		return nil, fmt.Errorf("proto: decode batch: %w", err)
+	if len(data) > 0 && data[0] == binBatchMagic {
+		return V2.DecodeBatch(data)
 	}
-	return items, nil
+	return V1.DecodeBatch(data)
 }
 
 // Errors returned by the framing layer.
 var (
 	ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
 	ErrBadVersion    = errors.New("proto: protocol version mismatch")
+	ErrBadFrame      = errors.New("proto: malformed frame body")
 )
 
-// WriteFrame encodes m as one frame on w. It performs a single Write call
-// for the whole frame so interleaved writers cannot corrupt the stream
-// boundary mid-frame (callers should still serialize writes).
+// WriteFrame encodes m as one v1 frame on w, the pre-negotiation default.
 func WriteFrame(w io.Writer, m *Message) error {
-	body, err := json.Marshal(m)
-	if err != nil {
-		return fmt.Errorf("proto: marshal: %w", err)
-	}
+	return V1.WriteFrame(w, m)
+}
+
+// writeBody length-prefixes body and writes it in a single Write call so
+// interleaved writers cannot corrupt the stream boundary mid-frame
+// (callers should still serialize writes).
+func writeBody(w io.Writer, body []byte) error {
 	if len(body) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
@@ -132,8 +156,8 @@ func WriteFrame(w io.Writer, m *Message) error {
 	return nil
 }
 
-// ReadFrame decodes one frame from r.
-func ReadFrame(r io.Reader) (*Message, error) {
+// readBody reads one length-prefixed frame body from r.
+func readBody(r io.Reader) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
@@ -145,6 +169,21 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("proto: short frame body: %w", err)
+	}
+	return body, nil
+}
+
+// ReadFrame decodes one frame from r, accepting either wire format: the
+// body's first byte distinguishes a v2 binary envelope from v1 JSON.
+// Readers therefore never depend on negotiation state, which keeps the
+// hello/welcome format switch race-free even with heartbeats in flight.
+func ReadFrame(r io.Reader) (*Message, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0 && body[0] == binMagic {
+		return decodeBinaryBody(body)
 	}
 	m := new(Message)
 	if err := json.Unmarshal(body, m); err != nil {

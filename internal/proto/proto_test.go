@@ -7,6 +7,7 @@ import (
 	"io"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -107,14 +108,18 @@ func TestQuickFrameRoundTrip(t *testing.T) {
 	}
 }
 
-// FuzzReadFrame exercises the framing layer against adversarial bytes.
-// Without -fuzz it runs the seed corpus as a regular test; with
+// FuzzReadFrame exercises the framing layer — both wire formats, since
+// ReadFrame sniffs the body — against adversarial bytes. Without -fuzz it
+// runs the seed corpus as a regular test; with
 // `go test -fuzz=FuzzReadFrame ./internal/proto` it explores further.
 func FuzzReadFrame(f *testing.F) {
-	// Well-formed frame.
+	// Well-formed v1 and v2 frames.
 	var good bytes.Buffer
 	_ = WriteFrame(&good, &Message{Type: TypeInput, Seq: 3, Data: []byte(`"x"`)})
 	f.Add(good.Bytes())
+	var goodBin bytes.Buffer
+	_ = V2.WriteFrame(&goodBin, &Message{Type: TypeInput, Seq: 3, Data: []byte{0x00, 0xFF}})
+	f.Add(goodBin.Bytes())
 	// Truncations, garbage, hostile lengths.
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
@@ -122,6 +127,12 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x41})
 	f.Add([]byte{0x00, 0x00, 0x00, 0x05, '{', '"', 't', '"', ':'})
 	f.Add(append([]byte{0x00, 0x00, 0x00, 0x02}, []byte("{}")...))
+	// Hostile v2 bodies: bare magic, bad varints, lengths past the end,
+	// unknown type code.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0xB2})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x03, 0xB2, 0x02, 0x80})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x04, 0xB2, 0x82, 0x7F, 0x41})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x03, 0xB2, 0x01, 0x7F})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Must never panic and never allocate beyond the frame cap.
 		m, err := ReadFrame(bytes.NewReader(data))
@@ -131,22 +142,60 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
-// FuzzFrameRoundTrip checks Write/Read inversion for arbitrary payloads.
+// FuzzFrameRoundTrip checks Write/Read inversion — Decode(Encode(m)) == m
+// — for arbitrary payloads under both wire formats.
 func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(uint64(1), []byte("data"), "err", "peer")
 	f.Add(uint64(0), []byte{}, "", "")
 	f.Fuzz(func(t *testing.T, seq uint64, data []byte, errStr, peer string) {
-		var buf bytes.Buffer
-		in := &Message{Type: TypeResult, Seq: seq, Data: data, Err: errStr, Peer: peer}
-		if err := WriteFrame(&buf, in); err != nil {
-			return // oversize payloads may legitimately fail
+		for _, wf := range []WireFormat{V1, V2} {
+			// encoding/json replaces invalid UTF-8 in strings with
+			// U+FFFD, so the v1 wire cannot round-trip such strings
+			// exactly; the binary wire carries them verbatim.
+			if wf == V1 && !(utf8.ValidString(errStr) && utf8.ValidString(peer)) {
+				continue
+			}
+			var buf bytes.Buffer
+			in := &Message{Type: TypeResult, Seq: seq, Data: data, Err: errStr, Peer: peer}
+			if err := wf.WriteFrame(&buf, in); err != nil {
+				continue // oversize payloads may legitimately fail
+			}
+			out, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("%s: round trip read: %v", wf.Name(), err)
+			}
+			if out.Seq != seq || !bytes.Equal(out.Data, data) || out.Err != errStr || out.Peer != peer {
+				t.Fatalf("%s: round trip mismatch: %+v", wf.Name(), out)
+			}
 		}
-		out, err := ReadFrame(&buf)
+	})
+}
+
+// FuzzDecodeBatch exercises the grouped-payload decoders of both formats.
+func FuzzDecodeBatch(f *testing.F) {
+	jsonBatch, _ := V1.EncodeBatch([]BatchItem{{D: []byte(`1`)}, {E: "x"}})
+	f.Add(jsonBatch)
+	binBatch, _ := V2.EncodeBatch([]BatchItem{{D: []byte{0xFF}}, {E: "x"}})
+	f.Add(binBatch)
+	f.Add([]byte{0xB3})
+	f.Add([]byte{0xB3, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeBatch(data)
 		if err != nil {
-			t.Fatalf("round trip read: %v", err)
+			return
 		}
-		if out.Seq != seq || !bytes.Equal(out.Data, data) || out.Err != errStr || out.Peer != peer {
-			t.Fatalf("round trip mismatch: %+v", out)
+		// Whatever decoded must re-encode and decode identically in v2.
+		re, err := V2.EncodeBatch(items)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := V2.DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(back) != len(items) {
+			t.Fatalf("item count changed: %d != %d", len(back), len(items))
 		}
 	})
 }

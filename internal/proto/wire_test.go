@@ -1,0 +1,309 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func fullMessage() *Message {
+	return &Message{
+		Type:    TypeHello,
+		Seq:     123456789,
+		Data:    []byte{0x00, 0xFF, 0xB2, '"', '{'},
+		Err:     "boom",
+		Version: Version,
+		Func:    "render",
+		Cores:   8,
+		Batch:   4,
+		Token:   "tok",
+		Peer:    "iPhone SE",
+		To:      "master",
+		Addr:    "10.0.0.1:4242",
+		Formats: []string{Version2, Version},
+		Wire:    Version2,
+	}
+}
+
+func TestBinaryFrameRoundTrip(t *testing.T) {
+	in := fullMessage()
+	var buf bytes.Buffer
+	if err := V2.WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := V2.ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestBinaryFrameOmitsEmptyFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := V2.WriteFrame(&buf, &Message{Type: TypePing}); err != nil {
+		t.Fatal(err)
+	}
+	// 4-byte prefix + magic + tag + 1-byte type code.
+	if got := buf.Len(); got != 7 {
+		t.Fatalf("ping frame is %d bytes, want 7", got)
+	}
+	m, err := V2.ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypePing {
+		t.Fatalf("type = %q", m.Type)
+	}
+}
+
+func TestBinaryFrameUnknownTypeString(t *testing.T) {
+	in := &Message{Type: Type("future-extension")}
+	var buf bytes.Buffer
+	if err := V2.WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := V2.ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type {
+		t.Fatalf("type = %q, want %q", out.Type, in.Type)
+	}
+}
+
+// TestReadFrameSniffsBothFormats interleaves v1 and v2 frames on one
+// stream: the reader must accept both without knowing the negotiation
+// state, the property the handshake's format switch relies on.
+func TestReadFrameSniffsBothFormats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := V1.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 1, Data: []byte(`"a"`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := V2.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 2, Data: []byte{0xB2, 0x00}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := V1.WriteFrame(&buf, &Message{Type: TypePing}); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{1, 2, 0} {
+		m, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.Seq != want {
+			t.Fatalf("frame %d: seq = %d, want %d", i, m.Seq, want)
+		}
+	}
+}
+
+func TestBinaryFrameStrictReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := V1.WriteFrame(&buf, &Message{Type: TypePing}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := V2.ReadFrame(&buf); err == nil {
+		t.Fatal("v2 reader accepted a JSON body")
+	}
+}
+
+func TestBinaryFrameTruncations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := V2.WriteFrame(&buf, fullMessage()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(raw))
+		}
+	}
+}
+
+func TestBinaryBodyCorruptions(t *testing.T) {
+	cases := map[string][]byte{
+		"empty after magic ok but no type": {binMagic},
+		"bad varint":                       {binMagic, tagSeq, 0x80},
+		"length past end":                  {binMagic, tagData, 0x05, 'a'},
+	}
+	for name, body := range cases {
+		if _, err := decodeBinaryBody(body); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+}
+
+// TestBinaryBodyUnknownTypeCode: a type code from a newer peer must not
+// kill the channel — it decodes to an opaque type the receive loops skip,
+// matching how v1 treats unknown type strings.
+func TestBinaryBodyUnknownTypeCode(t *testing.T) {
+	m, err := decodeBinaryBody([]byte{binMagic, tagType, 0x7F})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type == "" {
+		t.Fatal("unknown type code decoded to an empty type")
+	}
+}
+
+func TestBinaryBodySkipsUnknownTags(t *testing.T) {
+	body := []byte{binMagic}
+	body = append(body, 0x70, 0x05)             // unknown numeric field
+	body = append(body, 0xF0, 0x02, 0xAA, 0xBB) // unknown length-delimited field
+	body = append(body, tagType, 0x07)          // ping
+	m, err := decodeBinaryBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypePing {
+		t.Fatalf("type = %q, want ping", m.Type)
+	}
+}
+
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	items := []BatchItem{
+		{D: []byte("alpha")},
+		{E: "failed"},
+		{D: []byte{0xB3, 0x00, 0xFF}, E: "both"},
+		{},
+	}
+	data, err := V2.EncodeBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := V2.DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(items, got) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, items)
+	}
+	// The format-agnostic decoder must sniff it too.
+	got, err = DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(items, got) {
+		t.Fatalf("sniffed round trip mismatch: %+v", got)
+	}
+}
+
+func TestBinaryBatchRejectsHostileCounts(t *testing.T) {
+	// Claims 2^32 items in a 3-byte body: must fail before allocating.
+	data := []byte{binBatchMagic, 0x80, 0x80, 0x80, 0x80, 0x10}
+	if _, err := V2.DecodeBatch(data); err == nil {
+		t.Fatal("hostile count decoded successfully")
+	}
+	// Trailing garbage after a valid batch.
+	ok, _ := V2.EncodeBatch([]BatchItem{{D: []byte("x")}})
+	if _, err := V2.DecodeBatch(append(ok, 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDecodeBatchSniffsJSON(t *testing.T) {
+	items := []BatchItem{{D: []byte(`1`)}, {D: []byte(`2`)}}
+	data, err := V1.EncodeBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		name      string
+		preferred []string
+		offered   []string
+		want      string
+	}{
+		{"both v2-capable", nil, []string{Version2, Version}, Version2},
+		{"v1-only worker", nil, []string{Version}, Version},
+		{"pre-negotiation worker", nil, nil, Version},
+		{"master pinned to v1", []string{Version}, []string{Version2, Version}, Version},
+		{"no overlap falls back", []string{Version2}, []string{"/pando/9.9.9"}, Version},
+		{"unknown offers ignored", nil, []string{"/pando/9.9.9", Version2}, Version2},
+	}
+	for _, tc := range cases {
+		if got := Negotiate(tc.preferred, tc.offered).Name(); got != tc.want {
+			t.Errorf("%s: negotiated %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLookupFormat(t *testing.T) {
+	for _, name := range SupportedFormats() {
+		wf, ok := LookupFormat(name)
+		if !ok || wf.Name() != name {
+			t.Fatalf("LookupFormat(%q) = %v, %v", name, wf, ok)
+		}
+	}
+	if _, ok := LookupFormat("/pando/0.1.0"); ok {
+		t.Fatal("unknown format resolved")
+	}
+}
+
+// TestQuickBinaryRoundTrip property-checks Decode(Encode(m)) == m over
+// the binary format, the ISSUE's round-trip acceptance property.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seq uint64, data []byte, errStr, peer, fn string, cores, batch uint16) bool {
+		in := &Message{
+			Type: TypeResult, Seq: seq, Data: data, Err: errStr,
+			Peer: peer, Func: fn, Cores: int(cores), Batch: int(batch),
+		}
+		var buf bytes.Buffer
+		if err := V2.WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := V2.ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		if len(in.Data) == 0 {
+			in.Data = nil // empty and absent are equivalent on the wire
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkWireEnvelope compares the two envelopes on a payload-free
+// control frame and on payload-bearing frames; see also the workload
+// benchmarks in internal/bench and the repo root.
+func BenchmarkWireEnvelope(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xA5}, 16<<10)
+	for _, tc := range []struct {
+		name string
+		wf   WireFormat
+	}{{"v1-json", V1}, {"v2-binary", V2}} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := &Message{Type: TypeInput, Seq: 7, Data: payload}
+			var buf bytes.Buffer
+			var frameLen int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := tc.wf.WriteFrame(&buf, m); err != nil {
+					b.Fatal(err)
+				}
+				frameLen = buf.Len() // before ReadFrame drains the buffer
+				if _, err := tc.wf.ReadFrame(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(frameLen))
+			b.ReportMetric(float64(frameLen), "wire-bytes/frame")
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package transport
+
+import "encoding"
+
+// This file holds payload codecs beyond the JSON default (duplex.go).
+// With the v2 binary envelope the frame no longer inflates Data, so the
+// payload codec decides whether a workload pays any serialization cost at
+// all: RawCodec makes []byte-shaped values (image tiles, ray-trace
+// buffers) cross the wire untouched, and BinaryCodec plugs in a type's
+// own MarshalBinary/UnmarshalBinary.
+
+// RawCodec passes []byte payloads through untouched. Combined with the
+// '/pando/2.0.0' envelope the bytes appear on the wire verbatim — no
+// JSON, no base64.
+type RawCodec struct{}
+
+// Encode returns b unchanged.
+func (RawCodec) Encode(b []byte) ([]byte, error) { return b, nil }
+
+// Decode returns data unchanged.
+func (RawCodec) Decode(data []byte) ([]byte, error) { return data, nil }
+
+var _ Codec[[]byte] = RawCodec{}
+
+// BinaryCodec encodes values through their own encoding.BinaryMarshaler /
+// BinaryUnmarshaler implementations. The second type parameter is the
+// pointer form carrying UnmarshalBinary; instantiate it as
+// BinaryCodec[T, *T].
+type BinaryCodec[T encoding.BinaryMarshaler, PT interface {
+	*T
+	encoding.BinaryUnmarshaler
+}] struct{}
+
+// Encode marshals v with its MarshalBinary.
+func (BinaryCodec[T, PT]) Encode(v T) ([]byte, error) { return v.MarshalBinary() }
+
+// Decode unmarshals data with the type's UnmarshalBinary.
+func (BinaryCodec[T, PT]) Decode(data []byte) (T, error) {
+	var v T
+	if err := PT(&v).UnmarshalBinary(data); err != nil {
+		var zero T
+		return zero, err
+	}
+	return v, nil
+}

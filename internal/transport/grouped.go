@@ -52,7 +52,9 @@ func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullst
 					ch.Close()
 					return
 				}
-				data, err := proto.EncodeBatch(items)
+				// Pack the batch in the channel's negotiated wire format
+				// (binary batches under v2, JSON arrays under v1).
+				data, err := ch.Wire().EncodeBatch(items)
 				if err != nil {
 					ch.Close()
 					return
@@ -139,7 +141,7 @@ func WorkerServeGrouped[I, O any](ch Channel, in Codec[I], out Codec[O], f func(
 				one := applyOne(m.Seq, it.D, in, out, f)
 				results = append(results, proto.BatchItem{D: one.Data, E: one.Err})
 			}
-			data, err := proto.EncodeBatch(results)
+			data, err := ch.Wire().EncodeBatch(results)
 			if err != nil {
 				_ = ch.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Err: "encode batch: " + err.Error()})
 				continue

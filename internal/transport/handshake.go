@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"fmt"
+	"slices"
+
+	"pando/internal/proto"
+)
+
+// This file centralizes the hello/welcome handshake with wire-format
+// negotiation, spoken on every admission edge of a deployment: master ↔
+// volunteer and relay ↔ child. Both the master and overlay packages build
+// on these two halves so the protocol cannot drift between them.
+//
+// The hello always travels as a v1 frame (the lingua franca any peer
+// reads) and lists the formats the client speaks; the welcome — also v1 —
+// names the master's choice and carries the deployment's whole allowed
+// list so relays can enforce the same restriction on their own children.
+// Each side switches its outgoing frames only after its half concluded;
+// reception sniffs every frame, so the switches need no ordering.
+
+// ClientHandshake performs the volunteer side of the handshake on ch: it
+// advertises formats (SupportedFormats when empty), validates the reply
+// and the wire selection it names, and switches outgoing frames to the
+// negotiated format. It returns the welcome, which carries the deployment
+// parameters (function name, batch, format restriction). On error the
+// channel is closed.
+func ClientHandshake(ch Channel, peer string, formats []string) (*proto.Message, error) {
+	if len(formats) == 0 {
+		formats = proto.SupportedFormats()
+	}
+	if err := ch.Send(&proto.Message{
+		Type:    proto.TypeHello,
+		Version: proto.Version,
+		Peer:    peer,
+		Formats: formats,
+	}); err != nil {
+		ch.Close()
+		return nil, err
+	}
+	welcome, err := ch.Recv()
+	if err != nil {
+		ch.Close()
+		return nil, err
+	}
+	if welcome.Type == proto.TypeError {
+		ch.Close()
+		return nil, fmt.Errorf("transport: rejected: %s", welcome.Err)
+	}
+	if welcome.Type != proto.TypeWelcome {
+		ch.Close()
+		return nil, fmt.Errorf("transport: unexpected handshake reply %q", welcome.Type)
+	}
+	// An empty Wire means a pre-negotiation master, which always speaks
+	// v1. Either way the selection must be something this peer advertised.
+	chosen := welcome.Wire
+	if chosen == "" {
+		chosen = proto.Version
+	}
+	wf, ok := proto.LookupFormat(chosen)
+	if !ok || !slices.Contains(formats, chosen) {
+		ch.Close()
+		return nil, fmt.Errorf("transport: master selected unsupported wire format %q (supported: %v)", chosen, formats)
+	}
+	ch.SetWire(wf)
+	return welcome, nil
+}
+
+// AdmitHandshake performs the admitting side: it receives and validates
+// the hello, negotiates strictly against the allowed formats (refusing
+// peers that share none rather than silently falling back), replies with
+// a welcome naming the choice and carrying the allowed list, and switches
+// outgoing frames. It returns the hello and the negotiated format. On
+// error the peer is sent a TypeError frame and the channel is closed.
+func AdmitHandshake(ch Channel, funcName string, batch int, allowed []string) (*proto.Message, proto.WireFormat, error) {
+	hello, err := ch.Recv()
+	if err != nil {
+		ch.Close()
+		return nil, nil, err
+	}
+	if err := proto.CheckHello(hello); err != nil {
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+		ch.Close()
+		return nil, nil, err
+	}
+	wire, err := proto.NegotiateStrict(allowed, hello.Formats)
+	if err != nil {
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+		ch.Close()
+		return nil, nil, err
+	}
+	if err := ch.Send(&proto.Message{
+		Type:    proto.TypeWelcome,
+		Func:    funcName,
+		Batch:   batch,
+		Wire:    wire.Name(),
+		Formats: allowed,
+	}); err != nil {
+		ch.Close()
+		return nil, nil, fmt.Errorf("transport: welcome: %w", err)
+	}
+	ch.SetWire(wire)
+	return hello, wire, nil
+}

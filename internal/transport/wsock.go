@@ -25,6 +25,7 @@ type WSock struct {
 	recvq chan *proto.Message
 
 	mu     sync.Mutex
+	wire   proto.WireFormat // outgoing frame format (negotiated)
 	err    error
 	closed bool
 	done   chan struct{}
@@ -38,6 +39,7 @@ func NewWSock(conn net.Conn, cfg Config) *WSock {
 	w := &WSock{
 		conn:  conn,
 		cfg:   cfg,
+		wire:  proto.V1,
 		recvq: make(chan *proto.Message, 64),
 		done:  make(chan struct{}),
 	}
@@ -48,7 +50,7 @@ func NewWSock(conn net.Conn, cfg Config) *WSock {
 	return w
 }
 
-// Send transmits one message.
+// Send transmits one message in the currently negotiated wire format.
 func (w *WSock) Send(m *proto.Message) error {
 	w.mu.Lock()
 	if w.closed {
@@ -59,6 +61,7 @@ func (w *WSock) Send(m *proto.Message) error {
 		}
 		return err
 	}
+	wire := w.wire
 	w.mu.Unlock()
 
 	w.wmu.Lock()
@@ -66,11 +69,30 @@ func (w *WSock) Send(m *proto.Message) error {
 	if to := w.cfg.timeout(); to > 0 {
 		_ = w.conn.SetWriteDeadline(time.Now().Add(to))
 	}
-	if err := proto.WriteFrame(w.conn, m); err != nil {
+	if err := wire.WriteFrame(w.conn, m); err != nil {
 		w.fail(fmt.Errorf("transport: send: %w", err))
 		return err
 	}
 	return nil
+}
+
+// Wire reports the outgoing frame format.
+func (w *WSock) Wire() proto.WireFormat {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wire
+}
+
+// SetWire switches outgoing frames to wf. Reception always sniffs both
+// formats, so the switch needs no coordination with the peer beyond the
+// handshake that selected wf.
+func (w *WSock) SetWire(wf proto.WireFormat) {
+	if wf == nil {
+		return
+	}
+	w.mu.Lock()
+	w.wire = wf
+	w.mu.Unlock()
 }
 
 // Recv returns the next non-heartbeat message.

@@ -66,13 +66,7 @@ func Registered() []string {
 
 // RawCodec passes payloads through untouched; the volunteer does not
 // interpret application data.
-type RawCodec struct{}
-
-// Encode returns data unchanged.
-func (RawCodec) Encode(b []byte) ([]byte, error) { return b, nil }
-
-// Decode returns data unchanged.
-func (RawCodec) Decode(b []byte) ([]byte, error) { return b, nil }
+type RawCodec = transport.RawCodec
 
 // ErrCrashed is the internal signal a Volunteer uses to simulate a
 // crash-stop failure (a browser tab suddenly closed).
@@ -95,6 +89,10 @@ type Volunteer struct {
 	// that many items; negative means never. The crash severs the
 	// connection without a goodbye, the paper's crash-stop failure.
 	CrashAfter int
+	// Formats restricts the wire formats this volunteer advertises, best
+	// first. Empty advertises everything this build supports; set it to
+	// []string{proto.Version} to emulate a v1-only device.
+	Formats []string
 
 	mu        sync.Mutex
 	processed int
@@ -163,26 +161,12 @@ func (v *Volunteer) JoinRTC(signal transport.Channel, selfID, masterID string, d
 }
 
 func (v *Volunteer) serve(ch transport.Channel) error {
-	if err := ch.Send(&proto.Message{
-		Type:    proto.TypeHello,
-		Version: proto.Version,
-		Peer:    v.Name,
-	}); err != nil {
-		ch.Close()
-		return err
-	}
-	welcome, err := ch.Recv()
+	// The hello still declares '/pando/1.0.0' and travels as a v1 frame:
+	// that is the lingua franca an un-upgraded master understands. The
+	// Formats list is what advertises newer wire formats.
+	welcome, err := transport.ClientHandshake(ch, v.Name, v.Formats)
 	if err != nil {
-		ch.Close()
 		return err
-	}
-	if welcome.Type == proto.TypeError {
-		ch.Close()
-		return fmt.Errorf("worker: rejected: %s", welcome.Err)
-	}
-	if welcome.Type != proto.TypeWelcome {
-		ch.Close()
-		return fmt.Errorf("worker: unexpected handshake reply %q", welcome.Type)
 	}
 
 	h := v.Handler

@@ -22,13 +22,13 @@ package pando
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
 	"pando/internal/master"
 	"pando/internal/netsim"
+	"pando/internal/proto"
 	"pando/internal/pullstream"
 	"pando/internal/transport"
 	"pando/internal/worker"
@@ -47,6 +47,23 @@ type (
 	// Dialer opens a raw connection to a candidate address during the
 	// WebRTC-like bootstrap.
 	Dialer = transport.Dialer
+	// Codec serializes stream values for the wire; see WithCodec.
+	Codec[T any] = transport.Codec[T]
+	// JSONCodec is the default payload codec.
+	JSONCodec[T any] = transport.JSONCodec[T]
+	// RawCodec passes []byte payloads through untouched; with the binary
+	// wire format they cross the network verbatim.
+	RawCodec = transport.RawCodec
+)
+
+// Wire format tags, for WithWireFormat.
+const (
+	// WireV1 is the length-prefixed JSON format of the original
+	// '/pando/1.0.0' protocol — debuggable, spoken by every peer.
+	WireV1 = proto.Version
+	// WireV2 is the binary tag-length-value format: raw payload bytes
+	// (no base64), varint lengths, binary batches.
+	WireV2 = proto.Version2
 )
 
 // Option configures a Pando instance.
@@ -58,6 +75,9 @@ type options struct {
 	unordered bool
 	channel   transport.Config
 	register  bool
+	formats   []string
+	inCodec   any // transport.Codec[I], stored untyped (Option is not generic)
+	outCodec  any // transport.Codec[O]
 }
 
 // WithBatch sets how many values may be in flight per device (the Limiter
@@ -86,11 +106,37 @@ func WithChannelConfig(cfg ChannelConfig) Option {
 // name in tests).
 func WithoutRegistry() Option { return func(o *options) { o.register = false } }
 
+// WithWireFormat restricts which wire formats the deployment negotiates
+// with volunteers, best first (WireV2, WireV1). The default allows both,
+// preferring the binary format. WithWireFormat(WireV1) pins a deployment
+// to the JSON wire for debuggability; WithWireFormat(WireV2) enforces the
+// binary wire — volunteers that cannot speak any allowed format are
+// refused at admission rather than silently falling back. Unknown format
+// names are programming errors and panic at pando.New, like WithCodec
+// mismatches — a typo would otherwise refuse every volunteer at runtime.
+func WithWireFormat(names ...string) Option {
+	return func(o *options) { o.formats = names }
+}
+
+// WithCodec replaces the JSON payload codecs. The type parameters must
+// match the deployment's input and output types — pando.New panics
+// otherwise, since a mismatched codec could never encode a single value.
+// Pair RawCodec with the binary wire format to move []byte workloads
+// (image tiles, ray-trace buffers) with zero serialization overhead.
+func WithCodec[I, O any](in Codec[I], out Codec[O]) Option {
+	return func(o *options) {
+		o.inCodec = in
+		o.outCodec = out
+	}
+}
+
 // Pando is one deployment: a single project, a single user, the lifetime
 // of the corresponding tasks (design principle DP1).
 type Pando[I, O any] struct {
 	name string
 	f    func(I) (O, error)
+	in   transport.Codec[I]
+	out  transport.Codec[O]
 	m    *master.Master[I, O]
 	opts options
 
@@ -107,9 +153,33 @@ func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, 
 	for _, opt := range opts {
 		opt(&o)
 	}
+	for _, f := range o.formats {
+		if _, ok := proto.LookupFormat(f); !ok {
+			panic(fmt.Sprintf("pando: WithWireFormat: unknown wire format %q (supported: %v)",
+				f, proto.SupportedFormats()))
+		}
+	}
+	var in transport.Codec[I] = transport.JSONCodec[I]{}
+	var out transport.Codec[O] = transport.JSONCodec[O]{}
+	if o.inCodec != nil {
+		c, ok := o.inCodec.(transport.Codec[I])
+		if !ok {
+			panic(fmt.Sprintf("pando: WithCodec input codec %T does not encode %T", o.inCodec, *new(I)))
+		}
+		in = c
+	}
+	if o.outCodec != nil {
+		c, ok := o.outCodec.(transport.Codec[O])
+		if !ok {
+			panic(fmt.Sprintf("pando: WithCodec output codec %T does not encode %T", o.outCodec, *new(O)))
+		}
+		out = c
+	}
 	p := &Pando[I, O]{
 		name: name,
 		f:    f,
+		in:   in,
+		out:  out,
 		opts: o,
 		m: master.New[I, O](master.Config{
 			FuncName: name,
@@ -117,11 +187,12 @@ func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, 
 			Ordered:  !o.unordered,
 			Group:    o.group,
 			Channel:  o.channel,
-		}, transport.JSONCodec[I]{}, transport.JSONCodec[O]{}),
+			Formats:  o.formats,
+		}, in, out),
 	}
 	if o.register {
 		if _, exists := worker.Lookup(name); !exists {
-			worker.Register(name, Handler(f))
+			worker.Register(name, CodecHandler(f, in, out))
 		}
 	}
 	return p
@@ -130,21 +201,29 @@ func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, 
 // Handler adapts a typed processing function into a registry handler, the
 // equivalent of the paper's Figure 2 glue code: decode the input, apply
 // the function, encode the result, report errors through the callback.
+// Payloads are JSON, matching the deployment default; use CodecHandler
+// for deployments created with WithCodec.
 func Handler[I, O any](f func(I) (O, error)) worker.Handler {
+	return CodecHandler(f, transport.JSONCodec[I]{}, transport.JSONCodec[O]{})
+}
+
+// CodecHandler is Handler with explicit payload codecs; the volunteer
+// must decode inputs with the same codec the master encodes them with.
+func CodecHandler[I, O any](f func(I) (O, error), in Codec[I], out Codec[O]) worker.Handler {
 	return func(input []byte) ([]byte, error) {
-		var v I
-		if err := json.Unmarshal(input, &v); err != nil {
+		v, err := in.Decode(input)
+		if err != nil {
 			return nil, fmt.Errorf("pando: decode input: %w", err)
 		}
 		r, err := f(v)
 		if err != nil {
 			return nil, err
 		}
-		out, err := json.Marshal(r)
+		data, err := out.Encode(r)
 		if err != nil {
 			return nil, fmt.Errorf("pando: encode result: %w", err)
 		}
-		return out, nil
+		return data, nil
 	}
 }
 
@@ -154,15 +233,33 @@ func Handler[I, O any](f func(I) (O, error)) worker.Handler {
 // Results arrive in input order unless WithUnordered was set.
 func (p *Pando[I, O]) Process(ctx context.Context, in <-chan I) (<-chan O, <-chan error) {
 	ctxErr := make(chan error, 1)
-	if ctx != nil {
-		go func() {
-			<-ctx.Done()
-			ctxErr <- ctx.Err()
-		}()
-	}
 	src := pullstream.FromChan(in, ctxErr)
-	out := p.m.Bind(src)
-	return pullstream.ToChan(out)
+	bound := p.m.Bind(src)
+	if ctx == nil {
+		return pullstream.ToChan(bound)
+	}
+	// Watch the stream's end signal so the cancellation watcher can be
+	// released when the stream completes before the context is ever
+	// cancelled — otherwise the watcher goroutine would block on
+	// ctx.Done() for the context's whole lifetime.
+	done := make(chan struct{})
+	var once sync.Once
+	watched := pullstream.Source[O](func(abort error, cb pullstream.Callback[O]) {
+		bound(abort, func(end error, v O) {
+			if end != nil {
+				once.Do(func() { close(done) })
+			}
+			cb(end, v)
+		})
+	})
+	go func() {
+		select {
+		case <-ctx.Done():
+			ctxErr <- ctx.Err()
+		case <-done:
+		}
+	}()
+	return pullstream.ToChan(watched)
 }
 
 // ProcessSlice is a convenience for finite workloads: it feeds every
@@ -222,7 +319,7 @@ func (p *Pando[I, O]) AddSimulatedWorkers(n int, namePrefix string, link netsim.
 func (p *Pando[I, O]) AddWorker(name string, link netsim.Link, delay time.Duration, crashAfter int) {
 	v := &worker.Volunteer{
 		Name:       name,
-		Handler:    Handler(p.f),
+		Handler:    CodecHandler(p.f, p.in, p.out),
 		Channel:    p.opts.channel,
 		Delay:      delay,
 		CrashAfter: crashAfter,
