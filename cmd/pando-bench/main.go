@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,8 @@ func main() {
 		claims    = flag.Bool("claims", false, "check the §5.5 analysis claims")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		speedup   = flag.Bool("speedup", false, "measure speedup of all LAN devices vs one")
+		schedExp  = flag.Bool("sched", false, "run the static-vs-adaptive flow-control experiment")
+		schedOut  = flag.String("sched-out", "BENCH_sched.json", "where -sched persists its results")
 		items     = flag.Int("items", 400, "work items per cell")
 		timeScale = flag.Float64("timescale", bench.DefaultTimeScale, "time compression factor")
 	)
@@ -116,6 +119,26 @@ func main() {
 			}
 			bench.RenderSpeedup(os.Stdout, r)
 		}
+	}
+
+	if *schedExp {
+		ran = true
+		cmp, err := bench.RunSchedComparison(*items, *items/2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		bench.RenderSched(os.Stdout, cmp)
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*schedOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *schedOut)
 	}
 
 	if !ran {

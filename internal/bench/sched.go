@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	pando "pando"
+	"pando/internal/netsim"
+	"pando/internal/transport"
+)
+
+// This file implements the flow-control experiment behind the scheduler
+// subsystem: the paper's evaluation (§5.2–5.4) picks a single static
+// batch size per deployment, which a heterogeneous volunteer fleet cannot
+// share. The experiment measures static vs adaptive per-worker credit
+// windows on homogeneous and heterogeneous simulated fleets, and the
+// effect of speculative re-dispatch on tail completion time when one
+// worker stalls without crashing.
+
+// SchedRow is one measured configuration.
+type SchedRow struct {
+	Name       string  `json:"name"`
+	Fleet      string  `json:"fleet"`
+	Policy     string  `json:"policy"`
+	Items      int     `json:"items"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Throughput float64 `json:"items_per_sec"`
+	// PeakWindow is the largest per-worker credit window observed.
+	PeakWindow int `json:"peak_window"`
+	// Speculated counts values duplicated away from stragglers.
+	Speculated int `json:"speculated"`
+}
+
+// SchedComparison aggregates the experiment for BENCH_sched.json.
+type SchedComparison struct {
+	Rows []SchedRow `json:"rows"`
+	// AdaptiveSpeedupHomogeneous / Heterogeneous are adaptive over static
+	// end-to-end throughput ratios on the respective fleets.
+	AdaptiveSpeedupHomogeneous   float64 `json:"adaptive_speedup_homogeneous"`
+	AdaptiveSpeedupHeterogeneous float64 `json:"adaptive_speedup_heterogeneous"`
+	// SpeculationTailSpeedup is completion time without speculation over
+	// completion time with it, on a fleet with one stalled worker.
+	SpeculationTailSpeedup float64 `json:"speculation_tail_speedup"`
+}
+
+// schedFleet describes the simulated workers of one row.
+type schedFleet struct {
+	label     string
+	fast      int // workers with fastDelay per item
+	slow      int // workers with slowDelay per item
+	stalled   int // workers with stallDelay per item (alive, crawling)
+	fastDelay time.Duration
+	slowDelay time.Duration
+	stall     time.Duration
+}
+
+var schedSeq int
+
+// runSchedRow deploys one configuration and measures end-to-end
+// completion, sampling the master's stats during the run to capture the
+// peak credit window and speculation counts before workers detach.
+func runSchedRow(name string, fleet schedFleet, policy string, items int, link netsim.Link, opts ...pando.Option) (SchedRow, error) {
+	schedSeq++
+	base := []pando.Option{
+		pando.WithChannelConfig(transport.Config{HeartbeatInterval: 50 * time.Millisecond}),
+		pando.WithoutRegistry(),
+	}
+	p := pando.New(
+		fmt.Sprintf("sched-%d", schedSeq),
+		func(w WorkItem) (Ack, error) { return Ack{Seq: w.Seq}, nil },
+		append(base, opts...)...,
+	)
+	defer p.Close()
+	for i := 0; i < fleet.fast; i++ {
+		p.AddWorker(fmt.Sprintf("fast-%d", i+1), link, fleet.fastDelay, -1)
+	}
+	for i := 0; i < fleet.slow; i++ {
+		p.AddWorker(fmt.Sprintf("slow-%d", i+1), link, fleet.slowDelay, -1)
+	}
+	for i := 0; i < fleet.stalled; i++ {
+		p.AddWorker(fmt.Sprintf("stalled-%d", i+1), link, fleet.stall, -1)
+	}
+
+	// Sample flow-control state while the run is live: controllers detach
+	// with their workers, so the peak window and speculation counts must
+	// be captured in flight.
+	var mu sync.Mutex
+	peakWindow, speculated := 0, 0
+	stopSampler := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-t.C:
+			}
+			spec := 0
+			mu.Lock()
+			for _, w := range p.Stats() {
+				if w.Credits > peakWindow {
+					peakWindow = w.Credits
+				}
+				spec += w.Speculated
+			}
+			if spec > speculated {
+				speculated = spec
+			}
+			mu.Unlock()
+		}
+	}()
+
+	inputs := make([]WorkItem, items)
+	for i := range inputs {
+		inputs[i] = WorkItem{Seq: i}
+	}
+	start := time.Now()
+	_, err := p.ProcessSlice(context.Background(), inputs)
+	elapsed := time.Since(start)
+	close(stopSampler)
+	samplerDone.Wait()
+	if err != nil {
+		return SchedRow{}, fmt.Errorf("bench: sched %s: %w", name, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return SchedRow{
+		Name:       name,
+		Fleet:      fleet.label,
+		Policy:     policy,
+		Items:      items,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		Throughput: float64(items) / elapsed.Seconds(),
+		PeakWindow: peakWindow,
+		Speculated: speculated,
+	}, nil
+}
+
+// RunSchedComparison measures the full static-vs-adaptive and
+// speculation-on/off grid. items sizes the throughput rows; stallItems
+// (smaller) sizes the straggler rows, whose no-speculation baseline is
+// bounded by the stalled worker's crawl.
+func RunSchedComparison(items, stallItems int) (SchedComparison, error) {
+	// A WAN-grade link: at 10ms one-way, a 1ms/item worker needs ~20
+	// values in flight to hide the round-trip — far beyond the static
+	// default of 2, which is what the adaptive window must discover.
+	link := netsim.Link{Latency: 10 * time.Millisecond, Jitter: time.Millisecond, Bandwidth: 8 << 20}
+
+	homogeneous := schedFleet{label: "8 fast", fast: 8, fastDelay: time.Millisecond}
+	heterogeneous := schedFleet{
+		label: "4 fast + 4 slow",
+		fast:  4, fastDelay: time.Millisecond,
+		slow: 4, slowDelay: 25 * time.Millisecond,
+	}
+	straggler := schedFleet{
+		label: "7 fast + 1 stalled",
+		fast:  7, fastDelay: time.Millisecond,
+		stalled: 1, stall: 1500 * time.Millisecond,
+	}
+
+	var cmp SchedComparison
+	add := func(name string, fleet schedFleet, policy string, n int, opts ...pando.Option) (SchedRow, error) {
+		row, err := runSchedRow(name, fleet, policy, n, link, opts...)
+		if err != nil {
+			return row, err
+		}
+		cmp.Rows = append(cmp.Rows, row)
+		return row, nil
+	}
+
+	staticHomo, err := add("static-homogeneous", homogeneous, "static batch=2", items, pando.WithStaticLimit(2))
+	if err != nil {
+		return cmp, err
+	}
+	adaptHomo, err := add("adaptive-homogeneous", homogeneous, "adaptive 1..16", items, pando.WithAdaptiveLimit(1, 16))
+	if err != nil {
+		return cmp, err
+	}
+	staticHet, err := add("static-heterogeneous", heterogeneous, "static batch=2", items, pando.WithStaticLimit(2))
+	if err != nil {
+		return cmp, err
+	}
+	adaptHet, err := add("adaptive-heterogeneous", heterogeneous, "adaptive 1..16", items, pando.WithAdaptiveLimit(1, 16))
+	if err != nil {
+		return cmp, err
+	}
+	noSpec, err := add("straggler-no-speculation", straggler, "static batch=2, speculation off", stallItems, pando.WithStaticLimit(2))
+	if err != nil {
+		return cmp, err
+	}
+	withSpec, err := add("straggler-speculation", straggler, "static batch=2, speculation 3.0", stallItems,
+		pando.WithStaticLimit(2), pando.WithSpeculation(3.0))
+	if err != nil {
+		return cmp, err
+	}
+
+	cmp.AdaptiveSpeedupHomogeneous = adaptHomo.Throughput / staticHomo.Throughput
+	cmp.AdaptiveSpeedupHeterogeneous = adaptHet.Throughput / staticHet.Throughput
+	cmp.SpeculationTailSpeedup = noSpec.ElapsedMS / withSpec.ElapsedMS
+	return cmp, nil
+}
+
+// RenderSched prints the comparison in the reporter's table style.
+func RenderSched(w io.Writer, cmp SchedComparison) {
+	fmt.Fprintf(w, "\nFlow control: static pull-limit vs adaptive credits (see BENCH_sched.json)\n")
+	fmt.Fprintf(w, "%-26s %-20s %-32s %8s %10s %6s %6s\n",
+		"row", "fleet", "policy", "items/s", "elapsed", "peakW", "spec")
+	for _, r := range cmp.Rows {
+		fmt.Fprintf(w, "%-26s %-20s %-32s %8.1f %9.0fms %6d %6d\n",
+			r.Name, r.Fleet, r.Policy, r.Throughput, r.ElapsedMS, r.PeakWindow, r.Speculated)
+	}
+	fmt.Fprintf(w, "adaptive/static speedup: homogeneous %.2fx, heterogeneous %.2fx\n",
+		cmp.AdaptiveSpeedupHomogeneous, cmp.AdaptiveSpeedupHeterogeneous)
+	fmt.Fprintf(w, "speculation tail speedup with one stalled worker: %.2fx\n",
+		cmp.SpeculationTailSpeedup)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+func TestSchedComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cmp, err := RunSchedComparison(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(cmp.Rows))
+	}
+	for _, r := range cmp.Rows {
+		if r.Throughput <= 0 {
+			t.Errorf("row %s measured no throughput", r.Name)
+		}
+	}
+	// The structural effects, asserted loosely to tolerate CI noise: the
+	// adaptive window must out-run the static batch=2 default on a
+	// latency-bound fleet, and speculation must bound the tail when a
+	// worker stalls (the no-speculation run waits on the 1.5s/item
+	// crawler; the speculative run does not).
+	if cmp.AdaptiveSpeedupHeterogeneous < 1.2 {
+		t.Errorf("adaptive heterogeneous speedup %.2fx; expected > 1.2x over static batch=2",
+			cmp.AdaptiveSpeedupHeterogeneous)
+	}
+	if cmp.SpeculationTailSpeedup < 1.5 {
+		t.Errorf("speculation tail speedup %.2fx; expected the stalled worker's items to be rescued",
+			cmp.SpeculationTailSpeedup)
+	}
+	last := cmp.Rows[len(cmp.Rows)-1]
+	if last.Speculated == 0 {
+		t.Error("speculation row recorded no re-dispatched values")
+	}
+}

@@ -1,25 +1,30 @@
 // Package core implements DistributedMap, the central module of Pando's
 // architecture (paper Figure 7): the composition of the StreamLender with
-// a Limiter and a duplex channel per participating device,
+// a per-worker flow-control gate and a duplex channel per participating
+// device,
 //
-//	pull(sub.Source, Limit(duplex, batch), sub.Sink)
+//	pull(sub.Source, Gate(ctrl, duplex), sub.Sink)
 //
 // exposed as a single typed engine. It encapsulates the paper's
 // programming model — a streaming map with ordered outputs, lazy reads,
 // conservative single-copy lending, adaptive distribution and crash-stop
-// fault-tolerance — independently of any deployment concern. The master
-// process (internal/master) adds admission handshakes, accounting and
-// listeners on top; tests and embedded uses can drive the engine
-// directly.
+// fault-tolerance — independently of any deployment concern. Dispatch
+// policy lives in the sched subsystem: by default every worker gets the
+// paper's static pull-limit (the Limiter of §2.4.3), and WithFlow swaps
+// in adaptive per-worker credit windows and speculative re-dispatch of
+// straggler values. The master process (internal/master) adds admission
+// handshakes, accounting and listeners on top; tests and embedded uses
+// can drive the engine directly.
 package core
 
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"pando/internal/lender"
-	"pando/internal/limiter"
 	"pando/internal/pullstream"
+	"pando/internal/sched"
 )
 
 // ErrEngineClosed reports use of a closed engine.
@@ -28,8 +33,8 @@ var ErrEngineClosed = errors.New("core: engine closed")
 // DistributedMap coordinates the application of a function on a stream of
 // values by a dynamically varying set of processors.
 type DistributedMap[I, O any] struct {
-	batch int
-	l     *lender.Lender[I, O]
+	s *sched.Scheduler
+	l *lender.Lender[I, O]
 
 	mu       sync.Mutex
 	closed   bool
@@ -53,13 +58,22 @@ type Event struct {
 type Option func(*config)
 
 type config struct {
-	batch    int
+	policy   sched.Policy
 	ordered  bool
 	observer func(Event)
 }
 
-// WithBatch bounds values in flight per processor (the Limiter bound).
-func WithBatch(n int) Option { return func(c *config) { c.batch = n } }
+// WithBatch bounds values in flight per processor with a static window
+// (the paper's Limiter bound).
+func WithBatch(n int) Option {
+	return func(c *config) { c.policy = sched.Static(n) }
+}
+
+// WithFlow sets the full per-processor flow-control policy: static or
+// adaptive credit windows, and speculative re-dispatch of stragglers.
+func WithFlow(p sched.Policy) Option {
+	return func(c *config) { c.policy = p }
+}
 
 // WithUnordered emits results in completion order.
 func WithUnordered() Option { return func(c *config) { c.ordered = false } }
@@ -72,7 +86,7 @@ func WithObserver(fn func(Event)) Option {
 
 // New creates an idle engine.
 func New[I, O any](opts ...Option) *DistributedMap[I, O] {
-	cfg := config{batch: 2, ordered: true}
+	cfg := config{policy: sched.Static(2), ordered: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -80,11 +94,12 @@ func New[I, O any](opts ...Option) *DistributedMap[I, O] {
 	if !cfg.ordered {
 		lopts = append(lopts, lender.Unordered())
 	}
-	return &DistributedMap[I, O]{
-		batch:    cfg.batch,
+	d := &DistributedMap[I, O]{
 		l:        lender.New[I, O](lopts...),
 		observer: cfg.observer,
 	}
+	d.s = sched.New(cfg.policy, d.l.IdleAtTail)
+	return d
 }
 
 // Bind attaches the input stream and returns the output stream.
@@ -92,19 +107,44 @@ func (d *DistributedMap[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[
 	return d.l.Bind(src)
 }
 
+// subHandle adapts a lending sub-stream to the scheduler's view.
+type subHandle[I, O any] struct {
+	l   *lender.Lender[I, O]
+	sub *lender.SubStream
+}
+
+func (h subHandle[I, O]) Outstanding() (int, time.Duration) { return h.l.SubInfo(h.sub) }
+func (h subHandle[I, O]) Speculate(max int) int             { return h.l.Speculate(h.sub, max) }
+
 // Attach wires one processor, reachable through the given duplex
 // endpoint, into the computation: values lent to the processor flow into
-// duplex.Sink and its results flow out of duplex.Source, with at most the
-// configured batch of values in flight. It returns ErrEngineClosed after
-// Close.
+// duplex.Sink and its results flow out of duplex.Source, gated by the
+// processor's credit controller. It returns ErrEngineClosed after Close.
 func (d *DistributedMap[I, O]) Attach(name string, duplex pullstream.Duplex[I, O]) error {
-	return d.AttachVia(name, limiter.Limit(duplex, d.batch))
+	if err := d.admit(name); err != nil {
+		return err
+	}
+	sub, sd := d.l.LendStream()
+	ctrl := d.s.Attach(name, subHandle[I, O]{l: d.l, sub: sub})
+	d.watch(name, sd, sched.Gate(ctrl, duplex)(sd.Source), ctrl)
+	return nil
 }
 
 // AttachVia wires one processor through a caller-supplied Through that
-// handles transport and flow bounding itself (used, e.g., by the grouped
-// data plane, which bounds whole groups in flight).
+// handles transport and flow bounding itself (used, e.g., by tests that
+// exercise custom gating). The scheduler does not manage such
+// processors.
 func (d *DistributedMap[I, O]) AttachVia(name string, th pullstream.Through[I, O]) error {
+	if err := d.admit(name); err != nil {
+		return err
+	}
+	_, sd := d.l.LendStream()
+	d.watch(name, sd, th(sd.Source), nil)
+	return nil
+}
+
+// admit records a new processor, refusing it on a closed engine.
+func (d *DistributedMap[I, O]) admit(name string) error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -113,14 +153,22 @@ func (d *DistributedMap[I, O]) AttachVia(name string, th pullstream.Through[I, O
 	d.attached++
 	observer := d.observer
 	d.mu.Unlock()
-
 	if observer != nil {
 		observer(Event{Kind: "attach", Processor: name})
 	}
-	_, sd := d.l.LendStream()
-	results := th(sd.Source)
+	return nil
+}
+
+// watch wires the processor's result stream into its sub-stream sink,
+// folding lifecycle events into the observer and releasing the
+// processor's controller when the stream ends.
+func (d *DistributedMap[I, O]) watch(name string, sd pullstream.Duplex[O, I], results pullstream.Source[O], ctrl *sched.Controller) {
+	observer := d.observer
 	watched := func(abort error, cb pullstream.Callback[O]) {
 		results(abort, func(end error, v O) {
+			if end != nil && ctrl != nil {
+				d.s.Detach(ctrl)
+			}
 			if observer != nil {
 				if end == nil {
 					observer(Event{Kind: "result", Processor: name})
@@ -136,7 +184,6 @@ func (d *DistributedMap[I, O]) AttachVia(name string, th pullstream.Through[I, O
 		})
 	}
 	sd.Sink(watched)
-	return nil
 }
 
 // Attached returns how many processors have been attached over the
@@ -153,10 +200,18 @@ func (d *DistributedMap[I, O]) Stats() (lentNow, failedQueue, subStreams, ended 
 	return d.l.Stats()
 }
 
+// Flows snapshots every scheduler-managed processor's flow-control state
+// (credit window, in-flight count, smoothed throughput).
+func (d *DistributedMap[I, O]) Flows() []sched.WorkerFlow {
+	return d.s.Flows()
+}
+
 // Close marks the engine closed; subsequent Attach calls fail. In-flight
-// processors finish their streams normally.
+// processors finish their streams normally (their controllers close when
+// their streams end); only the straggler scan stops immediately.
 func (d *DistributedMap[I, O]) Close() {
 	d.mu.Lock()
 	d.closed = true
 	d.mu.Unlock()
+	d.s.Stop()
 }

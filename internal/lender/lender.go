@@ -26,6 +26,7 @@ package lender
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"pando/internal/pullstream"
 )
@@ -74,7 +75,13 @@ type Lender[I, O any] struct {
 	// Unordered mode: results ready to emit, arrival order.
 	ready []O
 
-	outstanding int // values currently lent to live sub-streams
+	outstanding int // value copies currently lent to live sub-streams
+	pending     int // distinct values read from the input but not yet answered
+
+	// spec tracks values with more than one copy in flight, created by
+	// Speculate: the first result for the value wins and later copies'
+	// results are discarded on arrival.
+	spec map[int]*specState
 
 	waiters []waiter[I] // parked sub-stream asks, FIFO
 	out     *outAsk[O]  // parked output ask (at most one)
@@ -153,6 +160,14 @@ type SubStream struct {
 type lentAny struct {
 	idx int
 	v   any
+	at  time.Time // when the value was handed to this sub-stream
+}
+
+// specState is the bookkeeping of one speculatively duplicated value.
+type specState struct {
+	copies   int        // copies in flight (sub-stream queues + failed queue)
+	answered bool       // a result for this value was already delivered
+	origin   *SubStream // holder of the original copy at duplication time
 }
 
 // ID returns a diagnostic identifier unique within this lender.
@@ -184,6 +199,67 @@ func (l *Lender[I, O]) Stats() (lentNow, failedQueue, subStreams, endedSubStream
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.outstanding, len(l.failed), l.subsMade, l.subsEnded
+}
+
+// SubInfo reports how many values are currently lent through s and the
+// age of the oldest one — the straggler signal the scheduler watches.
+func (l *Lender[I, O]) SubInfo(s *SubStream) (outstanding int, oldest time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(s.outstanding) == 0 {
+		return 0, 0
+	}
+	return len(s.outstanding), time.Since(s.outstanding[0].at)
+}
+
+// IdleAtTail reports how many sub-stream asks are parked after the input
+// ended — idle workers near the stream's tail, the scheduler's signal
+// that spare capacity exists for speculative re-dispatch. While the
+// input is still producing it returns 0: asks also park briefly during
+// ordinary input reads, and those waiters are not idle capacity.
+func (l *Lender[I, O]) IdleAtTail() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inEnd == nil {
+		return 0
+	}
+	return len(l.waiters)
+}
+
+// Speculate duplicates up to max of sub-stream s's oldest outstanding
+// values into the failed queue so they are re-lent to other sub-streams.
+// The original stays lent to s: whichever copy answers first delivers the
+// result and the loser's result is discarded on arrival. This is the
+// at-least-once re-dispatch behind the scheduler's straggler handling; a
+// value is duplicated at most once at a time, and a duplicate is never
+// handed back to the sub-stream holding the original. It returns how many
+// values were duplicated.
+func (l *Lender[I, O]) Speculate(s *SubStream, max int) int {
+	l.mu.Lock()
+	n := 0
+	if !s.dead && l.aborted == nil {
+		for _, it := range s.outstanding {
+			if n >= max {
+				break
+			}
+			if _, dup := l.spec[it.idx]; dup {
+				continue
+			}
+			if l.spec == nil {
+				l.spec = make(map[int]*specState)
+			}
+			l.spec[it.idx] = &specState{copies: 2, origin: s}
+			l.failed = append(l.failed, lent[I]{idx: it.idx, v: it.v.(I)})
+			n++
+		}
+	}
+	var actions []func()
+	if n > 0 {
+		actions = l.serviceLocked()
+	}
+	l.mu.Unlock()
+	run(actions)
+	return n
 }
 
 // run executes deferred actions outside the lender mutex.
@@ -256,6 +332,19 @@ func (l *Lender[I, O]) resultLocked(s *SubStream, v O) []func() {
 	item := s.outstanding[0]
 	s.outstanding = s.outstanding[1:]
 	l.outstanding--
+	if st, ok := l.spec[item.idx]; ok {
+		st.copies--
+		if st.copies == 0 {
+			delete(l.spec, item.idx)
+		}
+		if st.answered {
+			// Losing duplicate: the value was already answered by the
+			// faster copy; discard this result.
+			return l.serviceLocked()
+		}
+		st.answered = true
+	}
+	l.pending--
 	if l.ordered {
 		l.results[item.idx] = v
 	} else {
@@ -274,8 +363,17 @@ func (l *Lender[I, O]) endSubLocked(s *SubStream) []func() {
 	s.dead = true
 	l.subsEnded++
 	for _, it := range s.outstanding {
-		l.failed = append(l.failed, lent[I]{idx: it.idx, v: it.v.(I)})
 		l.outstanding--
+		if st, ok := l.spec[it.idx]; ok && st.answered {
+			// A duplicate already answered this value; the dead copy need
+			// not be re-lent.
+			st.copies--
+			if st.copies == 0 {
+				delete(l.spec, it.idx)
+			}
+			continue
+		}
+		l.failed = append(l.failed, lent[I]{idx: it.idx, v: it.v.(I)})
 	}
 	s.outstanding = nil
 
@@ -321,14 +419,44 @@ func (l *Lender[I, O]) serviceLocked() []func() {
 	}
 
 	// Answer waiters from the failed queue first (Algorithm 1,
-	// answerWithFailedValue: oldest failed value first).
-	for len(l.waiters) > 0 && len(l.failed) > 0 {
-		w := l.waiters[0]
-		l.waiters = l.waiters[1:]
-		it := l.failed[0]
-		l.failed = l.failed[1:]
+	// answerWithFailedValue: oldest failed value first). Speculative
+	// copies need two extra checks: a copy whose value was already
+	// answered by the winning duplicate is discarded instead of re-lent,
+	// and a duplicate is never handed back to the sub-stream that
+	// already holds the original.
+	fi := 0
+	for fi < len(l.failed) && len(l.waiters) > 0 {
+		it := l.failed[fi]
+		st := l.spec[it.idx]
+		if st != nil && st.answered {
+			st.copies--
+			if st.copies == 0 {
+				delete(l.spec, it.idx)
+			}
+			l.failed = append(l.failed[:fi], l.failed[fi+1:]...)
+			continue
+		}
+		wi := 0
+		if st != nil {
+			wi = -1
+			for j, w := range l.waiters {
+				if w.sub != st.origin {
+					wi = j
+					break
+				}
+			}
+			if wi < 0 {
+				// Only the origin is asking; leave its duplicate queued
+				// for a different sub-stream.
+				fi++
+				continue
+			}
+		}
+		w := l.waiters[wi]
+		l.waiters = append(l.waiters[:wi], l.waiters[wi+1:]...)
+		l.failed = append(l.failed[:fi], l.failed[fi+1:]...)
 		w.sub.parked = false
-		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: it.idx, v: it.v})
+		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: it.idx, v: it.v, at: time.Now()})
 		l.outstanding++
 		cb, v := w.cb, it.v
 		actions = append(actions, func() { cb(nil, v) })
@@ -347,9 +475,10 @@ func (l *Lender[I, O]) serviceLocked() []func() {
 				l.reading = true
 				actions = append(actions, func() { go l.input(nil, l.inputAnswer) })
 			}
-		} else if l.outstanding == 0 {
-			// Last result received and no failed values: everything the
-			// input produced has been answered; tell waiters we are done.
+		} else if l.pending == 0 {
+			// Every value the input produced has been answered (copies
+			// still in flight at stragglers are zombies whose results
+			// will be discarded); tell waiters we are done.
 			for _, w := range l.waiters {
 				cb := w.cb
 				w.sub.parked = false
@@ -396,7 +525,8 @@ func (l *Lender[I, O]) inputAnswer(end error, v I) {
 		w.sub.parked = false
 		idx := l.nextIdx
 		l.nextIdx++
-		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: idx, v: v})
+		l.pending++
+		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: idx, v: v, at: time.Now()})
 		l.outstanding++
 		cb := w.cb
 		actions = append(actions, func() { cb(nil, v) })
@@ -406,6 +536,7 @@ func (l *Lender[I, O]) inputAnswer(end error, v I) {
 		// next asker).
 		idx := l.nextIdx
 		l.nextIdx++
+		l.pending++
 		l.failed = append(l.failed, lent[I]{idx: idx, v: v})
 	}
 	actions = append(actions, l.serviceLocked()...)
@@ -414,9 +545,11 @@ func (l *Lender[I, O]) inputAnswer(end error, v I) {
 }
 
 // completeLocked reports whether every value read from the input has been
-// answered and emitted.
+// answered and emitted. Unanswered values may sit in sub-stream queues or
+// the failed queue; zombie copies of already-answered values do not block
+// completion — that is what bounds tail latency under speculation.
 func (l *Lender[I, O]) completeLocked() bool {
-	if l.inEnd == nil || l.outstanding > 0 || len(l.failed) > 0 {
+	if l.inEnd == nil || l.pending > 0 {
 		return false
 	}
 	if l.ordered {

@@ -1,0 +1,222 @@
+package lender
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pando/internal/pullstream"
+)
+
+// ask issues one request on a sub-stream source and waits for the answer.
+func ask[T any](t *testing.T, src pullstream.Source[T]) (T, error) {
+	t.Helper()
+	type ans struct {
+		end error
+		v   T
+	}
+	ch := make(chan ans, 1)
+	src(nil, func(end error, v T) { ch <- ans{end, v} })
+	select {
+	case a := <-ch:
+		return a.v, a.end
+	case <-time.After(5 * time.Second):
+		t.Fatal("ask timed out")
+		panic("unreachable")
+	}
+}
+
+// TestSpeculateDuplicateWinsAndLoserDiscarded covers the at-least-once
+// semantics behind speculative re-dispatch: a straggler's outstanding
+// values are duplicated to an idle sub-stream, the duplicate's results
+// answer the stream, and the straggler's late results are discarded — the
+// output carries exactly one result per input.
+func TestSpeculateDuplicateWinsAndLoserDiscarded(t *testing.T) {
+	l := New[int, int]()
+	out := l.Bind(pullstream.Values(10, 20))
+	outc, errc := collectAsync(out)
+
+	subA, dA := l.LendStream()
+	resultsA := make(chan int)
+	dA.Sink(pullstream.FromChan(resultsA, nil))
+	if v, err := ask(t, dA.Source); err != nil || v != 10 {
+		t.Fatalf("subA first value = %d, %v", v, err)
+	}
+	if v, err := ask(t, dA.Source); err != nil || v != 20 {
+		t.Fatalf("subA second value = %d, %v", v, err)
+	}
+
+	// subA stalls; both its values are duplicated for re-dispatch.
+	if n := l.Speculate(subA, 10); n != 2 {
+		t.Fatalf("Speculate = %d, want 2", n)
+	}
+	if n := l.Speculate(subA, 10); n != 0 {
+		t.Fatalf("second Speculate = %d, want 0 (no value duplicated twice)", n)
+	}
+
+	_, dB := l.LendStream()
+	resultsB := make(chan int)
+	dB.Sink(pullstream.FromChan(resultsB, nil))
+	if v, err := ask(t, dB.Source); err != nil || v != 10 {
+		t.Fatalf("subB first duplicate = %d, %v", v, err)
+	}
+	if v, err := ask(t, dB.Source); err != nil || v != 20 {
+		t.Fatalf("subB second duplicate = %d, %v", v, err)
+	}
+
+	// A further ask discovers the input's end (the lazy read only happens
+	// on demand); it parks until every value is answered, then reports
+	// done.
+	askEnd := make(chan error, 1)
+	dB.Source(nil, func(end error, v int) { askEnd <- end })
+
+	// The idle sub-stream answers first and wins.
+	resultsB <- 100
+	resultsB <- 200
+	if end := <-askEnd; !errors.Is(end, pullstream.ErrDone) {
+		t.Fatalf("parked ask end = %v, want ErrDone", end)
+	}
+	got := <-outc
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("output = %v, want [100 200] (each input answered exactly once)", got)
+	}
+
+	// The straggler's late results arrive after completion and must be
+	// discarded without corrupting state.
+	resultsA <- 101
+	resultsA <- 201
+	close(resultsA)
+	close(resultsB)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		lentNow, failedQ, _, _ := l.Stats()
+		if lentNow == 0 && failedQ == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("zombie copies not drained: %d lent, %d failed", lentNow, failedQ)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSpeculateOriginalStillWins checks the symmetric race: the origin
+// answers before the duplicate's holder, its result is delivered, and the
+// duplicate's later result is dropped.
+func TestSpeculateOriginalStillWins(t *testing.T) {
+	l := New[int, int]()
+	out := l.Bind(pullstream.Values(10))
+	outc, errc := collectAsync(out)
+
+	subA, dA := l.LendStream()
+	resultsA := make(chan int)
+	dA.Sink(pullstream.FromChan(resultsA, nil))
+	if v, err := ask(t, dA.Source); err != nil || v != 10 {
+		t.Fatalf("subA value = %d, %v", v, err)
+	}
+	if n := l.Speculate(subA, 1); n != 1 {
+		t.Fatalf("Speculate = %d, want 1", n)
+	}
+
+	_, dB := l.LendStream()
+	resultsB := make(chan int)
+	dB.Sink(pullstream.FromChan(resultsB, nil))
+	if v, err := ask(t, dB.Source); err != nil || v != 10 {
+		t.Fatalf("subB duplicate = %d, %v", v, err)
+	}
+
+	askEnd := make(chan error, 1)
+	dB.Source(nil, func(end error, v int) { askEnd <- end })
+
+	resultsA <- 100 // the origin recovers and answers first
+	got := <-outc
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("output = %v, want [100]", got)
+	}
+	if end := <-askEnd; !errors.Is(end, pullstream.ErrDone) {
+		t.Fatalf("parked ask end = %v, want ErrDone", end)
+	}
+	resultsB <- 999 // losing duplicate, discarded
+	close(resultsA)
+	close(resultsB)
+}
+
+// TestSpeculateNeverHandsDuplicateToOrigin: a sub-stream asking for more
+// work must not receive a duplicate of a value it already holds; fresh
+// input is preferred and the duplicate stays queued for other workers.
+func TestSpeculateNeverHandsDuplicateToOrigin(t *testing.T) {
+	l := New[int, int]()
+	l.Bind(pullstream.Values(10, 30))
+
+	subA, dA := l.LendStream()
+	resultsA := make(chan int)
+	dA.Sink(pullstream.FromChan(resultsA, nil))
+	if v, err := ask(t, dA.Source); err != nil || v != 10 {
+		t.Fatalf("subA value = %d, %v", v, err)
+	}
+	if n := l.Speculate(subA, 1); n != 1 {
+		t.Fatalf("Speculate = %d, want 1", n)
+	}
+	// subA asks again: the failed queue holds its own duplicate, which it
+	// must not receive — it gets the next fresh input instead.
+	if v, err := ask(t, dA.Source); err != nil || v != 30 {
+		t.Fatalf("subA second value = %d, %v (must skip its own duplicate)", v, err)
+	}
+	close(resultsA)
+}
+
+// TestSpeculateCrashedOriginFallsBackToRelend: when the origin dies after
+// speculation, the unanswered original is re-lent as usual and the value
+// is still answered exactly once.
+func TestSpeculateCrashedOriginFallsBackToRelend(t *testing.T) {
+	l := New[int, int]()
+	out := l.Bind(pullstream.Values(10))
+	outc, errc := collectAsync(out)
+
+	subA, dA := l.LendStream()
+	resultsA := make(chan int)
+	errA := make(chan error, 1)
+	dA.Sink(pullstream.FromChan(resultsA, errA))
+	if v, err := ask(t, dA.Source); err != nil || v != 10 {
+		t.Fatalf("subA value = %d, %v", v, err)
+	}
+	if n := l.Speculate(subA, 1); n != 1 {
+		t.Fatalf("Speculate = %d, want 1", n)
+	}
+
+	// The origin crashes while both copies are unanswered.
+	errA <- pullstream.ErrAborted
+
+	_, dB := l.LendStream()
+	resultsB := make(chan int)
+	dB.Sink(pullstream.FromChan(resultsB, nil))
+	// subB receives the duplicate, then the re-lent original of the same
+	// value (the crashed origin's copy went through the failed queue).
+	if v, err := ask(t, dB.Source); err != nil || v != 10 {
+		t.Fatalf("subB duplicate = %d, %v", v, err)
+	}
+	if v, err := ask(t, dB.Source); err != nil || v != 10 {
+		t.Fatalf("subB re-lent original = %d, %v", v, err)
+	}
+	askEnd := make(chan error, 1)
+	dB.Source(nil, func(end error, v int) { askEnd <- end })
+	resultsB <- 100 // answers the value; the second copy is now a zombie
+	if end := <-askEnd; !errors.Is(end, pullstream.ErrDone) {
+		t.Fatalf("parked ask end = %v, want ErrDone", end)
+	}
+	got := <-outc
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("output = %v, want [100]", got)
+	}
+	resultsB <- 999 // the zombie copy's result, discarded
+	close(resultsB)
+}

@@ -16,122 +16,73 @@ import (
 	"sync"
 
 	"pando/internal/pullstream"
+	"pando/internal/sched"
 )
-
-// tokens is a counting gate with shutdown.
-type tokens struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	avail  int
-	closed bool
-}
-
-func newTokens(n int) *tokens {
-	t := &tokens{avail: n}
-	t.cond = sync.NewCond(&t.mu)
-	return t
-}
-
-// acquire blocks until a token is available or the gate is closed. It
-// reports whether a token was acquired.
-func (t *tokens) acquire() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for t.avail == 0 && !t.closed {
-		t.cond.Wait()
-	}
-	if t.closed {
-		return false
-	}
-	t.avail--
-	return true
-}
-
-func (t *tokens) release() {
-	t.mu.Lock()
-	t.avail++
-	t.mu.Unlock()
-	t.cond.Signal()
-}
-
-func (t *tokens) close() {
-	t.mu.Lock()
-	t.closed = true
-	t.mu.Unlock()
-	t.cond.Broadcast()
-}
 
 // Limit wraps the duplex endpoint d (typically a network transport whose
 // Sink sends inputs to a worker and whose Source yields the worker's
 // results) into a Through that allows at most n values in flight:
 // pull(sub.Source, Limit(d, n), sub.Sink), mirroring the paper's Figure 9.
 //
+// The token gate itself now lives in the sched subsystem — a static
+// credit window is the degenerate case of the adaptive controller — so
+// Limit is a thin veneer kept for the paper's vocabulary and for callers
+// that bound flow without a scheduler.
+//
 // The duplex's Sink is driven on a new goroutine; the goroutine terminates
 // when the upstream source ends or the gate is closed by a terminating
 // result stream.
 func Limit[I, O any](d pullstream.Duplex[I, O], n int) pullstream.Through[I, O] {
-	if n < 1 {
-		n = 1
-	}
-	return func(src pullstream.Source[I]) pullstream.Source[O] {
-		gate := newTokens(n)
-
-		// gated lets values flow from src into the duplex sink only when
-		// a token is available.
-		gated := func(abort error, cb pullstream.Callback[I]) {
-			if abort != nil {
-				src(abort, cb)
-				return
-			}
-			if !gate.acquire() {
-				var zero I
-				cb(pullstream.ErrDone, zero)
-				return
-			}
-			src(nil, func(end error, v I) {
-				if end != nil {
-					// The value never went in flight; return the token so
-					// a concurrent shutdown isn't blocked.
-					gate.release()
-				}
-				cb(end, v)
-			})
-		}
-		go d.Sink(gated)
-
-		return func(abort error, cb pullstream.Callback[O]) {
-			if abort != nil {
-				gate.close()
-				d.Source(abort, cb)
-				return
-			}
-			d.Source(nil, func(end error, v O) {
-				if end != nil {
-					gate.close()
-					cb(end, v)
-					return
-				}
-				gate.release()
-				cb(nil, v)
-			})
-		}
-	}
+	return sched.Gate(sched.NewController(sched.Static(n)), d)
 }
 
-// InFlight is a diagnostic helper returning a Through that counts how many
-// values are currently between its input and its output, and the highest
-// count observed. It is used by tests to verify the Limiter's bound.
-func InFlight[T any](current, peak *int, mu *sync.Mutex) pullstream.Through[T, T] {
+// Meter counts values in flight between two points of a pipeline and
+// remembers the highest count observed. It is a diagnostic helper used
+// by tests to verify flow-control bounds.
+type Meter struct {
+	mu      sync.Mutex
+	current int
+	peak    int
+}
+
+// Inc records a value entering the metered section.
+func (m *Meter) Inc() {
+	m.mu.Lock()
+	m.current++
+	if m.current > m.peak {
+		m.peak = m.current
+	}
+	m.mu.Unlock()
+}
+
+// Dec records a value leaving the metered section.
+func (m *Meter) Dec() {
+	m.mu.Lock()
+	m.current--
+	m.mu.Unlock()
+}
+
+// Current returns the number of values currently in the metered section.
+func (m *Meter) Current() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// Peak returns the highest in-flight count observed.
+func (m *Meter) Peak() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// InFlight returns a Through that counts every passing value into m.
+func InFlight[T any](m *Meter) pullstream.Through[T, T] {
 	return func(src pullstream.Source[T]) pullstream.Source[T] {
 		return func(abort error, cb pullstream.Callback[T]) {
 			src(abort, func(end error, v T) {
 				if end == nil {
-					mu.Lock()
-					*current++
-					if *current > *peak {
-						*peak = *current
-					}
-					mu.Unlock()
+					m.Inc()
 				}
 				cb(end, v)
 			})

@@ -2,6 +2,7 @@ package limiter
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -12,8 +13,8 @@ import (
 // echoDuplex builds a duplex endpoint that buffers inbound values and
 // echoes transform(v) on its source after an optional delay, simulating a
 // worker behind a network channel with an eager sending side.
-func echoDuplex[I, O any](transform func(I) O, delay time.Duration) (pullstream.Duplex[I, O], *inFlightMeter) {
-	meter := &inFlightMeter{}
+func echoDuplex[I, O any](transform func(I) O, delay time.Duration) (pullstream.Duplex[I, O], *Meter) {
+	meter := &Meter{}
 	pending := make(chan I, 1024)
 	endc := make(chan error, 1)
 	d := pullstream.Duplex[I, O]{
@@ -32,7 +33,7 @@ func echoDuplex[I, O any](transform func(I) O, delay time.Duration) (pullstream.
 					close(pending)
 					return
 				}
-				meter.inc()
+				meter.Inc()
 				pending <- a.v
 			}
 		},
@@ -54,38 +55,11 @@ func echoDuplex[I, O any](transform func(I) O, delay time.Duration) (pullstream.
 			if delay > 0 {
 				time.Sleep(delay)
 			}
-			meter.dec()
+			meter.Dec()
 			cb(nil, transform(v))
 		},
 	}
 	return d, meter
-}
-
-type inFlightMeter struct {
-	mu      sync.Mutex
-	current int
-	peak    int
-}
-
-func (m *inFlightMeter) inc() {
-	m.mu.Lock()
-	m.current++
-	if m.current > m.peak {
-		m.peak = m.current
-	}
-	m.mu.Unlock()
-}
-
-func (m *inFlightMeter) dec() {
-	m.mu.Lock()
-	m.current--
-	m.mu.Unlock()
-}
-
-func (m *inFlightMeter) Peak() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.peak
 }
 
 func TestLimitBoundsInFlight(t *testing.T) {
@@ -208,14 +182,51 @@ func TestLimitAbortClosesGate(t *testing.T) {
 	}
 }
 
+// TestLimitStressConcurrentAbort hammers the token gate with concurrent
+// streams aborted mid-flight, verifying under -race that the bound holds
+// and every sink goroutine drains after shutdown.
+func TestLimitStressConcurrentAbort(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const rounds = 40
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, meter := echoDuplex(func(v int) int { return v }, 0)
+			out := Limit(d, 3)(pullstream.Count(200))
+			if i%2 == 0 {
+				out = pullstream.Take[int](4 + i%9)(out)
+			}
+			_, _ = pullstream.Collect(out)
+			if meter.Peak() > 3 {
+				t.Errorf("round %d: peak %d exceeds limit 3", i, meter.Peak())
+			}
+		}(i)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after shutdown: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestInFlightMeterThrough(t *testing.T) {
-	var mu sync.Mutex
-	var current, peak int
-	th := InFlight[int](&current, &peak, &mu)
+	var m Meter
+	th := InFlight[int](&m)
 	if _, err := pullstream.Collect(th(pullstream.Count(5))); err != nil {
 		t.Fatal(err)
 	}
-	if peak == 0 {
+	if m.Peak() == 0 {
 		t.Fatal("meter never observed a value")
+	}
+	if m.Current() != 5 {
+		t.Fatalf("current = %d, want 5 (nothing decremented)", m.Current())
 	}
 }

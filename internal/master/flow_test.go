@@ -1,0 +1,137 @@
+package master
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"pando/internal/netsim"
+	"pando/internal/pullstream"
+	"pando/internal/sched"
+	"pando/internal/worker"
+)
+
+// TestStatsExposeFlowControl verifies the operator-facing controller
+// state: while a run is live, the per-device rows report the credit
+// window, the in-flight count, and (after a few results) the EWMA
+// throughput estimate.
+func TestStatsExposeFlowControl(t *testing.T) {
+	m := newTestMaster(t, Config{Batch: 2})
+	ln := netsim.NewListener("master-flow", netsim.Loopback)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(80))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare, Delay: 2 * time.Millisecond})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := pullstream.Collect(out)
+		done <- err
+	}()
+
+	var sawCredits, sawInFlight, sawRate bool
+	for {
+		for _, w := range m.Stats() {
+			if w.Name != "dev" {
+				continue
+			}
+			if w.Credits > 0 {
+				sawCredits = true
+				if w.Credits != 2 {
+					t.Fatalf("Credits = %d, want the static batch 2", w.Credits)
+				}
+			}
+			if w.InFlight > 0 {
+				sawInFlight = true
+				if w.InFlight > 2 {
+					t.Fatalf("InFlight = %d exceeds the window", w.InFlight)
+				}
+			}
+			if w.EWMARate > 0 {
+				sawRate = true
+			}
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sawCredits || !sawInFlight || !sawRate {
+				t.Fatalf("flow state never surfaced: credits=%v inflight=%v rate=%v",
+					sawCredits, sawInFlight, sawRate)
+			}
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestHTTPStatsCarriesFlowFields: the /stats JSON must include the
+// flow-control fields so operators can watch the controller remotely.
+func TestHTTPStatsCarriesFlowFields(t *testing.T) {
+	m := newTestMaster(t, Config{Batch: 3})
+	ln := netsim.NewListener("master-flow-http", netsim.Loopback)
+	defer ln.Close()
+	go m.ServeWS(ln)
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := m.ServeHTTPInfo(httpLn, Invitation{Transport: "ws", DataAddr: "nowhere:1"})
+	defer srv.Close()
+
+	out := m.Bind(pullstream.Count(20))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare})
+	if _, err := pullstream.Collect(out); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + httpLn.Addr().String() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, body)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no stats rows")
+	}
+	for _, key := range []string{"InFlight", "Credits", "EWMARate", "Speculated"} {
+		if _, ok := rows[0][key]; !ok {
+			t.Fatalf("stats JSON lacks %q: %s", key, body)
+		}
+	}
+}
+
+// TestConfigFlowDefaults: the zero policy preserves the static batch
+// bound, and explicit policies pass through with sane clamping.
+func TestConfigFlowDefaults(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want sched.Policy
+	}{
+		{Config{}, sched.Policy{Min: 2, Max: 2}},
+		{Config{Batch: 5}, sched.Policy{Min: 5, Max: 5}},
+		{Config{Flow: sched.Policy{Speculation: 2}}, sched.Policy{Min: 2, Max: 2, Speculation: 2}},
+		{Config{Flow: sched.Policy{Min: 1, Max: 8}}, sched.Policy{Min: 1, Max: 8}},
+		{Config{Batch: 4, Flow: sched.Policy{Min: 3}}, sched.Policy{Min: 3, Max: 3}},
+	}
+	for _, c := range cases {
+		if got := c.cfg.flow(); got != c.want {
+			t.Errorf("flow(%+v) = %+v, want %+v", c.cfg, got, c.want)
+		}
+	}
+	if got := grouped(sched.Policy{Min: 2, Max: 16}, 4); got.Min != 1 || got.Max != 4 {
+		t.Errorf("grouped rescale = %+v, want Min 1 Max 4", got)
+	}
+}

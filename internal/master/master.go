@@ -14,6 +14,7 @@ import (
 	"pando/internal/core"
 	"pando/internal/proto"
 	"pando/internal/pullstream"
+	"pando/internal/sched"
 	"pando/internal/transport"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	// Group sends several inputs per frame when > 1 (message-level
 	// batching, an extension of the paper's §5.5 batching idea).
 	Group int
+	// Flow is the per-device flow-control policy. The zero value keeps
+	// the original behavior: a static window of Batch values in flight
+	// per device and no speculation. Setting Min < Max turns on the
+	// adaptive credit controller; Speculation > 0 enables straggler
+	// re-dispatch near the stream's tail.
+	Flow sched.Policy
 	// Channel tunes heartbeat detection on volunteer channels.
 	Channel transport.Config
 	// Formats restricts the wire formats this master will negotiate, best
@@ -53,6 +60,36 @@ func (c Config) batch() int {
 	return c.Batch
 }
 
+// flow resolves the effective policy: an unset window falls back to the
+// static batch bound, preserving the original behavior.
+func (c Config) flow() sched.Policy {
+	p := c.Flow
+	if p.Min <= 0 && p.Max <= 0 {
+		p.Min, p.Max = c.batch(), c.batch()
+	}
+	if p.Min <= 0 {
+		p.Min = 1
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	return p
+}
+
+// grouped rescales a policy counted in values to one counted in groups
+// of n values, keeping at least one group in flight.
+func grouped(p sched.Policy, n int) sched.Policy {
+	p.Min = p.Min / n
+	if p.Min < 1 {
+		p.Min = 1
+	}
+	p.Max = p.Max / n
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	return p
+}
+
 // WorkerStats is the per-device accounting of the evaluation (§5.1): the
 // number of items processed and the active period, from which throughput
 // is derived.
@@ -65,6 +102,19 @@ type WorkerStats struct {
 	// Wire is the wire format negotiated at admission ("/pando/1.0.0" or
 	// "/pando/2.0.0"); empty for devices attached without a handshake.
 	Wire string
+
+	// InFlight is how many values the device currently holds (summed
+	// over its attachments — one per contributed core).
+	InFlight int
+	// Credits is the device's current credit window (summed over its
+	// attachments); with the static policy it equals attachments × batch.
+	Credits int
+	// EWMARate is the scheduler's smoothed throughput estimate in items
+	// per second (summed over the device's attachments).
+	EWMARate float64
+	// Speculated counts values duplicated away from this device by
+	// straggler re-dispatch.
+	Speculated int
 
 	// history holds recent per-item completion times (pruned to
 	// MaxWindow) for windowed throughput, the §5.1 methodology.
@@ -99,6 +149,8 @@ type engine[I, O any] interface {
 	Bind(pullstream.Source[I]) pullstream.Source[O]
 	AttachChannel(name string, ch transport.Channel) error
 	Stats() (lentNow, failedQueue, subStreams, ended int)
+	Flows() []sched.WorkerFlow
+	Close()
 }
 
 // plainEngine lends individual values.
@@ -117,6 +169,10 @@ func (e *plainEngine[I, O]) AttachChannel(name string, ch transport.Channel) err
 }
 
 func (e *plainEngine[I, O]) Stats() (int, int, int, int) { return e.d.Stats() }
+
+func (e *plainEngine[I, O]) Flows() []sched.WorkerFlow { return e.d.Flows() }
+
+func (e *plainEngine[I, O]) Close() { e.d.Close() }
 
 // groupedEngine lends whole groups of values: inputs are grouped before
 // the StreamLender so the unit of lending, re-lending on crash, and
@@ -141,6 +197,21 @@ func (e *groupedEngine[I, O]) AttachChannel(name string, ch transport.Channel) e
 
 func (e *groupedEngine[I, O]) Stats() (int, int, int, int) { return e.d.Stats() }
 
+// Flows rescales the group-counted windows back to values so operators
+// read one consistent unit.
+func (e *groupedEngine[I, O]) Flows() []sched.WorkerFlow {
+	flows := e.d.Flows()
+	for i := range flows {
+		flows[i].InFlight *= e.group
+		flows[i].Window *= e.group
+		flows[i].Rate *= float64(e.group)
+		flows[i].Speculated *= e.group
+	}
+	return flows
+}
+
+func (e *groupedEngine[I, O]) Close() { e.d.Close() }
+
 // New creates a master with the given codecs and configuration.
 func New[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *Master[I, O] {
 	m := &Master[I, O]{
@@ -150,11 +221,7 @@ func New[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *M
 		workers: make(map[string]*WorkerStats),
 	}
 	if cfg.Group > 1 {
-		groups := cfg.batch() / cfg.Group
-		if groups < 1 {
-			groups = 1
-		}
-		opts := []core.Option{core.WithBatch(groups), core.WithObserver(m.observe)}
+		opts := []core.Option{core.WithFlow(grouped(cfg.flow(), cfg.Group)), core.WithObserver(m.observe)}
 		if !cfg.Ordered {
 			opts = append(opts, core.WithUnordered())
 		}
@@ -166,7 +233,7 @@ func New[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *M
 		}
 		return m
 	}
-	opts := []core.Option{core.WithBatch(cfg.batch()), core.WithObserver(m.observe)}
+	opts := []core.Option{core.WithFlow(cfg.flow()), core.WithObserver(m.observe)}
 	if !cfg.Ordered {
 		opts = append(opts, core.WithUnordered())
 	}
@@ -288,13 +355,34 @@ func (m *Master[I, O]) ServeRTC(answerer *transport.RTCAnswerer) {
 	}
 }
 
-// Stats snapshots per-worker accounting.
+// Stats snapshots per-worker accounting, folding in the scheduler's
+// per-device flow-control state (credit window, in-flight count, EWMA
+// throughput). A device contributing several cores appears as one row
+// with its attachments' figures summed.
 func (m *Master[I, O]) Stats() []WorkerStats {
+	flows := m.engine.Flows()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	byName := make(map[string]sched.WorkerFlow, len(flows))
+	for _, f := range flows {
+		agg := byName[f.Name]
+		agg.Name = f.Name
+		agg.InFlight += f.InFlight
+		agg.Window += f.Window
+		agg.Rate += f.Rate
+		agg.Speculated += f.Speculated
+		byName[f.Name] = agg
+	}
 	out := make([]WorkerStats, 0, len(m.workers))
 	for _, w := range m.workers {
-		out = append(out, *w)
+		row := *w
+		if f, ok := byName[w.Name]; ok {
+			row.InFlight = f.InFlight
+			row.Credits = f.Window
+			row.EWMARate = f.Rate
+			row.Speculated = f.Speculated
+		}
+		out = append(out, row)
 	}
 	return out
 }
@@ -316,11 +404,12 @@ func (m *Master[I, O]) LenderStats() (lentNow, failedQueue, subStreams, ended in
 }
 
 // Close marks the master as shutting down; in-flight Serve loops exit on
-// their next accept error.
+// their next accept error and the engine's straggler scan stops.
 func (m *Master[I, O]) Close() {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
+	m.engine.Close()
 }
 
 func (m *Master[I, O]) isClosed() bool {

@@ -20,9 +20,9 @@ import (
 	"time"
 
 	"pando/internal/lender"
-	"pando/internal/limiter"
 	"pando/internal/proto"
 	"pando/internal/pullstream"
+	"pando/internal/sched"
 	"pando/internal/transport"
 )
 
@@ -33,6 +33,12 @@ type Node struct {
 	// Fanout bounds values in flight per child (the child-side Limiter
 	// bound); zero selects the parent's batch size.
 	Fanout int
+	// Flow overrides the per-child flow-control policy. The zero value
+	// keeps a static window of Fanout values per child; an adaptive
+	// policy gives each child its own probed credit window, and
+	// Speculation re-dispatches values stuck on straggling children —
+	// the same controller the master applies to its direct workers.
+	Flow sched.Policy
 	// Channel tunes heartbeats on both the parent and child channels.
 	Channel transport.Config
 
@@ -45,6 +51,7 @@ type Node struct {
 	live       int
 	parent     transport.Channel
 	l          *lender.Lender[payload, payload]
+	sched      *sched.Scheduler
 
 	// ready is closed once the parent handshake concluded — successfully
 	// (configured is then true) or not — gating child admission on the
@@ -83,6 +90,20 @@ func (n *Node) Configure(funcName string, batch int, formats []string) {
 	}
 	n.formats = formats
 	n.configured = true
+	if n.sched == nil {
+		// The per-child flow controller, resolved once the deployment
+		// parameters are known: Flow overrides, else a static window of
+		// Fanout (default: the deployment's batch), the old behavior.
+		p := n.Flow
+		if p.Min <= 0 && p.Max <= 0 {
+			fanout := n.Fanout
+			if fanout <= 0 {
+				fanout = n.batch
+			}
+			p.Min, p.Max = fanout, fanout
+		}
+		n.sched = sched.New(p, n.l.IdleAtTail)
+	}
 	n.mu.Unlock()
 	n.readyOnce.Do(func() { close(n.ready) })
 }
@@ -93,8 +114,17 @@ func (n *Node) Configure(funcName string, batch int, formats []string) {
 // concurrently via ServeChildren.
 func (n *Node) Run(parent transport.Channel) error {
 	// Whatever way Run exits, release children parked in AdmitChild; on
-	// failure paths configured stays false and they are refused.
+	// failure paths configured stays false and they are refused. The
+	// straggler scan, if any, stops with the relay.
 	defer n.readyOnce.Do(func() { close(n.ready) })
+	defer func() {
+		n.mu.Lock()
+		s := n.sched
+		n.mu.Unlock()
+		if s != nil {
+			s.Stop()
+		}
+	}()
 	welcome, err := transport.ClientHandshake(parent, n.Name, nil)
 	if err != nil {
 		return fmt.Errorf("overlay: %w", err)
@@ -179,10 +209,7 @@ func (n *Node) AdmitChild(ch transport.Channel) error {
 	configured := n.configured
 	funcName, batch := n.funcName, n.batch
 	restricted := n.formats
-	fanout := n.Fanout
-	if fanout <= 0 {
-		fanout = batch
-	}
+	scheduler := n.sched
 	n.mu.Unlock()
 	if !configured {
 		err := fmt.Errorf("overlay: relay %q has no deployment (parent handshake failed)", n.Name)
@@ -193,20 +220,29 @@ func (n *Node) AdmitChild(ch transport.Channel) error {
 	// The same admission the master performs, honoring the deployment
 	// restriction the welcome carried down — a relay must not admit a
 	// device the master itself would refuse.
-	if _, _, err := transport.AdmitHandshake(ch, funcName, batch, restricted); err != nil {
+	hello, _, err := transport.AdmitHandshake(ch, funcName, batch, restricted)
+	if err != nil {
 		return fmt.Errorf("overlay: admission: %w", err)
 	}
 	n.mu.Lock()
 	n.children++
 	n.live++
+	childName := hello.Peer
+	if childName == "" {
+		childName = fmt.Sprintf("%s-child-%d", n.Name, n.children)
+	}
 	n.mu.Unlock()
 
-	_, sd := n.l.LendStream()
-	d := childDuplex(ch)
-	results := limiter.Limit(d, fanout)(sd.Source)
+	// The same per-child controller the master applies to its direct
+	// workers: an adaptive (or static) credit gate in place of the fixed
+	// child-side Limiter, with stragglers re-dispatched when enabled.
+	sub, sd := n.l.LendStream()
+	ctrl := scheduler.Attach(childName, childHandle{l: n.l, sub: sub})
+	results := sched.Gate(ctrl, childDuplex(ch))(sd.Source)
 	watched := func(abort error, cb pullstream.Callback[payload]) {
 		results(abort, func(end error, v payload) {
 			if end != nil {
+				scheduler.Detach(ctrl)
 				n.childGone()
 			}
 			cb(end, v)
@@ -215,6 +251,15 @@ func (n *Node) AdmitChild(ch transport.Channel) error {
 	sd.Sink(watched)
 	return nil
 }
+
+// childHandle adapts a child's lending sub-stream to the scheduler.
+type childHandle struct {
+	l   *lender.Lender[payload, payload]
+	sub *lender.SubStream
+}
+
+func (h childHandle) Outstanding() (int, time.Duration) { return h.l.SubInfo(h.sub) }
+func (h childHandle) Speculate(max int) int             { return h.l.Speculate(h.sub, max) }
 
 // childGone records a child's departure. A relay whose children are all
 // gone while it still holds unanswered values is useless yet looks alive

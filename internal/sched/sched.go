@@ -1,0 +1,559 @@
+// Package sched is the per-worker dispatch policy of the engine: it
+// replaces the static pull-limit of the paper's Limiter (§2.4.3, Figure 7)
+// with an adaptive credit controller per attached worker, plus straggler
+// detection and speculative re-dispatch near the tail of the stream.
+//
+// The paper's evaluation (§5.2–5.4) shows throughput is highly sensitive
+// to the batch size — the single static bound on values in flight per
+// worker — and volunteer fleets are heterogeneous by definition: a fast
+// desktop and a throttled phone should not share one window. Each
+// Controller therefore probes its worker with a slow-start/AIMD window
+// driven by the result round-trip time: the window grows while the EWMA
+// round-trip stays close to the best observed (the extra in-flight values
+// are hiding transmission latency, the purpose of batching in §5.5) and
+// halves when the round-trip inflates (the extra values are merely
+// queueing on a slow device, hurting fault-tolerance granularity and tail
+// latency for no throughput gain).
+//
+// The Scheduler aggregates the controllers of one engine. When the stream
+// nears its tail — workers are idle with parked asks at the StreamLender —
+// it scans for stragglers: a worker whose oldest outstanding value is
+// older than k× the fleet's median per-item service time has its items
+// duplicated to an idle worker and the first result wins. The lender's
+// at-least-once semantics make the duplicates safe (see lender.Speculate).
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pando/internal/pullstream"
+)
+
+// Policy is the per-worker flow-control policy of one engine.
+type Policy struct {
+	// Min and Max bound the credit window. Min == Max freezes the window
+	// — the static pull-limit of the original design.
+	Min, Max int
+	// Speculation enables speculative re-dispatch when > 0: near the tail
+	// of the stream, a worker whose oldest outstanding value is older than
+	// Speculation × the fleet's median service time is treated as a
+	// straggler and its values are duplicated to idle workers.
+	Speculation float64
+}
+
+// Static returns the original fixed-window behavior: exactly n values in
+// flight per worker, no speculation.
+func Static(n int) Policy {
+	if n < 1 {
+		n = 1
+	}
+	return Policy{Min: n, Max: n}
+}
+
+// Adaptive returns an adaptive policy probing each worker's window within
+// [min, max].
+func Adaptive(min, max int) Policy {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return Policy{Min: min, Max: max}
+}
+
+// Adaptive reports whether the window may move.
+func (p Policy) Adaptive() bool { return p.Max > p.Min }
+
+// backoffRatio is the congestion signal: when the smoothed round-trip
+// exceeds this multiple of the best observed round-trip, the extra
+// in-flight values are queueing rather than hiding latency.
+const backoffRatio = 1.5
+
+// rttAlpha is the EWMA smoothing factor for round-trip samples.
+const rttAlpha = 0.3
+
+// rateAlpha is the EWMA smoothing factor for inter-result intervals.
+const rateAlpha = 0.2
+
+// Controller is the adaptive credit gate of one attached worker. It is a
+// generalization of the Limiter's token gate: values acquire a credit
+// before going in flight, results release one, and the number of credits
+// — the window — moves with the measured round-trip when the policy is
+// adaptive.
+type Controller struct {
+	policy Policy
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	window   int
+	inFlight int
+	closed   bool
+
+	// sends holds the dispatch time of each in-flight value, oldest
+	// first; results match FIFO, like the lender's own matching.
+	sends []time.Time
+
+	slowStart bool
+	sinceGrow int
+
+	bestRTT    float64 // seconds; best round-trip observed
+	ewmaRTT    float64 // seconds; smoothed round-trip
+	ewmaGap    float64 // seconds; smoothed inter-result interval
+	lastResult time.Time
+	results    int
+	speculated int
+}
+
+// NewController returns a credit gate starting at the policy's minimum
+// window (a conservative slow start).
+func NewController(p Policy) *Controller {
+	if p.Min < 1 {
+		p.Min = 1
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	c := &Controller{policy: p, window: p.Min, slowStart: p.Adaptive()}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Acquire blocks until a credit is available or the gate is closed,
+// reporting whether one was acquired.
+func (c *Controller) Acquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.inFlight >= c.window && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return false
+	}
+	c.inFlight++
+	return true
+}
+
+// Sent records the dispatch time of a value that just went in flight.
+// It is deliberately separate from Acquire: a credit may be held for a
+// long time waiting for the upstream to produce a value, and that wait
+// must not count as worker round-trip.
+func (c *Controller) Sent() {
+	c.mu.Lock()
+	c.sends = append(c.sends, time.Now())
+	c.mu.Unlock()
+}
+
+// Cancel returns an acquired credit whose value never went in flight
+// (the upstream ended between acquire and read; Sent was never called).
+func (c *Controller) Cancel() {
+	c.mu.Lock()
+	if c.inFlight > 0 {
+		c.inFlight--
+	}
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// Result releases one credit for a returned result and feeds the
+// adaptive window with the measured round-trip.
+func (c *Controller) Result() {
+	now := time.Now()
+	c.mu.Lock()
+	if c.inFlight > 0 {
+		c.inFlight--
+	}
+	var rtt float64
+	if len(c.sends) > 0 {
+		rtt = now.Sub(c.sends[0]).Seconds()
+		c.sends = c.sends[1:]
+	}
+	c.results++
+	if !c.lastResult.IsZero() {
+		gap := now.Sub(c.lastResult).Seconds()
+		if c.ewmaGap == 0 {
+			c.ewmaGap = gap
+		} else {
+			c.ewmaGap = (1-rateAlpha)*c.ewmaGap + rateAlpha*gap
+		}
+	}
+	c.lastResult = now
+	if rtt > 0 {
+		if c.bestRTT == 0 || rtt < c.bestRTT {
+			c.bestRTT = rtt
+		}
+		if c.ewmaRTT == 0 {
+			c.ewmaRTT = rtt
+		} else {
+			c.ewmaRTT = (1-rttAlpha)*c.ewmaRTT + rttAlpha*rtt
+		}
+		c.adaptLocked()
+	}
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// adaptLocked moves the window: slow-start growth of one credit per
+// result until the first congestion signal, then additive increase (one
+// credit per windowful of uncongested results) and multiplicative
+// decrease on congestion. Caller holds c.mu.
+func (c *Controller) adaptLocked() {
+	if !c.policy.Adaptive() {
+		return
+	}
+	congested := c.ewmaRTT > backoffRatio*c.bestRTT
+	switch {
+	case congested && c.window > c.policy.Min:
+		c.window /= 2
+		if c.window < c.policy.Min {
+			c.window = c.policy.Min
+		}
+		c.slowStart = false
+		c.sinceGrow = 0
+	case congested:
+		c.slowStart = false
+		c.sinceGrow = 0
+	case c.slowStart && c.window < c.policy.Max:
+		c.window++
+		c.cond.Broadcast()
+	case c.window < c.policy.Max:
+		c.sinceGrow++
+		if c.sinceGrow >= c.window {
+			c.window++
+			c.sinceGrow = 0
+			c.cond.Broadcast()
+		}
+	}
+}
+
+// Close releases all blocked acquirers; they report failure.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Window returns the current credit window.
+func (c *Controller) Window() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.window
+}
+
+// InFlight returns how many values currently hold a credit.
+func (c *Controller) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inFlight
+}
+
+// serviceEstimate returns the smoothed per-item service interval in
+// seconds, or 0 when the worker has not produced enough results.
+func (c *Controller) serviceEstimate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ewmaGap
+}
+
+// Rate returns the smoothed throughput in items per second.
+func (c *Controller) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ewmaGap <= 0 {
+		return 0
+	}
+	return 1 / c.ewmaGap
+}
+
+// Gate wraps the duplex endpoint d into a Through that lets at most the
+// controller's current window of values in flight — the adaptive
+// replacement of limiter.Limit: pull(sub.Source, Gate(c, d), sub.Sink).
+//
+// The duplex's Sink is driven on a new goroutine; the goroutine
+// terminates when the upstream source ends or the gate is closed by a
+// terminating result stream.
+func Gate[I, O any](c *Controller, d pullstream.Duplex[I, O]) pullstream.Through[I, O] {
+	return func(src pullstream.Source[I]) pullstream.Source[O] {
+		gated := func(abort error, cb pullstream.Callback[I]) {
+			if abort != nil {
+				src(abort, cb)
+				return
+			}
+			if !c.Acquire() {
+				var zero I
+				cb(pullstream.ErrDone, zero)
+				return
+			}
+			src(nil, func(end error, v I) {
+				if end != nil {
+					// The value never went in flight; return the credit so
+					// a concurrent shutdown isn't blocked.
+					c.Cancel()
+				} else {
+					c.Sent()
+				}
+				cb(end, v)
+			})
+		}
+		go d.Sink(gated)
+
+		return func(abort error, cb pullstream.Callback[O]) {
+			if abort != nil {
+				c.Close()
+				d.Source(abort, cb)
+				return
+			}
+			d.Source(nil, func(end error, v O) {
+				if end != nil {
+					c.Close()
+					cb(end, v)
+					return
+				}
+				c.Result()
+				cb(nil, v)
+			})
+		}
+	}
+}
+
+// SubHandle is the scheduler's view of one worker's lending sub-stream,
+// implemented by the engine over lender.SubStream.
+type SubHandle interface {
+	// Outstanding returns how many values are lent through the
+	// sub-stream and the age of the oldest one.
+	Outstanding() (count int, oldest time.Duration)
+	// Speculate duplicates up to max of the sub-stream's oldest
+	// outstanding values for re-dispatch to other workers, returning how
+	// many were duplicated.
+	Speculate(max int) int
+}
+
+// WorkerFlow is a snapshot of one worker's flow-control state, surfaced
+// through the master's stats so operators can watch the controller work.
+type WorkerFlow struct {
+	Name string
+	// InFlight is how many values currently hold a credit.
+	InFlight int
+	// Window is the current credit window.
+	Window int
+	// Rate is the smoothed throughput in items per second.
+	Rate float64
+	// Speculated counts values duplicated away from this worker by
+	// straggler re-dispatch.
+	Speculated int
+}
+
+// entry pairs a controller with its sub-stream handle.
+type entry struct {
+	name string
+	ctrl *Controller
+	sub  SubHandle
+}
+
+// Scheduler owns the dispatch policy of one engine: it creates a
+// controller per attached worker and, when speculation is enabled, runs
+// the straggler scan over them.
+type Scheduler struct {
+	policy Policy
+	parked func() int // idle asks parked at the lender (tail signal)
+
+	mu       sync.Mutex
+	entries  map[*Controller]*entry
+	started  bool
+	closed   bool
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New creates a scheduler. parked reports how many worker asks are
+// parked idle at the lender after the input ended (lender.IdleAtTail) —
+// non-zero means the stream is near its tail and spare capacity exists;
+// it may be nil when speculation is disabled.
+func New(p Policy, parked func() int) *Scheduler {
+	if p.Min < 1 {
+		p.Min = 1
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	return &Scheduler{
+		policy:  p,
+		parked:  parked,
+		entries: make(map[*Controller]*entry),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Policy returns the scheduler's policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Attach registers a worker and returns its credit controller. The
+// straggler scan starts lazily with the first attachment when the policy
+// enables speculation.
+func (s *Scheduler) Attach(name string, sub SubHandle) *Controller {
+	c := NewController(s.policy)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return c
+	}
+	s.entries[c] = &entry{name: name, ctrl: c, sub: sub}
+	if s.policy.Speculation > 0 && s.parked != nil && !s.started {
+		s.started = true
+		go s.scan()
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// Detach closes a worker's controller and removes it from the scan.
+func (s *Scheduler) Detach(c *Controller) {
+	c.Close()
+	s.mu.Lock()
+	delete(s.entries, c)
+	s.mu.Unlock()
+}
+
+// Flows snapshots every attached worker's flow-control state.
+func (s *Scheduler) Flows() []WorkerFlow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerFlow, 0, len(s.entries))
+	for _, e := range s.entries {
+		e.ctrl.mu.Lock()
+		out = append(out, WorkerFlow{
+			Name:       e.name,
+			InFlight:   e.ctrl.inFlight,
+			Window:     e.ctrl.window,
+			Speculated: e.ctrl.speculated,
+		})
+		gap := e.ctrl.ewmaGap
+		e.ctrl.mu.Unlock()
+		if gap > 0 {
+			out[len(out)-1].Rate = 1 / gap
+		}
+	}
+	return out
+}
+
+// Stop halts the straggler scan and refuses new attachments; existing
+// controllers keep gating until their own streams end, so in-flight
+// processors finish normally.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Close stops the scan and closes every controller, releasing any
+// goroutine blocked on a credit.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.entries = make(map[*Controller]*entry)
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	for _, e := range entries {
+		e.ctrl.Close()
+	}
+}
+
+// scan bounds on how often the straggler detector runs.
+const (
+	minScanInterval = 200 * time.Microsecond
+	maxScanInterval = 100 * time.Millisecond
+	idleScan        = 5 * time.Millisecond
+)
+
+// scan is the straggler detector: while workers are idle near the tail
+// of the stream, values stuck on a worker far beyond the fleet's median
+// service time are duplicated to the idle workers; the first result wins.
+func (s *Scheduler) scan() {
+	interval := idleScan
+	for {
+		timer := time.NewTimer(interval)
+		select {
+		case <-s.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		interval = s.scanOnce()
+	}
+}
+
+// scanOnce runs one straggler pass and returns the next scan interval,
+// derived from the fleet's median service time so the scan keeps pace
+// with the workload without spinning.
+func (s *Scheduler) scanOnce() time.Duration {
+	median := s.medianService()
+	interval := idleScan
+	if median > 0 {
+		interval = time.Duration(median * s.policy.Speculation / 4 * float64(time.Second))
+		if interval < minScanInterval {
+			interval = minScanInterval
+		}
+		if interval > maxScanInterval {
+			interval = maxScanInterval
+		}
+	}
+	idle := s.parked()
+	if idle <= 0 || median <= 0 {
+		return interval
+	}
+	threshold := time.Duration(s.policy.Speculation * median * float64(time.Second))
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		n, oldest := e.sub.Outstanding()
+		if n == 0 || oldest < threshold {
+			continue
+		}
+		k := e.sub.Speculate(idle)
+		if k > 0 {
+			e.ctrl.mu.Lock()
+			e.ctrl.speculated += k
+			e.ctrl.mu.Unlock()
+			idle -= k
+			if idle <= 0 {
+				break
+			}
+		}
+	}
+	return interval
+}
+
+// medianService returns the fleet's median smoothed per-item service
+// interval in seconds, over the workers with enough history.
+func (s *Scheduler) medianService() float64 {
+	s.mu.Lock()
+	var samples []float64
+	for _, e := range s.entries {
+		if g := e.sub; g == nil {
+			continue
+		}
+		if gap := e.ctrl.serviceEstimate(); gap > 0 {
+			samples = append(samples, gap)
+		}
+	}
+	s.mu.Unlock()
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2]
+}

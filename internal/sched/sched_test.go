@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pando/internal/pullstream"
+)
+
+// meter tracks in-flight values between two pipeline points. A local
+// copy of limiter.Meter: limiter depends on this package for its gate,
+// so importing it back from the tests would be a cycle.
+type meter struct {
+	mu      sync.Mutex
+	current int
+	peak    int
+}
+
+func (m *meter) Inc() {
+	m.mu.Lock()
+	m.current++
+	if m.current > m.peak {
+		m.peak = m.current
+	}
+	m.mu.Unlock()
+}
+
+func (m *meter) Dec() {
+	m.mu.Lock()
+	m.current--
+	m.mu.Unlock()
+}
+
+func (m *meter) Peak() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// feedResult injects a synthetic in-flight value whose dispatch happened
+// rtt ago, then completes it — a deterministic way to drive the adaptive
+// window without real sleeps.
+func feedResult(c *Controller, rtt time.Duration) {
+	c.mu.Lock()
+	c.inFlight++
+	c.sends = append(c.sends, time.Now().Add(-rtt))
+	c.mu.Unlock()
+	c.Result()
+}
+
+func TestControllerSlowStartGrowsToMax(t *testing.T) {
+	c := NewController(Adaptive(1, 16))
+	for i := 0; i < 20; i++ {
+		feedResult(c, 10*time.Millisecond)
+	}
+	if got := c.Window(); got != 16 {
+		t.Fatalf("window after steady round-trips = %d, want 16 (slow start to max)", got)
+	}
+}
+
+func TestControllerBacksOffOnCongestionAndRecovers(t *testing.T) {
+	c := NewController(Adaptive(1, 16))
+	for i := 0; i < 20; i++ {
+		feedResult(c, 10*time.Millisecond)
+	}
+	// Round-trips inflate 10×: the extra in-flight values are queueing on
+	// the worker, not hiding latency; the window must collapse toward min.
+	for i := 0; i < 8; i++ {
+		feedResult(c, 100*time.Millisecond)
+	}
+	if got := c.Window(); got != 1 {
+		t.Fatalf("window after congestion = %d, want 1", got)
+	}
+	// Round-trips return to baseline: the window probes back up
+	// additively (no second slow start).
+	for i := 0; i < 40; i++ {
+		feedResult(c, 10*time.Millisecond)
+	}
+	got := c.Window()
+	if got < 3 {
+		t.Fatalf("window after recovery = %d, want additive growth above min", got)
+	}
+	if got > 16 {
+		t.Fatalf("window = %d exceeds max 16", got)
+	}
+}
+
+func TestControllerStaticWindowNeverMoves(t *testing.T) {
+	c := NewController(Static(3))
+	rtts := []time.Duration{time.Millisecond, 100 * time.Millisecond, 10 * time.Microsecond, time.Second}
+	for _, rtt := range rtts {
+		feedResult(c, rtt)
+		if got := c.Window(); got != 3 {
+			t.Fatalf("static window moved to %d after rtt %v", got, rtt)
+		}
+	}
+}
+
+func TestControllerRateEstimate(t *testing.T) {
+	c := NewController(Static(2))
+	for i := 0; i < 10; i++ {
+		time.Sleep(2 * time.Millisecond)
+		feedResult(c, time.Millisecond)
+	}
+	rate := c.Rate()
+	if rate <= 0 {
+		t.Fatal("no rate estimate after 10 results")
+	}
+	if rate > 2000 {
+		t.Fatalf("rate %.0f/s implausible for ~2ms intervals", rate)
+	}
+}
+
+// echoDuplex simulates a worker behind a network channel with an eager
+// sending side, the scenario the gate must bound.
+func echoDuplex(delay time.Duration) (pullstream.Duplex[int, int], *meter) {
+	m := &meter{}
+	pending := make(chan int, 1024)
+	endc := make(chan error, 1)
+	d := pullstream.Duplex[int, int]{
+		Sink: func(src pullstream.Source[int]) {
+			for {
+				type ans struct {
+					end error
+					v   int
+				}
+				ch := make(chan ans, 1)
+				src(nil, func(end error, v int) { ch <- ans{end, v} })
+				a := <-ch
+				if a.end != nil {
+					endc <- a.end
+					close(pending)
+					return
+				}
+				m.Inc()
+				pending <- a.v
+			}
+		},
+		Source: func(abort error, cb pullstream.Callback[int]) {
+			if abort != nil {
+				cb(abort, 0)
+				return
+			}
+			v, ok := <-pending
+			if !ok {
+				end := <-endc
+				if pullstream.IsNormalEnd(end) {
+					end = pullstream.ErrDone
+				}
+				cb(end, 0)
+				return
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			m.Dec()
+			cb(nil, v*2)
+		},
+	}
+	return d, m
+}
+
+func TestGateBoundsInFlight(t *testing.T) {
+	for _, p := range []Policy{Static(1), Static(4), Adaptive(1, 8), Adaptive(2, 3)} {
+		d, meter := echoDuplex(0)
+		c := NewController(p)
+		got, err := pullstream.Collect(Gate(c, d)(pullstream.Count(100)))
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("%+v: got %d results", p, len(got))
+		}
+		for i, v := range got {
+			if v != (i+1)*2 {
+				t.Fatalf("%+v: got[%d] = %d", p, i, v)
+			}
+		}
+		if meter.Peak() > p.Max {
+			t.Fatalf("%+v: peak in flight %d exceeds max window", p, meter.Peak())
+		}
+	}
+}
+
+// TestGateStressConcurrentAbortClose hammers the gate with concurrent
+// streams that are aborted mid-flight, verifying under -race that the
+// bound is never exceeded and every goroutine drains after shutdown.
+func TestGateStressConcurrentAbortClose(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const rounds = 40
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := Adaptive(1, 4)
+			d, meter := echoDuplex(0)
+			c := NewController(p)
+			out := Gate(c, d)(pullstream.Count(200))
+			if i%3 == 0 {
+				// Abort downstream mid-stream.
+				out = pullstream.Take[int](5 + i%7)(out)
+			}
+			if i%5 == 0 {
+				// Race a close against the transfer.
+				go c.Close()
+			}
+			_, _ = pullstream.Collect(out)
+			if meter.Peak() > p.Max {
+				t.Errorf("round %d: peak %d exceeds max %d", i, meter.Peak(), p.Max)
+			}
+		}(i)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after shutdown: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// fakeSub is a controllable sub-stream view for straggler-scan tests.
+type fakeSub struct {
+	mu         sync.Mutex
+	n          int
+	oldest     time.Duration
+	speculated int
+}
+
+func (f *fakeSub) Outstanding() (int, time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n, f.oldest
+}
+
+func (f *fakeSub) Speculate(max int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := f.n
+	if k > max {
+		k = max
+	}
+	f.speculated += k
+	return k
+}
+
+func TestSchedulerSpeculatesOnlyStragglers(t *testing.T) {
+	parked := 2
+	s := New(Policy{Min: 1, Max: 4, Speculation: 4}, func() int { return parked })
+	defer s.Close()
+
+	fast := &fakeSub{}
+	slow := &fakeSub{n: 3, oldest: 500 * time.Millisecond}
+	fastCtrl := s.Attach("fast", fast)
+	slowCtrl := s.Attach("slow", slow)
+	// The fast worker's smoothed service time defines the fleet median;
+	// the stalled worker has produced nothing.
+	fastCtrl.mu.Lock()
+	fastCtrl.ewmaGap = 0.001 // 1ms per item
+	fastCtrl.mu.Unlock()
+
+	s.scanOnce()
+
+	if fast.speculated != 0 {
+		t.Fatalf("fast worker speculated %d times; it has nothing outstanding", fast.speculated)
+	}
+	if slow.speculated != 2 {
+		t.Fatalf("straggler speculated %d values, want 2 (bounded by idle workers)", slow.speculated)
+	}
+	flows := s.Flows()
+	bySpec := map[string]int{}
+	for _, f := range flows {
+		bySpec[f.Name] = f.Speculated
+	}
+	if bySpec["slow"] != 2 || bySpec["fast"] != 0 {
+		t.Fatalf("flow snapshots = %v", bySpec)
+	}
+	_ = slowCtrl
+
+	// No idle workers → no speculation, however old the values are.
+	parked = 0
+	before := slow.speculated
+	s.scanOnce()
+	if slow.speculated != before {
+		t.Fatal("speculated without idle capacity")
+	}
+}
+
+func TestSchedulerDetachRemovesWorker(t *testing.T) {
+	s := New(Static(2), nil)
+	defer s.Close()
+	c := s.Attach("w", &fakeSub{})
+	if len(s.Flows()) != 1 {
+		t.Fatal("worker not registered")
+	}
+	s.Detach(c)
+	if len(s.Flows()) != 0 {
+		t.Fatal("worker not removed")
+	}
+	if c.Acquire() {
+		t.Fatal("detached controller still grants credits")
+	}
+}
+
+func TestSchedulerStopLeavesControllersRunning(t *testing.T) {
+	s := New(Static(2), nil)
+	c := s.Attach("w", &fakeSub{})
+	s.Stop()
+	if !c.Acquire() {
+		t.Fatal("Stop must not close live controllers (in-flight processors finish normally)")
+	}
+	c.Cancel()
+	s.Close()
+}

@@ -44,8 +44,9 @@ func (e *WorkerError) Error() string {
 // MasterDuplex exposes a channel to the master as a pull-stream duplex:
 // its Sink consumes the inputs lent to the worker (sending them as input
 // frames) and its Source produces the worker's results. The duplex is
-// meant to be wrapped with limiter.Limit and wired to a StreamLender
-// sub-stream: pull(sub.Source, Limit(MasterDuplex(ch), batch), sub.Sink).
+// meant to be wrapped with the sched credit gate (or limiter.Limit, its
+// static veneer) and wired to a StreamLender sub-stream:
+// pull(sub.Source, Gate(ctrl, MasterDuplex(ch)), sub.Sink).
 //
 // Failure semantics: a channel error (including heartbeat timeout) or an
 // application error reported by the worker ends the Source with an error,

@@ -30,6 +30,7 @@ import (
 	"pando/internal/netsim"
 	"pando/internal/proto"
 	"pando/internal/pullstream"
+	"pando/internal/sched"
 	"pando/internal/transport"
 	"pando/internal/worker"
 )
@@ -70,20 +71,53 @@ const (
 type Option func(*options)
 
 type options struct {
-	batch     int
-	group     int
-	unordered bool
-	channel   transport.Config
-	register  bool
-	formats   []string
-	inCodec   any // transport.Codec[I], stored untyped (Option is not generic)
-	outCodec  any // transport.Codec[O]
+	batch       int
+	adaptMin    int
+	adaptMax    int
+	speculation float64
+	group       int
+	unordered   bool
+	channel     transport.Config
+	register    bool
+	formats     []string
+	inCodec     any // transport.Codec[I], stored untyped (Option is not generic)
+	outCodec    any // transport.Codec[O]
 }
 
 // WithBatch sets how many values may be in flight per device (the Limiter
 // bound). The paper used 2 on LAN/VPN and 4 on WAN deployments to hide
-// network latency (§5.5).
+// network latency (§5.5). The window is static: every device gets the
+// same bound; see WithAdaptiveLimit for per-device windows.
 func WithBatch(n int) Option { return func(o *options) { o.batch = n } }
+
+// WithStaticLimit is WithBatch under its flow-control name: a fixed
+// window of n values in flight per device, the original Limiter behavior
+// (and the default, with n = 2).
+func WithStaticLimit(n int) Option { return WithBatch(n) }
+
+// WithAdaptiveLimit replaces the static pull-limit with a per-device
+// adaptive credit window probing within [min, max]: each device's window
+// grows while the extra in-flight values keep hiding transmission latency
+// (the smoothed result round-trip stays near the best observed) and
+// shrinks when they merely queue on a slow device. Fast devices converge
+// to large windows, throttled ones to small windows — the batch-size
+// sensitivity of the paper's §5.2–5.4 tuned per device at run time.
+func WithAdaptiveLimit(min, max int) Option {
+	return func(o *options) {
+		o.adaptMin = min
+		o.adaptMax = max
+	}
+}
+
+// WithSpeculation enables speculative re-dispatch of stragglers: near the
+// tail of the stream, a device whose oldest outstanding value is older
+// than factor × the fleet's median per-item service time has its values
+// duplicated to idle devices, and the first result wins. The lender's
+// at-least-once re-lending makes the duplicates safe; speculation bounds
+// tail completion time when a device stalls without crashing.
+func WithSpeculation(factor float64) Option {
+	return func(o *options) { o.speculation = factor }
+}
 
 // WithGroup sends several inputs per network frame (message-level
 // batching). The total values in flight per device stays bounded by the
@@ -128,6 +162,19 @@ func WithCodec[I, O any](in Codec[I], out Codec[O]) Option {
 		o.inCodec = in
 		o.outCodec = out
 	}
+}
+
+// flow folds the limit options into one policy. WithAdaptiveLimit wins
+// over the static batch; an unset policy keeps the static default.
+func (o options) flow() sched.Policy {
+	var p sched.Policy
+	if o.adaptMin > 0 || o.adaptMax > 0 {
+		p = sched.Adaptive(o.adaptMin, o.adaptMax)
+	} else if o.batch > 0 {
+		p = sched.Static(o.batch)
+	}
+	p.Speculation = o.speculation
+	return p
 }
 
 // Pando is one deployment: a single project, a single user, the lifetime
@@ -186,6 +233,7 @@ func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, 
 			Batch:    o.batch,
 			Ordered:  !o.unordered,
 			Group:    o.group,
+			Flow:     o.flow(),
 			Channel:  o.channel,
 			Formats:  o.formats,
 		}, in, out),
