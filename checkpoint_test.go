@@ -1,0 +1,227 @@
+package pando_test
+
+// Kill-and-restart recovery tests for the durable checkpoint journal:
+// a master process dies mid-stream with live volunteers and speculation
+// enabled, restarts over the same journal, and the resumed run's output
+// is exactly — content and order — what an uninterrupted run would have
+// produced, with the journaled prefix replayed instead of recomputed.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	pando "pando"
+	"pando/internal/netsim"
+)
+
+func recoveryDeployment(t *testing.T, name, ckpt string) *pando.Pando[int, int] {
+	t.Helper()
+	opts := []pando.Option{
+		pando.WithAdaptiveLimit(1, 8),
+		pando.WithSpeculation(2.0),
+		pando.WithChannelConfig(pando.ChannelConfig{HeartbeatInterval: 20 * time.Millisecond}),
+		pando.WithoutRegistry(),
+	}
+	if ckpt != "" {
+		opts = append(opts, pando.WithCheckpoint(ckpt), pando.WithResume(), pando.WithFsyncInterval(5*time.Millisecond))
+	}
+	return pando.New(name, func(v int) (int, error) { return v*v + 7, nil }, opts...)
+}
+
+// TestRecoveryKillAndRestart is the acceptance scenario: run 1 is killed
+// after emitting part of the stream, run 2 resumes from the journal with
+// fresh volunteers, and the combined guarantees hold — no missing and no
+// duplicate outputs, replay in order, real work saved.
+func TestRecoveryKillAndRestart(t *testing.T) {
+	const n = 200
+	const consumed = 80 // outputs read before the master dies
+	f := func(v int) int { return v*v + 7 }
+	ckpt := filepath.Join(t.TempDir(), "stream.journal")
+	name := integName("recovery")
+
+	// --- Run 1: dies mid-stream with live volunteers. ---
+	p1 := recoveryDeployment(t, name, ckpt)
+	p1.AddSimulatedWorkers(3, "fleet", netsim.LAN, time.Millisecond, -1)
+	// One crawling device makes stragglers likely, so speculation is live
+	// when the master dies.
+	p1.AddWorker("crawler", netsim.LAN, 25*time.Millisecond, -1)
+
+	in1 := make(chan int)
+	stop1 := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			select {
+			case in1 <- i:
+			case <-stop1:
+				return
+			}
+		}
+		close(in1)
+	}()
+	out1, _ := p1.Process(context.Background(), in1)
+	for i := 0; i < consumed; i++ {
+		v, ok := <-out1
+		if !ok {
+			t.Fatalf("run 1 output closed after %d values", i)
+		}
+		if v != f(i) {
+			t.Fatalf("run 1 out[%d] = %d, want %d", i, v, f(i))
+		}
+	}
+	// The batched fsync interval elapses before the kill; make that
+	// deterministic with an explicit barrier (results accepted after it
+	// may or may not be durable — both must be safe).
+	if err := p1.Checkpoint().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the master mid-stream: volunteers are severed mid-item, the
+	// output is abandoned, in-flight results race the shutdown.
+	close(stop1)
+	p1.Close()
+
+	// The crash's torn write: garbage after the last durable record must
+	// not break recovery.
+	fh, err := os.OpenFile(ckpt, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte{0xA7, 0x13, 0x37}); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	// --- Run 2: restart over the same journal, fresh volunteers. ---
+	p2 := recoveryDeployment(t, name, ckpt)
+	p2.AddSimulatedWorkers(3, "fleet2", netsim.LAN, time.Millisecond, -1)
+
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	got, err := p2.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("run 2 emitted %d outputs, want %d (missing outputs)", len(got), n)
+	}
+	for i, v := range got {
+		if v != f(i) {
+			t.Fatalf("run 2 out[%d] = %d, want %d (duplicate, missing or misordered output)", i, v, f(i))
+		}
+	}
+	// The journal actually saved work: at least the `consumed` outputs
+	// synced before the kill were restored, so run 2's devices computed
+	// well under the full stream (speculation may add a few duplicates).
+	if items := p2.TotalItems(); items > n-consumed/2 {
+		t.Fatalf("run 2 computed %d items; the synced prefix was not restored", items)
+	}
+	// Every index is durable by the end of run 2.
+	if l := p2.Checkpoint().Len(); l != n {
+		t.Fatalf("journal holds %d entries after completion, want %d", l, n)
+	}
+	p2.Close()
+}
+
+// TestRecoveryDoubleRestart kills the master twice: resume must compose.
+func TestRecoveryDoubleRestart(t *testing.T) {
+	const n = 150
+	f := func(v int) int { return v*v + 7 }
+	ckpt := filepath.Join(t.TempDir(), "stream.journal")
+	name := integName("recovery2")
+
+	for run := 0; run < 2; run++ {
+		p := recoveryDeployment(t, name, ckpt)
+		p.AddSimulatedWorkers(2, "fleet", netsim.LAN, time.Millisecond, -1)
+		in := make(chan int)
+		stop := make(chan struct{})
+		go func() {
+			for i := 0; i < n; i++ {
+				select {
+				case in <- i:
+				case <-stop:
+					return
+				}
+			}
+			close(in)
+		}()
+		out, _ := p.Process(context.Background(), in)
+		for i := 0; i < 30+run*30; i++ {
+			if v, ok := <-out; !ok || v != f(i) {
+				t.Fatalf("run %d out[%d] = %d (ok=%v), want %d", run, i, v, ok, f(i))
+			}
+		}
+		if err := p.Checkpoint().Sync(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		p.Close()
+	}
+
+	p := recoveryDeployment(t, name, ckpt)
+	p.AddSimulatedWorkers(2, "fleet", netsim.LAN, time.Millisecond, -1)
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if len(got) != n {
+		t.Fatalf("final run emitted %d outputs, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != f(i) {
+			t.Fatalf("final out[%d] = %d, want %d", i, v, f(i))
+		}
+	}
+}
+
+// TestCheckpointRefusesSilentResume: running a fresh deployment over a
+// journal that already holds progress must fail loudly unless WithResume
+// states the input stream is the same one.
+func TestCheckpointRefusesSilentResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "stream.journal")
+	name := integName("refuse")
+
+	p1 := pando.New(name, func(v int) (int, error) { return v + 1, nil },
+		pando.WithCheckpoint(ckpt), pando.WithFsyncInterval(-1), pando.WithoutRegistry())
+	p1.AddSimulatedWorkers(1, "w", netsim.Loopback, 0, -1)
+	if _, err := p1.ProcessSlice(context.Background(), []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	p1.Close()
+
+	p2 := pando.New(name, func(v int) (int, error) { return v + 1, nil },
+		pando.WithCheckpoint(ckpt), pando.WithoutRegistry())
+	defer p2.Close()
+	_, err := p2.ProcessSlice(context.Background(), []int{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "WithResume") {
+		t.Fatalf("err = %v, want refusal naming WithResume", err)
+	}
+}
+
+// TestCheckpointOpenFailureSurfacesOnProcess: an unopenable journal path
+// is reported by Process, not swallowed.
+func TestCheckpointOpenFailureSurfacesOnProcess(t *testing.T) {
+	name := integName("badpath")
+	p := pando.New(name, func(v int) (int, error) { return v, nil },
+		pando.WithCheckpoint(filepath.Join(t.TempDir(), "no", "such", "dir", "j.log")),
+		pando.WithoutRegistry())
+	defer p.Close()
+	_, err := p.ProcessSlice(context.Background(), []int{1})
+	if err == nil {
+		t.Fatal("Process succeeded despite an unopenable checkpoint path")
+	}
+	var pathErr *os.PathError
+	if !errors.As(err, &pathErr) {
+		t.Fatalf("err = %v, want an *os.PathError", err)
+	}
+}

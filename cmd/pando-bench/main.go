@@ -34,6 +34,8 @@ func main() {
 		speedup   = flag.Bool("speedup", false, "measure speedup of all LAN devices vs one")
 		schedExp  = flag.Bool("sched", false, "run the static-vs-adaptive flow-control experiment")
 		schedOut  = flag.String("sched-out", "BENCH_sched.json", "where -sched persists its results")
+		jrnExp    = flag.Bool("journal", false, "measure checkpoint journal overhead on the collatz profile")
+		jrnOut    = flag.String("journal-out", "BENCH_journal.json", "where -journal persists its results")
 		items     = flag.Int("items", 400, "work items per cell")
 		timeScale = flag.Float64("timescale", bench.DefaultTimeScale, "time compression factor")
 	)
@@ -139,6 +141,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("results written to %s\n", *schedOut)
+	}
+
+	if *jrnExp {
+		ran = true
+		cmp, err := bench.RunJournalComparison(*items)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		bench.RenderJournal(os.Stdout, cmp)
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jrnOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jrnOut)
 	}
 
 	if !ran {

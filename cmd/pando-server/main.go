@@ -6,6 +6,12 @@
 // free tier of a cloud" (§2.4.3).
 //
 //	pando-server --port 9000
+//
+// With --checkpoint the relay keeps a durable history of peer
+// registrations in an append-only journal: after a crash or reboot of the
+// small personal server, the restarted relay reports which masters had
+// registered, so an operator knows who to expect back (live connections
+// themselves cannot survive a restart — peers re-register on reconnect).
 package main
 
 import (
@@ -13,13 +19,47 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync"
 
+	"pando/internal/journal"
 	"pando/internal/transport"
 )
 
 func main() {
-	var port = flag.Int("port", 9000, "TCP port to listen on")
+	var (
+		port = flag.Int("port", 9000, "TCP port to listen on")
+		ckpt = flag.String("checkpoint", "", "journal peer registrations to this file, surviving relay restarts")
+	)
 	flag.Parse()
+
+	srv := transport.NewSignalServer()
+	if *ckpt != "" {
+		j, err := journal.Open(*ckpt, journal.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-server:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		entries := j.Completed()
+		if len(entries) > 0 {
+			fmt.Fprintf(os.Stderr, "pando-server: %d peer registration(s) recorded before restart; last: %q\n",
+				len(entries), string(entries[len(entries)-1].Data))
+		}
+		var mu sync.Mutex
+		next := 0
+		if len(entries) > 0 {
+			next = entries[len(entries)-1].Idx + 1
+		}
+		srv.OnJoin = func(id string) {
+			mu.Lock()
+			idx := next
+			next++
+			mu.Unlock()
+			if err := j.Record(idx, []byte(id)); err != nil {
+				fmt.Fprintln(os.Stderr, "pando-server: checkpoint:", err)
+			}
+		}
+	}
 
 	ln, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
 	if err != nil {
@@ -28,7 +68,6 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pando-server: signalling relay listening on %s\n", ln.Addr())
 
-	srv := transport.NewSignalServer()
 	if err := srv.Serve(ln, transport.Config{}); err != nil {
 		fmt.Fprintln(os.Stderr, "pando-server:", err)
 		os.Exit(1)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pando/internal/apps"
+	"pando/internal/journal"
 	"pando/internal/master"
 	"pando/internal/netsim"
 	"pando/internal/pullstream"
@@ -46,6 +47,8 @@ func run() error {
 		masterID = fs.String("id", "master", "peer ID on the public server")
 		listFn   = fs.Bool("list", false, "list registered processing functions and exit")
 		report   = fs.Bool("report", false, "print periodic per-device throughput on stderr")
+		ckpt     = fs.String("checkpoint", "", "journal completed results to this file; restarting with the same flag and inputs resumes instead of redoing work")
+		fsync    = fs.Duration("fsync", 0, "checkpoint fsync batching interval (0: default 100ms; negative: every record)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: pando <function> [flags] [inputs...]")
@@ -79,11 +82,24 @@ func run() error {
 			funcName, strings.Join(worker.Registered(), ", "))
 	}
 
-	m := master.New[string, json.RawMessage](master.Config{
+	cfg := master.Config{
 		FuncName: funcName,
 		Batch:    *batch,
 		Ordered:  true,
-	}, stringCodec{}, rawCodec{})
+	}
+	if *ckpt != "" {
+		j, err := journal.Open(*ckpt, journal.Options{SyncInterval: *fsync})
+		if err != nil {
+			return fmt.Errorf("open checkpoint: %w", err)
+		}
+		defer j.Close()
+		if n := j.Recovered(); n > 0 {
+			fmt.Fprintf(os.Stderr, "Resuming checkpoint %s: %d results already completed "+
+				"(feed the same inputs; completed ones are replayed, not recomputed)\n", *ckpt, n)
+		}
+		cfg.Journal = j
+	}
+	m := master.New[string, json.RawMessage](cfg, stringCodec{}, rawCodec{})
 
 	// Data plane on :port+1, deployment URL on :port — the paper's
 	// "Serving volunteer code at http://10.10.14.119:5000" (Figure 3).

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestJournalOverheadBudget runs the journal experiment at test scale and
+// enforces the acceptance budget: the batched-fsync default must cost at
+// most 15% end-to-end on the collatz profile. The per-record extreme is
+// only sanity-checked (it pays one fsync per result by design).
+func TestJournalOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips timing-sensitive bench")
+	}
+	cmp, err := RunJournalComparison(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(cmp.Rows))
+	}
+	for _, r := range cmp.Rows {
+		if r.Throughput <= 0 {
+			t.Fatalf("row %s measured no throughput", r.Name)
+		}
+	}
+	if cmp.OverheadDefaultPct > 15 {
+		t.Fatalf("batched-fsync journal overhead = %.1f%%, budget is 15%%", cmp.OverheadDefaultPct)
+	}
+}

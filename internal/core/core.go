@@ -84,6 +84,23 @@ func WithObserver(fn func(Event)) Option {
 	return func(c *config) { c.observer = fn }
 }
 
+// Restore seeds the engine with the completed results of a previous run
+// (recovered from a durable checkpoint): the journal is consulted before
+// lending — restored indices are skipped at the input and their results
+// replayed to the output in order, so no processor redoes finished work.
+// Call it before Bind.
+func (d *DistributedMap[I, O]) Restore(completed map[int]O) {
+	d.l.Restore(completed)
+}
+
+// OnResult registers the completed-set export hook: fn is invoked for
+// every newly accepted (index, result) pair — after speculation dedup, so
+// an index fires at most once per run — letting the caller journal it.
+// Restored indices do not fire. Call it before Bind; fn must not block.
+func (d *DistributedMap[I, O]) OnResult(fn func(idx int, v O)) {
+	d.l.OnResult(fn)
+}
+
 // New creates an idle engine.
 func New[I, O any](opts ...Option) *DistributedMap[I, O] {
 	cfg := config{policy: sched.Static(2), ordered: true}

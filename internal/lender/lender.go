@@ -25,6 +25,7 @@ package lender
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -66,6 +67,16 @@ type Lender[I, O any] struct {
 	reading bool  // an input read is in flight
 	inEnd   error // non-nil once the input terminated (ErrDone or failure)
 	nextIdx int   // index assigned to the next value read
+
+	// done marks indices restored from a checkpoint (see Restore): their
+	// values are consumed from the input but never lent, and their results
+	// are replayed to the output from the reorder buffer.
+	done map[int]bool
+	// onResult, when set, is told each newly accepted (index, result)
+	// pair — after speculation dedup, so each index fires at most once.
+	// It is the journaling export hook; replayed (restored) results do
+	// not fire it.
+	onResult func(idx int, v O)
 
 	failed []lent[I] // values to re-lend, oldest first
 
@@ -122,6 +133,49 @@ func New[I, O any](opts ...Option) *Lender[I, O] {
 		ordered: cfg.ordered,
 		results: make(map[int]O),
 	}
+}
+
+// Restore marks completed indices recovered from a durable checkpoint:
+// their values are skipped at the input (consumed, never lent) and their
+// results are replayed to the output exactly once, in index order,
+// interleaved with fresh results exactly as an uninterrupted run would
+// have emitted them. Call it before Bind; a restored index never reaches
+// a sub-stream, so no volunteer redoes its work.
+func (l *Lender[I, O]) Restore(completed map[int]O) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done == nil {
+		l.done = make(map[int]bool, len(completed))
+	}
+	if l.ordered {
+		for idx, v := range completed {
+			l.done[idx] = true
+			l.results[idx] = v
+		}
+		return
+	}
+	// Unordered mode has no reorder buffer: replay in index order first,
+	// then fresh results in completion order.
+	idxs := make([]int, 0, len(completed))
+	for idx := range completed {
+		l.done[idx] = true
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		l.ready = append(l.ready, completed[idx])
+	}
+}
+
+// OnResult registers the completed-set export hook: fn is invoked, outside
+// the lender's lock, for each accepted (index, result) pair — after
+// speculation dedup and crash re-lending, so an index fires at most once
+// per run. Restored indices (Restore) do not fire; they were exported by
+// the run that computed them. Call it before Bind.
+func (l *Lender[I, O]) OnResult(fn func(idx int, v O)) {
+	l.mu.Lock()
+	l.onResult = fn
+	l.mu.Unlock()
 }
 
 // Bind attaches the input source and returns the merged output source,
@@ -350,7 +404,14 @@ func (l *Lender[I, O]) resultLocked(s *SubStream, v O) []func() {
 	} else {
 		l.ready = append(l.ready, v)
 	}
-	return l.serviceLocked()
+	var actions []func()
+	if l.onResult != nil {
+		// Export the completion before the service step's actions so a
+		// journaling hook records a result no later than its emission.
+		fn, idx := l.onResult, item.idx
+		actions = append(actions, func() { fn(idx, v) })
+	}
+	return append(actions, l.serviceLocked()...)
 }
 
 // endSubLocked terminates sub-stream s: outstanding values move to the
@@ -364,14 +425,27 @@ func (l *Lender[I, O]) endSubLocked(s *SubStream) []func() {
 	l.subsEnded++
 	for _, it := range s.outstanding {
 		l.outstanding--
-		if st, ok := l.spec[it.idx]; ok && st.answered {
-			// A duplicate already answered this value; the dead copy need
-			// not be re-lent.
-			st.copies--
-			if st.copies == 0 {
-				delete(l.spec, it.idx)
+		if st, ok := l.spec[it.idx]; ok {
+			if st.answered {
+				// A duplicate already answered this value; the dead copy
+				// need not be re-lent.
+				st.copies--
+				if st.copies == 0 {
+					delete(l.spec, it.idx)
+				}
+				continue
 			}
-			continue
+			if l.failedHasLocked(it.idx) {
+				// The value's other copy already waits in the failed
+				// queue — its holder died too (simultaneous failures near
+				// the tail). Collapse to a single queued copy so each
+				// distinct value is re-lent exactly once.
+				st.copies--
+				if st.copies == 0 {
+					delete(l.spec, it.idx)
+				}
+				continue
+			}
 		}
 		l.failed = append(l.failed, lent[I]{idx: it.idx, v: it.v.(I)})
 	}
@@ -396,6 +470,19 @@ func (l *Lender[I, O]) endSubLocked(s *SubStream) []func() {
 		s.parked = false
 	}
 	return append(actions, l.serviceLocked()...)
+}
+
+// failedHasLocked reports whether an idx is already queued for re-lending.
+// Caller holds mu. The scan is linear, but it only runs for speculatively
+// duplicated values on sub-stream death, and the failed queue drains to
+// asking workers ahead of fresh input, so it stays short.
+func (l *Lender[I, O]) failedHasLocked(idx int) bool {
+	for _, f := range l.failed {
+		if f.idx == idx {
+			return true
+		}
+	}
+	return false
 }
 
 // serviceLocked advances the state machine: it answers parked sub-stream
@@ -519,6 +606,11 @@ func (l *Lender[I, O]) inputAnswer(end error, v I) {
 				l.mu.Unlock()
 			})
 		})
+	case l.done[l.nextIdx]:
+		// Checkpoint-restored value: consume it from the input but never
+		// lend it — its result is already queued for replay. The asker
+		// stays parked; serviceLocked starts the next read.
+		l.nextIdx++
 	case len(l.waiters) > 0:
 		w := l.waiters[0]
 		l.waiters = l.waiters[1:]
@@ -565,6 +657,20 @@ func (l *Lender[I, O]) serveOutputLocked() []func() {
 	}
 	cb := l.out.cb
 	if l.ordered {
+		if _, ok := l.results[l.nextOut]; !ok && l.inEnd != nil && l.pending == 0 && len(l.results) > 0 {
+			// Every in-flight value is answered yet the next slot is
+			// empty: the remaining results are checkpoint-restored
+			// leftovers past the end of a (shorter) resumed input. Skip
+			// to the smallest remaining index so the stream terminates
+			// instead of waiting for a value that will never be read.
+			min := -1
+			for idx := range l.results {
+				if min < 0 || idx < min {
+					min = idx
+				}
+			}
+			l.nextOut = min
+		}
 		if v, ok := l.results[l.nextOut]; ok {
 			delete(l.results, l.nextOut)
 			l.nextOut++

@@ -172,8 +172,10 @@ func TestSpeculateNeverHandsDuplicateToOrigin(t *testing.T) {
 }
 
 // TestSpeculateCrashedOriginFallsBackToRelend: when the origin dies after
-// speculation, the unanswered original is re-lent as usual and the value
-// is still answered exactly once.
+// speculation while the duplicate is already lent to a live sub-stream,
+// the unanswered original is re-lent as usual and the value is still
+// answered exactly once. (When the duplicate is still queued instead, the
+// two copies collapse — see TestSingleHolderDeathWithQueuedDuplicate.)
 func TestSpeculateCrashedOriginFallsBackToRelend(t *testing.T) {
 	l := New[int, int]()
 	out := l.Bind(pullstream.Values(10))
@@ -190,17 +192,17 @@ func TestSpeculateCrashedOriginFallsBackToRelend(t *testing.T) {
 		t.Fatalf("Speculate = %d, want 1", n)
 	}
 
-	// The origin crashes while both copies are unanswered.
-	errA <- pullstream.ErrAborted
-
+	// subB takes the queued duplicate while the origin is still alive...
 	_, dB := l.LendStream()
 	resultsB := make(chan int)
 	dB.Sink(pullstream.FromChan(resultsB, nil))
-	// subB receives the duplicate, then the re-lent original of the same
-	// value (the crashed origin's copy went through the failed queue).
 	if v, err := ask(t, dB.Source); err != nil || v != 10 {
 		t.Fatalf("subB duplicate = %d, %v", v, err)
 	}
+
+	// ...then the origin crashes with its copy unanswered: the original
+	// goes through the failed queue and is re-lent.
+	errA <- pullstream.ErrAborted
 	if v, err := ask(t, dB.Source); err != nil || v != 10 {
 		t.Fatalf("subB re-lent original = %d, %v", v, err)
 	}

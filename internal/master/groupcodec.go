@@ -1,0 +1,62 @@
+package master
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pando/internal/transport"
+)
+
+// This file frames a group of encoded values into a single journal
+// payload. The grouped engine lends, re-lends and orders whole groups
+// (see groupedEngine), so the journal's unit must be the group too:
+// each value is encoded with the deployment's payload codec and framed
+// with a uvarint length prefix, mirroring the binary wire's batching.
+
+// encodeGroup frames vs into one payload.
+func encodeGroup[O any](c transport.Codec[O], vs []O) ([]byte, error) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(vs)))
+	for _, v := range vs {
+		data, err := c.Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("master: encode group member: %w", err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(data)))
+		buf = append(buf, data...)
+	}
+	return buf, nil
+}
+
+// decodeGroup reverses encodeGroup. It is strict: trailing garbage or a
+// short buffer is an error, so a stale or foreign journal entry is
+// skipped (recomputed) rather than half-restored.
+func decodeGroup[O any](c transport.Codec[O], data []byte) ([]O, error) {
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, fmt.Errorf("master: group count: truncated")
+	}
+	if n > uint64(len(data)) {
+		// Each member needs at least its length prefix; a count larger
+		// than the buffer is corrupt (and would over-allocate).
+		return nil, fmt.Errorf("master: group count %d exceeds payload", n)
+	}
+	vs := make([]O, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ln, k := binary.Uvarint(data[off:])
+		if k <= 0 || ln > uint64(len(data)-off-k) {
+			return nil, fmt.Errorf("master: group member %d: truncated", i)
+		}
+		off += k
+		v, err := c.Decode(data[off : off+int(ln)])
+		if err != nil {
+			return nil, fmt.Errorf("master: decode group member %d: %w", i, err)
+		}
+		vs = append(vs, v)
+		off += int(ln)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("master: group payload has %d trailing bytes", len(data)-off)
+	}
+	return vs, nil
+}

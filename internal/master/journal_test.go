@@ -1,0 +1,243 @@
+package master
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pando/internal/journal"
+	"pando/internal/netsim"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+// TestMasterJournalsResults: with Config.Journal every accepted result
+// lands in the journal as (index, encoded payload).
+func TestMasterJournalsResults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, err := journal.Open(path, journal.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	m := newTestMaster(t, Config{Journal: j})
+	ln := netsim.NewListener("journal-master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+	out := m.Bind(pullstream.Count(10))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare, CrashAfter: -1})
+	if _, err := pullstream.Collect(out); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := j.Len(); n != 10 {
+		t.Fatalf("journal holds %d entries, want 10", n)
+	}
+	for _, e := range j.Completed() {
+		var v int
+		if err := json.Unmarshal(e.Data, &v); err != nil {
+			t.Fatalf("entry %d payload %q: %v", e.Idx, e.Data, err)
+		}
+		// Count(10) produces 1..10 at indices 0..9.
+		if want := (e.Idx + 1) * (e.Idx + 1); v != want {
+			t.Fatalf("entry %d = %d, want %d", e.Idx, v, want)
+		}
+	}
+	if err := m.JournalErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMasterRestoresFromJournal: a second master over the same journal
+// replays completed results and only lends the rest.
+func TestMasterRestoresFromJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, err := journal.Open(path, journal.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A previous run completed indices 0..5 (inputs 1..6, squared).
+	for i := 0; i <= 5; i++ {
+		data, _ := json.Marshal((i + 1) * (i + 1))
+		if err := j.Record(i, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := journal.Open(path, journal.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	m := newTestMaster(t, Config{Journal: j2})
+	ln := netsim.NewListener("restore-master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+	out := m.Bind(pullstream.Count(10))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare, CrashAfter: -1})
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d results, want 10", len(got))
+	}
+	for i, v := range got {
+		if want := (i + 1) * (i + 1); v != want {
+			t.Fatalf("got[%d] = %d, want %d", i, v, want)
+		}
+	}
+	// The volunteer only computed the four unfinished values.
+	if n := m.TotalItems(); n != 4 {
+		t.Fatalf("volunteer computed %d items, want 4 (6 restored)", n)
+	}
+}
+
+// TestMasterRestoreSkipsUndecodableEntries: a journal entry that no
+// longer decodes is recomputed instead of failing the restart.
+func TestMasterRestoreSkipsUndecodableEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, err := journal.Open(path, journal.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := json.Marshal(1)
+	if err := j.Record(0, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(1, []byte("not json at all {{{")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := journal.Open(path, journal.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	m := newTestMaster(t, Config{Journal: j2})
+	ln := netsim.NewListener("skip-master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+	out := m.Bind(pullstream.Count(3))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare, CrashAfter: -1})
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 9 {
+		t.Fatalf("got %v, want [1 4 9] (bad entry recomputed)", got)
+	}
+	if n := m.TotalItems(); n != 2 {
+		t.Fatalf("volunteer computed %d items, want 2 (index 1 recomputed, index 0 restored)", n)
+	}
+}
+
+// TestMasterGroupedJournalRoundTrip: with Group > 1 the journal's unit is
+// the group; a restarted grouped master restores and completes.
+func TestMasterGroupedJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	run := func(items int) []int {
+		j, err := journal.Open(path, journal.Options{SyncInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		m := newTestMaster(t, Config{Group: 3, Journal: j})
+		ln := netsim.NewListener("grouped-journal", netsim.LAN)
+		defer ln.Close()
+		go m.ServeWS(ln)
+		out := m.Bind(pullstream.Count(items))
+		startVolunteer(t, ln, &worker.Volunteer{Name: "dev", Handler: jsonSquare, CrashAfter: -1})
+		got, err := pullstream.Collect(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.JournalErr(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	first := run(12)
+	if len(first) != 12 {
+		t.Fatalf("first run: %d results, want 12", len(first))
+	}
+	// Second run over the same journal: everything is restored, the
+	// volunteer computes nothing, and the output replays identically.
+	second := run(12)
+	if len(second) != 12 {
+		t.Fatalf("second run: %d results, want 12", len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replayed output diverges at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+func TestGroupCodecRoundTrip(t *testing.T) {
+	c := transport.JSONCodec[int]{}
+	for _, vs := range [][]int{nil, {1}, {1, 2, 3}, {0, -5, 1 << 30}} {
+		data, err := encodeGroup(c, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeGroup(c, data)
+		if err != nil {
+			t.Fatalf("decode %v: %v", vs, err)
+		}
+		if len(got) != len(vs) {
+			t.Fatalf("round trip %v -> %v", vs, got)
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				t.Fatalf("round trip %v -> %v", vs, got)
+			}
+		}
+	}
+	// Corrupt payloads error instead of half-decoding.
+	data, _ := encodeGroup(c, []int{1, 2, 3})
+	for _, bad := range [][]byte{data[:len(data)-1], append(append([]byte(nil), data...), 'x'), {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}} {
+		if _, err := decodeGroup(c, bad); err == nil {
+			t.Fatalf("decodeGroup accepted corrupt payload %v", bad)
+		}
+	}
+}
+
+// TestMasterJournalUnderCrashStop: a volunteer that crashes mid-stream
+// must not corrupt the journal — re-lent values are journaled once, on
+// their eventual completion.
+func TestMasterJournalUnderCrashStop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, err := journal.Open(path, journal.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	m := newTestMaster(t, Config{Journal: j, Batch: 2})
+	ln := netsim.NewListener("crash-journal", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+	out := m.Bind(pullstream.Count(30))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "flaky", Handler: jsonSquare, CrashAfter: 5, Delay: time.Millisecond})
+	startVolunteer(t, ln, &worker.Volunteer{Name: "steady", Handler: jsonSquare, CrashAfter: -1, Delay: time.Millisecond})
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("got %d results, want 30", len(got))
+	}
+	if n := j.Len(); n != 30 {
+		t.Fatalf("journal holds %d entries, want 30 (each index exactly once)", n)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pando/internal/core"
+	"pando/internal/journal"
 	"pando/internal/proto"
 	"pando/internal/pullstream"
 	"pando/internal/sched"
@@ -51,6 +52,15 @@ type Config struct {
 	// refused with ErrNoCommonFormat — so a list excluding '/pando/1.0.0'
 	// turns off the v1 fallback entirely.
 	Formats []string
+	// Journal, when non-nil, makes the deployment's progress durable:
+	// every result the lender accepts is recorded (index + encoded
+	// payload, fsynced in batches on the journal's configured interval),
+	// and any completed results the journal recovered from a previous
+	// run are restored — their inputs are skipped at the source and their
+	// results replayed to the output in order, so a restarted master
+	// resumes instead of redoing work. The caller owns the journal's
+	// lifecycle (Close it after the master).
+	Journal *journal.Journal
 }
 
 func (c Config) batch() int {
@@ -142,6 +152,7 @@ type Master[I, O any] struct {
 	workers map[string]*WorkerStats
 	nextID  int
 	closed  bool
+	jerr    error // first journal write failure, for diagnostics
 }
 
 // engine abstracts the plain and grouped data planes.
@@ -225,9 +236,14 @@ func New[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *M
 		if !cfg.Ordered {
 			opts = append(opts, core.WithUnordered())
 		}
+		d := core.New[[]I, []O](opts...)
+		if cfg.Journal != nil {
+			d.Restore(m.groupedRestore())
+			d.OnResult(m.groupedRecord())
+		}
 		m.engine = &groupedEngine[I, O]{
 			group: cfg.Group,
-			d:     core.New[[]I, []O](opts...),
+			d:     d,
 			in:    in,
 			out:   out,
 		}
@@ -237,8 +253,86 @@ func New[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *M
 	if !cfg.Ordered {
 		opts = append(opts, core.WithUnordered())
 	}
-	m.engine = &plainEngine[I, O]{d: core.New[I, O](opts...), in: in, out: out}
+	d := core.New[I, O](opts...)
+	if cfg.Journal != nil {
+		d.Restore(m.plainRestore())
+		d.OnResult(m.plainRecord())
+	}
+	m.engine = &plainEngine[I, O]{d: d, in: in, out: out}
 	return m
+}
+
+// plainRestore decodes the journal's recovered entries into the lender's
+// completed set. An entry whose payload no longer decodes (e.g. the
+// deployment's output codec changed) is skipped — that index is simply
+// recomputed, so a stale journal degrades to extra work, never to a
+// failed restart.
+func (m *Master[I, O]) plainRestore() map[int]O {
+	entries := m.cfg.Journal.Completed()
+	restore := make(map[int]O, len(entries))
+	for _, e := range entries {
+		if v, err := m.out.Decode(e.Data); err == nil {
+			restore[e.Idx] = v
+		}
+	}
+	return restore
+}
+
+// plainRecord journals one accepted result. Write failures are remembered
+// (JournalErr) but do not interrupt the stream: a deployment with a full
+// disk keeps computing, it just stops gaining durability.
+func (m *Master[I, O]) plainRecord() func(int, O) {
+	return func(idx int, v O) {
+		data, err := m.out.Encode(v)
+		if err == nil {
+			err = m.cfg.Journal.Record(idx, data)
+		}
+		if err != nil {
+			m.noteJournalErr(err)
+		}
+	}
+}
+
+// groupedRestore and groupedRecord are the grouped engine's counterparts:
+// the unit of journaling is the group (matching the unit of lending and
+// re-lending), framed as uvarint-length-prefixed encoded values.
+func (m *Master[I, O]) groupedRestore() map[int][]O {
+	entries := m.cfg.Journal.Completed()
+	restore := make(map[int][]O, len(entries))
+	for _, e := range entries {
+		if vs, err := decodeGroup(m.out, e.Data); err == nil {
+			restore[e.Idx] = vs
+		}
+	}
+	return restore
+}
+
+func (m *Master[I, O]) groupedRecord() func(int, []O) {
+	return func(idx int, vs []O) {
+		data, err := encodeGroup(m.out, vs)
+		if err == nil {
+			err = m.cfg.Journal.Record(idx, data)
+		}
+		if err != nil {
+			m.noteJournalErr(err)
+		}
+	}
+}
+
+func (m *Master[I, O]) noteJournalErr(err error) {
+	m.mu.Lock()
+	if m.jerr == nil {
+		m.jerr = err
+	}
+	m.mu.Unlock()
+}
+
+// JournalErr reports the first journal write failure, if any — results
+// keep flowing when journaling breaks, so operators must ask.
+func (m *Master[I, O]) JournalErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jerr
 }
 
 // observe folds the engine's processor lifecycle events into the

@@ -21,6 +21,24 @@
 // older than k× the fleet's median per-item service time has its items
 // duplicated to an idle worker and the first result wins. The lender's
 // at-least-once semantics make the duplicates safe (see lender.Speculate).
+//
+// # Round-trip accounting and Drop
+//
+// A Controller matches results to dispatches FIFO: Sent pushes the
+// dispatch time of a value going in flight, Result pops the oldest and
+// feeds the window with the measured round-trip. A dispatched value that
+// will never produce a result frame — the worker crashed mid-flight, or
+// the caller deduplicated the value upstream before its result could
+// arrive — must be removed with Drop, or the stale dispatch time would be
+// paired with the NEXT result and every later round-trip would be
+// measured from the wrong, ever-older send: the inflated EWMA reads as
+// permanent congestion and collapses the window to its minimum. The
+// scheduler drops on detach (Detach and Close clear all pending
+// dispatches); embedders driving a Controller directly (AttachVia-style
+// custom gates, relay fan-out) call Drop themselves when they discard an
+// in-flight value. The dispatch queue is a ring buffer: popping the head
+// does not pin the backing array, so a long-lived worker's queue stays
+// proportional to its window, not its history.
 package sched
 
 import (
@@ -93,9 +111,13 @@ type Controller struct {
 	inFlight int
 	closed   bool
 
-	// sends holds the dispatch time of each in-flight value, oldest
-	// first; results match FIFO, like the lender's own matching.
-	sends []time.Time
+	// sends[sendHead:] holds the dispatch time of each in-flight value,
+	// oldest first; results match FIFO, like the lender's own matching.
+	// Popping advances sendHead instead of re-slicing so the backing
+	// array is compacted (not pinned) as the queue drains; see
+	// popSendLocked.
+	sends    []time.Time
+	sendHead int
 
 	slowStart bool
 	sinceGrow int
@@ -158,6 +180,44 @@ func (c *Controller) Cancel() {
 	c.cond.Signal()
 }
 
+// popSendLocked removes and returns the oldest pending dispatch time.
+// The head index advances instead of re-slicing, and the live window is
+// copied down once the dead prefix dominates, so the backing array never
+// pins the full dispatch history of a long-lived worker. Caller holds mu.
+func (c *Controller) popSendLocked() (time.Time, bool) {
+	if c.sendHead >= len(c.sends) {
+		return time.Time{}, false
+	}
+	at := c.sends[c.sendHead]
+	c.sends[c.sendHead] = time.Time{}
+	c.sendHead++
+	if c.sendHead == len(c.sends) {
+		c.sends = c.sends[:0]
+		c.sendHead = 0
+	} else if c.sendHead > 32 && c.sendHead > len(c.sends)/2 {
+		n := copy(c.sends, c.sends[c.sendHead:])
+		c.sends = c.sends[:n]
+		c.sendHead = 0
+	}
+	return at, true
+}
+
+// Drop discards the oldest pending dispatch and releases its credit: the
+// caller knows that value will never produce a result frame (worker
+// detached mid-flight, or the value was deduplicated upstream), so pairing
+// its dispatch time with the next result would mis-measure every later
+// round-trip. It reports whether a pending dispatch existed.
+func (c *Controller) Drop() bool {
+	c.mu.Lock()
+	_, ok := c.popSendLocked()
+	if ok && c.inFlight > 0 {
+		c.inFlight--
+	}
+	c.mu.Unlock()
+	c.cond.Signal()
+	return ok
+}
+
 // Result releases one credit for a returned result and feeds the
 // adaptive window with the measured round-trip.
 func (c *Controller) Result() {
@@ -167,9 +227,8 @@ func (c *Controller) Result() {
 		c.inFlight--
 	}
 	var rtt float64
-	if len(c.sends) > 0 {
-		rtt = now.Sub(c.sends[0]).Seconds()
-		c.sends = c.sends[1:]
+	if at, ok := c.popSendLocked(); ok {
+		rtt = now.Sub(at).Seconds()
 	}
 	c.results++
 	if !c.lastResult.IsZero() {
@@ -229,12 +288,24 @@ func (c *Controller) adaptLocked() {
 	}
 }
 
-// Close releases all blocked acquirers; they report failure.
+// Close releases all blocked acquirers; they report failure. Pending
+// dispatches are dropped: a closing worker's in-flight values will never
+// answer, and their stale send times must not leak into any later
+// measurement.
 func (c *Controller) Close() {
 	c.mu.Lock()
 	c.closed = true
+	c.sends = nil
+	c.sendHead = 0
 	c.mu.Unlock()
 	c.cond.Broadcast()
+}
+
+// pendingSends reports how many dispatches await a result (tests).
+func (c *Controller) pendingSends() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sends) - c.sendHead
 }
 
 // Window returns the current credit window.
@@ -411,8 +482,13 @@ func (s *Scheduler) Attach(name string, sub SubHandle) *Controller {
 	return c
 }
 
-// Detach closes a worker's controller and removes it from the scan.
+// Detach closes a worker's controller and removes it from the scan. Any
+// dispatches still awaiting a result are dropped (the Drop path): a
+// detached worker's in-flight values never answer, and their stale send
+// times must not be paired with later results.
 func (s *Scheduler) Detach(c *Controller) {
+	for c.Drop() {
+	}
 	c.Close()
 	s.mu.Lock()
 	delete(s.entries, c)

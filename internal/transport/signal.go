@@ -13,6 +13,11 @@ import (
 // exchange offer/answer/candidate messages addressed by ID; the relay
 // never sees application data.
 type SignalServer struct {
+	// OnJoin, when set before Serve, is invoked after each successful
+	// peer registration — e.g. to keep a durable registration history
+	// across relay restarts. It must not block.
+	OnJoin func(peerID string)
+
 	mu    sync.Mutex
 	peers map[string]Channel
 	done  chan struct{}
@@ -100,6 +105,9 @@ func (s *SignalServer) handle(ch Channel) {
 	// Acknowledge the registration.
 	if err := ch.Send(&proto.Message{Type: proto.TypeWelcome, Peer: id}); err != nil {
 		return
+	}
+	if s.OnJoin != nil {
+		s.OnJoin(id)
 	}
 
 	// Relay loop: forward addressed messages.

@@ -463,3 +463,54 @@ func TestWSockStallLongerThanTimeoutIsACrash(t *testing.T) {
 		t.Fatalf("detection took %v", elapsed)
 	}
 }
+
+func TestSignalServerOnJoinHook(t *testing.T) {
+	ln := netsim.NewListener("signal-hook", netsim.Loopback)
+	srv := NewSignalServer()
+	var mu sync.Mutex
+	var joined []string
+	srv.OnJoin = func(id string) {
+		mu.Lock()
+		joined = append(joined, id)
+		mu.Unlock()
+	}
+	go srv.Serve(ln, Config{HeartbeatInterval: -1})
+	defer srv.Close()
+
+	dial := func() Channel {
+		c, _, err := ln.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewWSock(c, Config{HeartbeatInterval: -1})
+	}
+	if err := JoinSignal(dial(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := JoinSignal(dial(), "bob"); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate registration is refused and must not fire the hook.
+	if err := JoinSignal(dial(), "alice"); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(joined)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("OnJoin fired %d times, want 2", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(joined) != 2 || joined[0] != "alice" || joined[1] != "bob" {
+		t.Fatalf("OnJoin saw %v, want [alice bob]", joined)
+	}
+}

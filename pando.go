@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"pando/internal/journal"
 	"pando/internal/master"
 	"pando/internal/netsim"
 	"pando/internal/proto"
@@ -82,6 +83,9 @@ type options struct {
 	formats     []string
 	inCodec     any // transport.Codec[I], stored untyped (Option is not generic)
 	outCodec    any // transport.Codec[O]
+	checkpoint  string
+	resume      bool
+	fsync       time.Duration
 }
 
 // WithBatch sets how many values may be in flight per device (the Limiter
@@ -152,6 +156,44 @@ func WithWireFormat(names ...string) Option {
 	return func(o *options) { o.formats = names }
 }
 
+// WithCheckpoint makes the deployment's progress durable: every completed
+// result is journaled (index + encoded payload) to an append-only log at
+// path, with periodic compacted snapshots at path+".snap", so a master
+// process that crashes mid-stream can be restarted without redoing the
+// finished work. Fsyncs are batched (see WithFsyncInterval); a crash
+// loses at most the last un-synced batch, whose values are simply
+// recomputed on resume.
+//
+// A fresh deployment refuses to run over a checkpoint that already holds
+// progress — resuming a journal recorded for a different input stream
+// would corrupt the output — unless WithResume is also set, which is the
+// explicit claim that the input stream is the same one the journal was
+// recorded against. Open or validation failures are reported by Process /
+// ProcessSlice, not at New.
+func WithCheckpoint(path string) Option {
+	return func(o *options) { o.checkpoint = path }
+}
+
+// WithResume restores the completed results found in the WithCheckpoint
+// journal: their inputs are skipped at the source (no volunteer redoes
+// them) and their results are replayed to the output in order, so the
+// resumed run's output stream is exactly what an uninterrupted run would
+// have produced. The input stream must be the same one the journal was
+// recorded against. Resuming an empty or absent journal is a fresh start,
+// which is what a restarted `pando -checkpoint` deployment wants.
+func WithResume() Option {
+	return func(o *options) { o.resume = true }
+}
+
+// WithFsyncInterval tunes the checkpoint journal's fsync batching: larger
+// intervals cost less throughput but widen the crash-loss window (values
+// to recompute on resume, never output corruption). Zero keeps the
+// default (journal.DefaultSyncInterval, 100ms — chosen with the
+// internal/bench journal experiment); negative syncs after every record.
+func WithFsyncInterval(d time.Duration) Option {
+	return func(o *options) { o.fsync = d }
+}
+
 // WithCodec replaces the JSON payload codecs. The type parameters must
 // match the deployment's input and output types — pando.New panics
 // otherwise, since a mismatched codec could never encode a single value.
@@ -186,6 +228,9 @@ type Pando[I, O any] struct {
 	out  transport.Codec[O]
 	m    *master.Master[I, O]
 	opts options
+
+	journal *journal.Journal
+	initErr error // deferred WithCheckpoint failure, surfaced by Process
 
 	mu     sync.Mutex
 	locals []*worker.Volunteer
@@ -228,16 +273,34 @@ func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, 
 		in:   in,
 		out:  out,
 		opts: o,
-		m: master.New[I, O](master.Config{
-			FuncName: name,
-			Batch:    o.batch,
-			Ordered:  !o.unordered,
-			Group:    o.group,
-			Flow:     o.flow(),
-			Channel:  o.channel,
-			Formats:  o.formats,
-		}, in, out),
 	}
+	cfg := master.Config{
+		FuncName: name,
+		Batch:    o.batch,
+		Ordered:  !o.unordered,
+		Group:    o.group,
+		Flow:     o.flow(),
+		Channel:  o.channel,
+		Formats:  o.formats,
+	}
+	if o.checkpoint != "" {
+		j, err := journal.Open(o.checkpoint, journal.Options{SyncInterval: o.fsync})
+		switch {
+		case err != nil:
+			// Not a programming error (unlike a WithCodec mismatch), so no
+			// panic: the failure surfaces on the first Process.
+			p.initErr = err
+		case j.Recovered() > 0 && !o.resume:
+			j.Close()
+			p.initErr = fmt.Errorf(
+				"pando: checkpoint %s already holds %d completed results; add WithResume to resume it, or remove the file to start over",
+				o.checkpoint, j.Recovered())
+		default:
+			p.journal = j
+			cfg.Journal = j
+		}
+	}
+	p.m = master.New[I, O](cfg, in, out)
 	if o.register {
 		if _, exists := worker.Lookup(name); !exists {
 			worker.Register(name, CodecHandler(f, in, out))
@@ -280,6 +343,14 @@ func CodecHandler[I, O any](f func(I) (O, error), in Codec[I], out Codec[O]) wor
 // or context cancellation) is delivered on the error channel (capacity 1).
 // Results arrive in input order unless WithUnordered was set.
 func (p *Pando[I, O]) Process(ctx context.Context, in <-chan I) (<-chan O, <-chan error) {
+	if p.initErr != nil {
+		out := make(chan O)
+		close(out)
+		errc := make(chan error, 1)
+		errc <- p.initErr
+		close(errc)
+		return out, errc
+	}
 	ctxErr := make(chan error, 1)
 	src := pullstream.FromChan(in, ctxErr)
 	bound := p.m.Bind(src)
@@ -395,8 +466,14 @@ func (p *Pando[I, O]) Stats() []WorkerStats { return p.m.Stats() }
 // TotalItems is the total number of results received from all devices.
 func (p *Pando[I, O]) TotalItems() int { return p.m.TotalItems() }
 
+// Checkpoint exposes the deployment's journal (nil without
+// WithCheckpoint), e.g. to force a durability barrier with Sync or a
+// compaction with Snapshot.
+func (p *Pando[I, O]) Checkpoint() *journal.Journal { return p.journal }
+
 // Close releases local resources; remote volunteers observe the
-// disconnection through their heartbeats.
+// disconnection through their heartbeats. The checkpoint journal, if
+// any, is flushed and closed.
 func (p *Pando[I, O]) Close() {
 	p.m.Close()
 	p.mu.Lock()
@@ -405,5 +482,8 @@ func (p *Pando[I, O]) Close() {
 	p.mu.Unlock()
 	for _, pipe := range pipes {
 		pipe.Cut()
+	}
+	if p.journal != nil {
+		_ = p.journal.Close()
 	}
 }
