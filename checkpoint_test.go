@@ -9,9 +9,11 @@ package pando_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -180,6 +182,174 @@ func TestRecoveryDoubleRestart(t *testing.T) {
 	for i, v := range got {
 		if v != f(i) {
 			t.Fatalf("final out[%d] = %d, want %d", i, v, f(i))
+		}
+	}
+}
+
+// TestRecoveryKillAndRestartInPool re-runs the kill-and-restart scenario
+// through a shared pool hosting two jobs: the checkpointed job dies
+// mid-stream and is re-mapped onto the same pool over the same journal.
+// Its resumed output must stay byte-identical to an uninterrupted run
+// while the other job keeps running on the shared fleet throughout.
+func TestRecoveryKillAndRestartInPool(t *testing.T) {
+	const n = 200
+	const consumed = 80
+	const nOther = 1 << 30 // effectively unbounded; the test closes the feed
+	f := func(v int) int { return v*v + 7 }
+	ckpt := filepath.Join(t.TempDir(), "pool-stream.journal")
+	nameA := integName("pool-recovery")
+	nameB := integName("pool-survivor")
+
+	pool := pando.NewPool(
+		pando.WithChannelConfig(pando.ChannelConfig{HeartbeatInterval: 20 * time.Millisecond}),
+		pando.WithRebalanceInterval(20*time.Millisecond),
+	)
+	defer pool.Close()
+
+	mapA := func() *pando.Pando[int, int] {
+		return pando.Map(pool, nameA, func(v int) (int, error) { return v*v + 7, nil },
+			pando.WithAdaptiveLimit(1, 8),
+			pando.WithCheckpoint(ckpt), pando.WithResume(), pando.WithFsyncInterval(5*time.Millisecond),
+			pando.WithoutRegistry())
+	}
+	jobB := pando.Map(pool, nameB, func(s string) (string, error) {
+		time.Sleep(300 * time.Microsecond)
+		return s + "-ok", nil
+	}, pando.WithoutRegistry())
+	defer jobB.Close()
+
+	pool.AddWorker("shared-1", netsim.LAN, time.Millisecond, -1)
+	pool.AddWorker("shared-2", netsim.LAN, time.Millisecond, -1)
+	pool.AddWorker("shared-3", netsim.LAN, time.Millisecond, -1)
+
+	// Job B runs the whole time: its input stays open until job A's
+	// resumed run has completed, so the shared fleet must serve both jobs
+	// through the kill and the restart.
+	otherIn := make(chan string)
+	stopOther := make(chan struct{})
+	otherFeeder := make(chan int, 1)
+	go func() {
+		i := 0
+		for {
+			select {
+			case otherIn <- fmt.Sprintf("s%d", i):
+				i++
+				if i >= nOther {
+					close(otherIn)
+					otherFeeder <- i
+					return
+				}
+			case <-stopOther:
+				close(otherIn)
+				otherFeeder <- i
+				return
+			}
+		}
+	}()
+	otherOutC, otherErrC := jobB.Process(context.Background(), otherIn)
+	otherDone := make(chan error, 1)
+	var otherOut []string
+	var otherMu sync.Mutex
+	go func() {
+		for s := range otherOutC {
+			otherMu.Lock()
+			otherOut = append(otherOut, s)
+			otherMu.Unlock()
+		}
+		otherDone <- <-otherErrC
+	}()
+
+	// --- Run 1 of job A: dies mid-stream. ---
+	a1 := mapA()
+	in1 := make(chan int)
+	stop1 := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			select {
+			case in1 <- i:
+			case <-stop1:
+				return
+			}
+		}
+		close(in1)
+	}()
+	out1, _ := a1.Process(context.Background(), in1)
+	for i := 0; i < consumed; i++ {
+		v, ok := <-out1
+		if !ok {
+			t.Fatalf("run 1 output closed after %d values", i)
+		}
+		if v != f(i) {
+			t.Fatalf("run 1 out[%d] = %d, want %d", i, v, f(i))
+		}
+	}
+	if err := a1.Checkpoint().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop1)
+	a1.Close() // the kill: job A leaves the pool, its workers move to job B
+
+	// Torn tail after the last durable record.
+	fh, err := os.OpenFile(ckpt, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte{0xA7, 0x13, 0x37}); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	select {
+	case err := <-otherDone:
+		t.Fatalf("job B ended during the kill window (err=%v); the shared fleet must keep serving it", err)
+	default:
+	}
+
+	// --- Run 2 of job A: re-mapped onto the same pool, same journal. ---
+	a2 := mapA()
+	defer a2.Close()
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	got, err := a2.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("run 2 emitted %d outputs, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != f(i) {
+			t.Fatalf("run 2 out[%d] = %d, want %d (resumed output must be byte-identical)", i, v, f(i))
+		}
+	}
+	// The synced prefix was restored, not recomputed.
+	if items := a2.TotalItems(); items > n-consumed/2 {
+		t.Fatalf("run 2 computed %d items; the synced prefix was not restored", items)
+	}
+	if l := a2.Checkpoint().Len(); l != n {
+		t.Fatalf("journal holds %d entries after completion, want %d", l, n)
+	}
+
+	// Job B survived both the kill and the resume: close its input now
+	// and check everything it emitted is correct and in order.
+	close(stopOther)
+	fed := <-otherFeeder
+	if err := <-otherDone; err != nil {
+		t.Fatalf("job B failed: %v", err)
+	}
+	otherMu.Lock()
+	defer otherMu.Unlock()
+	if len(otherOut) != fed {
+		t.Fatalf("job B emitted %d outputs, want %d", len(otherOut), fed)
+	}
+	if fed == 0 {
+		t.Fatal("job B never processed anything on the shared fleet")
+	}
+	for i, s := range otherOut {
+		if s != fmt.Sprintf("s%d-ok", i) {
+			t.Fatalf("job B out[%d] = %q", i, s)
 		}
 	}
 }

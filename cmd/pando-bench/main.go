@@ -36,6 +36,8 @@ func main() {
 		schedOut  = flag.String("sched-out", "BENCH_sched.json", "where -sched persists its results")
 		jrnExp    = flag.Bool("journal", false, "measure checkpoint journal overhead on the collatz profile")
 		jrnOut    = flag.String("journal-out", "BENCH_journal.json", "where -journal persists its results")
+		poolExp   = flag.Bool("pool", false, "measure shared-fleet vs dedicated-masters on two concurrent jobs")
+		poolOut   = flag.String("pool-out", "BENCH_pool.json", "where -pool persists its results")
 		items     = flag.Int("items", 400, "work items per cell")
 		timeScale = flag.Float64("timescale", bench.DefaultTimeScale, "time compression factor")
 	)
@@ -161,6 +163,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("results written to %s\n", *jrnOut)
+	}
+
+	if *poolExp {
+		ran = true
+		cmp, err := bench.RunPoolComparison(*items)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		bench.RenderPool(os.Stdout, cmp)
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*poolOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *poolOut)
 	}
 
 	if !ran {

@@ -7,6 +7,13 @@
 //
 //	pando-server --port 9000
 //
+// With --pool the relay becomes a shared-fleet matchmaker: masters
+// register advertising the functions they serve (pando --public does
+// this automatically), and volunteers joining with `volunteer --via
+// <server> --pool` — no master ID — are assigned one, preferring masters
+// that serve a function the device's registry resolves. One public
+// server then feeds a whole household of deployments.
+//
 // With --checkpoint the relay keeps a durable history of peer
 // registrations in an append-only journal: after a crash or reboot of the
 // small personal server, the restarted relay reports which masters had
@@ -29,10 +36,18 @@ func main() {
 	var (
 		port = flag.Int("port", 9000, "TCP port to listen on")
 		ckpt = flag.String("checkpoint", "", "journal peer registrations to this file, surviving relay restarts")
+		pool = flag.Bool("pool", false, "shared-fleet mode: assign anonymous volunteers to registered masters")
 	)
 	flag.Parse()
 
 	srv := transport.NewSignalServer()
+	if *pool {
+		srv.EnablePool()
+		fmt.Fprintln(os.Stderr, "pando-server: pool mode on — anonymous volunteers are assigned to registered masters")
+	}
+	srv.OnLeave = func(id string) {
+		fmt.Fprintf(os.Stderr, "pando-server: peer %q left\n", id)
+	}
 	if *ckpt != "" {
 		j, err := journal.Open(*ckpt, journal.Options{})
 		if err != nil {

@@ -133,7 +133,9 @@ func run() error {
 			return fmt.Errorf("dial public server: %w", err)
 		}
 		signal := transport.NewWSock(sc, transport.Config{})
-		if err := transport.JoinSignal(signal, *masterID); err != nil {
+		// Advertise the served function so a pool-mode relay can assign
+		// anonymous volunteers to this master.
+		if err := transport.JoinSignalServing(signal, *masterID, []string{funcName}); err != nil {
 			return fmt.Errorf("join public server: %w", err)
 		}
 		directLn, err := net.Listen("tcp", ":0")

@@ -9,10 +9,19 @@
 //
 //	volunteer --via public.example.org:9000 --master <master-id> --cores 1
 //
-// The binary carries the registry of processing functions; the master's
-// welcome message names the one to apply (the Go substitute for shipping
-// browserified code). Joining multiple cores opens one connection per
-// core, as browser deployments open one tab per core.
+// Pool mode — contribute the device to a shared fleet instead of a
+// single deployment:
+//
+//	volunteer --via public.example.org:9000 --pool            # any master the relay assigns
+//	volunteer --connect 10.10.14.119:5000 --pool              # stay enrolled across jobs
+//
+// The binary carries the registry of processing functions, advertised in
+// the hello so a shared pool can route the device to any job it can
+// serve and reassign it when a job completes; the master's welcome (or a
+// mid-session reassign) names the one to apply. With --pool the process
+// also re-enrolls after a deployment dismisses it, so the device stays
+// available to future jobs. Joining multiple cores opens one connection
+// per core, as browser deployments open one tab per core.
 package main
 
 import (
@@ -33,12 +42,17 @@ func main() {
 		url     = flag.String("url", "", "deployment URL printed by the master on startup")
 		connect = flag.String("connect", "", "master address for a direct WebSocket-like join")
 		via     = flag.String("via", "", "public (signalling) server address for a WebRTC-like join")
-		masterP = flag.String("master", "master", "master peer ID when joining via a public server")
+		masterP = flag.String("master", "", "master peer ID when joining via a public server (empty with --pool: the relay assigns one)")
 		name    = flag.String("name", "", "device name shown in the master's accounting")
 		cores   = flag.Int("cores", 1, "number of parallel connections (one per core)")
+		pool    = flag.Bool("pool", false, "shared-fleet mode: let the relay assign a master (--via) and re-enroll after each deployment ends")
+		retry   = flag.Duration("pool-retry", 2*time.Second, "with --pool: how long to wait before re-enrolling after a deployment dismisses the device")
 	)
 	flag.Parse()
 	apps.RegisterAll()
+	if *masterP == "" && !*pool {
+		*masterP = "master"
+	}
 
 	set := 0
 	for _, s := range []string{*url, *connect, *via} {
@@ -64,29 +78,53 @@ func main() {
 		go func() {
 			defer wg.Done()
 			v := &worker.Volunteer{Name: *name, CrashAfter: -1}
-			var err error
-			if *url != "" {
-				fmt.Fprintf(os.Stderr, "volunteer: core %d opening %s\n", c+1, *url)
-				err = v.JoinURL(*url, transport.TCPDialer(10*time.Second))
-			} else if *connect != "" {
-				var conn net.Conn
-				conn, err = net.DialTimeout("tcp", *connect, 10*time.Second)
-				if err == nil {
+			attempt := 0
+			join := func() error {
+				attempt++
+				if *url != "" {
+					fmt.Fprintf(os.Stderr, "volunteer: core %d opening %s\n", c+1, *url)
+					return v.JoinURL(*url, transport.TCPDialer(10*time.Second))
+				}
+				if *connect != "" {
+					conn, err := net.DialTimeout("tcp", *connect, 10*time.Second)
+					if err != nil {
+						return err
+					}
 					fmt.Fprintf(os.Stderr, "volunteer: core %d joined %s\n", c+1, *connect)
-					err = v.JoinWS(conn)
+					return v.JoinWS(conn)
 				}
-			} else {
-				var sc net.Conn
-				sc, err = net.DialTimeout("tcp", *via, 10*time.Second)
-				if err == nil {
-					signal := transport.NewWSock(sc, transport.Config{})
-					self := fmt.Sprintf("%s-%d-%d", *name, os.Getpid(), c)
+				sc, err := net.DialTimeout("tcp", *via, 10*time.Second)
+				if err != nil {
+					return err
+				}
+				signal := transport.NewWSock(sc, transport.Config{})
+				// The attempt number keeps re-enrollments from colliding
+				// with the relay's not-yet-pruned previous registration.
+				self := fmt.Sprintf("%s-%d-%d-%d", *name, os.Getpid(), c, attempt)
+				if *masterP == "" {
+					fmt.Fprintf(os.Stderr, "volunteer: core %d asking %s for a master (pool mode)\n", c+1, *via)
+				} else {
 					fmt.Fprintf(os.Stderr, "volunteer: core %d signalling via %s\n", c+1, *via)
-					err = v.JoinRTC(signal, self, *masterP, transport.TCPDialer(10*time.Second))
 				}
+				return v.JoinRTC(signal, self, *masterP, transport.TCPDialer(10*time.Second))
 			}
-			if err != nil {
-				errs <- fmt.Errorf("core %d: %w", c+1, err)
+			for {
+				err := join()
+				if !*pool {
+					if err != nil {
+						errs <- fmt.Errorf("core %d: %w", c+1, err)
+					}
+					return
+				}
+				// Pool mode: the device stays in the fleet. A graceful
+				// dismissal or a transient failure both re-enroll after a
+				// pause, ready for the next job.
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "volunteer: core %d: %v; re-enrolling in %v\n", c+1, err, *retry)
+				} else {
+					fmt.Fprintf(os.Stderr, "volunteer: core %d dismissed; re-enrolling in %v\n", c+1, *retry)
+				}
+				time.Sleep(*retry)
 			}
 		}()
 	}

@@ -1,0 +1,93 @@
+// Multijob: one shared volunteer fleet serving two concurrent streaming
+// maps — the personal-volunteer-computing promise taken literally: the
+// same devices a person contributed once are reused across all of their
+// applications.
+//
+// Two jobs with different value types run at the same time on four
+// shared devices. The pool leases workers to both with demand-weighted
+// fair share; when the short job completes, its devices are reassigned
+// to the long job over the same connections (no rejoin, no idling).
+//
+//	go run ./examples/multijob
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	pando "pando"
+	"pando/internal/netsim"
+	"pando/internal/transport"
+)
+
+func main() {
+	pool := pando.NewPool(
+		pando.WithChannelConfig(transport.Config{HeartbeatInterval: 25 * time.Millisecond}),
+		pando.WithRebalanceInterval(25*time.Millisecond),
+	)
+	defer pool.Close()
+
+	// Two typed jobs on the same fleet: integers through one, strings
+	// through the other.
+	squares := pando.Map(pool, "multijob-square", func(v int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return v * v, nil
+	})
+	defer squares.Close()
+	shouts := pando.Map(pool, "multijob-shout", func(s string) (string, error) {
+		time.Sleep(2 * time.Millisecond)
+		return strings.ToUpper(s) + "!", nil
+	})
+	defer shouts.Close()
+
+	// Four shared devices. They advertise the wildcard function list, so
+	// the pool may lease them to any current or future job.
+	for i := 1; i <= 4; i++ {
+		pool.AddWorker(fmt.Sprintf("device-%d", i), netsim.LAN, 0, -1)
+	}
+
+	ints := make([]int, 20) // the short job
+	for i := range ints {
+		ints[i] = i + 1
+	}
+	words := make([]string, 120) // the long job
+	for i := range words {
+		words[i] = fmt.Sprintf("word-%d", i)
+	}
+
+	var wg sync.WaitGroup
+	var sq []int
+	var sh []string
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var err error
+		if sq, err = squares.ProcessSlice(context.Background(), ints); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var err error
+		if sh, err = shouts.ProcessSlice(context.Background(), words); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	wg.Wait()
+
+	fmt.Println("squares:", sq[:10], "...")
+	fmt.Println("shouts :", sh[:3], "...")
+
+	fmt.Println("\nper-job accounting (every shared device served the long job too):")
+	for name, rows := range pool.Stats() {
+		fmt.Printf("  %s\n", name)
+		for _, w := range rows {
+			fmt.Printf("    %-10s %3d item(s)\n", w.Name, w.Items)
+		}
+	}
+	fmt.Println("\nthe short job finished first; its devices were re-leased to the", "long job over the same connections")
+}

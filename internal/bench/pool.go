@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	pando "pando"
+	"pando/internal/netsim"
+	"pando/internal/transport"
+)
+
+// This file measures what fleet sharing costs and buys. Two deployments
+// of the collatz profile run concurrently in two configurations:
+//
+//   - dedicated: two masters, each owning half the devices — the
+//     pre-pool world, one deployment per fleet.
+//   - shared: one pando.Pool owning all devices, two Map jobs leasing
+//     from it with demand-weighted fair share.
+//
+// With both jobs equally long ("concurrent"), sharing must be close to
+// free: the acceptance budget is aggregate throughput within 15% of the
+// dedicated split. With unequal jobs ("staggered", one stream a quarter
+// the length of the other), sharing should win outright — the short
+// job's devices re-lease to the long job instead of idling, which is the
+// point of a fleet that outlives any single stream.
+
+// PoolRow is one measured configuration.
+type PoolRow struct {
+	Name      string  `json:"name"`
+	Fleet     string  `json:"fleet"`
+	Items     int     `json:"items"` // total across both jobs
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Throughput is the aggregate items/s across both jobs.
+	Throughput float64 `json:"items_per_sec"`
+}
+
+// PoolComparison aggregates the experiment for BENCH_pool.json.
+type PoolComparison struct {
+	Rows []PoolRow `json:"rows"`
+	// SharedVsDedicatedPct is shared aggregate throughput as a percentage
+	// of dedicated, on the equal-length workload (the ≤15%-loss budget:
+	// this number must stay ≥ 85).
+	SharedVsDedicatedPct float64 `json:"shared_vs_dedicated_pct"`
+	// StaggeredGainPct is how much faster the shared fleet finishes the
+	// staggered workload than the split fleet (re-leasing at work).
+	StaggeredGainPct float64 `json:"staggered_gain_pct"`
+}
+
+var poolBenchSeq int
+
+const poolWorkerDelay = time.Millisecond
+
+func poolBenchLink() netsim.Link {
+	return netsim.Link{Latency: 500 * time.Microsecond, Bandwidth: 64 << 20}
+}
+
+// runPoolDedicated runs the two jobs on two dedicated masters, each with
+// half the devices, and returns the wall-clock for both to finish.
+func runPoolDedicated(itemsA, itemsB, fleet int) (time.Duration, error) {
+	poolBenchSeq++
+	opts := []pando.Option{
+		pando.WithChannelConfig(transport.Config{HeartbeatInterval: 50 * time.Millisecond}),
+		pando.WithoutRegistry(),
+		pando.WithBatch(4),
+	}
+	pA := pando.New(fmt.Sprintf("pool-bench-a-%d", poolBenchSeq), collatzSteps, opts...)
+	defer pA.Close()
+	pB := pando.New(fmt.Sprintf("pool-bench-b-%d", poolBenchSeq), collatzSteps, opts...)
+	defer pB.Close()
+	for i := 0; i < fleet/2; i++ {
+		pA.AddWorker(fmt.Sprintf("a-dev-%d", i+1), poolBenchLink(), poolWorkerDelay, -1)
+		pB.AddWorker(fmt.Sprintf("b-dev-%d", i+1), poolBenchLink(), poolWorkerDelay, -1)
+	}
+	return runPoolPair(pA, pB, itemsA, itemsB)
+}
+
+// runPoolShared runs the two jobs on one pool owning the whole fleet.
+func runPoolShared(itemsA, itemsB, fleet int) (time.Duration, error) {
+	poolBenchSeq++
+	pool := pando.NewPool(
+		pando.WithChannelConfig(transport.Config{HeartbeatInterval: 50 * time.Millisecond}),
+		pando.WithRebalanceInterval(25*time.Millisecond),
+	)
+	defer pool.Close()
+	pA := pando.Map(pool, fmt.Sprintf("pool-bench-a-%d", poolBenchSeq), collatzSteps,
+		pando.WithoutRegistry(), pando.WithBatch(4))
+	defer pA.Close()
+	pB := pando.Map(pool, fmt.Sprintf("pool-bench-b-%d", poolBenchSeq), collatzSteps,
+		pando.WithoutRegistry(), pando.WithBatch(4))
+	defer pB.Close()
+	for i := 0; i < fleet; i++ {
+		pool.AddWorker(fmt.Sprintf("shared-dev-%d", i+1), poolBenchLink(), poolWorkerDelay, -1)
+	}
+	return runPoolPair(pA, pB, itemsA, itemsB)
+}
+
+// runPoolPair drives both deployments concurrently and times completion
+// of the slower one.
+func runPoolPair(pA, pB *pando.Pando[int, int], itemsA, itemsB int) (time.Duration, error) {
+	mkIn := func(n int) []int {
+		in := make([]int, n)
+		for i := range in {
+			in[i] = i + 1
+		}
+		return in
+	}
+	var wg sync.WaitGroup
+	var errA, errB error
+	var gotA, gotB int
+	start := time.Now()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		out, err := pA.ProcessSlice(context.Background(), mkIn(itemsA))
+		gotA, errA = len(out), err
+	}()
+	go func() {
+		defer wg.Done()
+		out, err := pB.ProcessSlice(context.Background(), mkIn(itemsB))
+		gotB, errB = len(out), err
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if errA != nil {
+		return 0, fmt.Errorf("bench: pool job A: %w", errA)
+	}
+	if errB != nil {
+		return 0, fmt.Errorf("bench: pool job B: %w", errB)
+	}
+	if gotA != itemsA || gotB != itemsB {
+		return 0, fmt.Errorf("bench: pool run lost results: %d/%d and %d/%d", gotA, itemsA, gotB, itemsB)
+	}
+	return elapsed, nil
+}
+
+const poolRounds = 3
+
+func bestPoolRun(run func() (time.Duration, error)) (time.Duration, error) {
+	var best time.Duration
+	for r := 0; r < poolRounds; r++ {
+		d, err := run()
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// RunPoolComparison measures shared-fleet vs dedicated-masters on equal
+// and staggered two-job workloads. items is the length of the longer
+// stream; the fleet is four devices (two per dedicated master).
+func RunPoolComparison(items int) (PoolComparison, error) {
+	const fleet = 4
+	var cmp PoolComparison
+	row := func(name, fleetDesc string, total int, d time.Duration) PoolRow {
+		return PoolRow{
+			Name:       name,
+			Fleet:      fleetDesc,
+			Items:      total,
+			ElapsedMS:  float64(d) / float64(time.Millisecond),
+			Throughput: float64(total) / d.Seconds(),
+		}
+	}
+
+	// Equal-length jobs: sharing must be near-free.
+	dEq, err := bestPoolRun(func() (time.Duration, error) { return runPoolDedicated(items, items, fleet) })
+	if err != nil {
+		return cmp, err
+	}
+	sEq, err := bestPoolRun(func() (time.Duration, error) { return runPoolShared(items, items, fleet) })
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Rows = append(cmp.Rows,
+		row("dedicated-concurrent", "2 masters × 2 devices", 2*items, dEq),
+		row("shared-concurrent", "1 pool × 4 devices", 2*items, sEq),
+	)
+	cmp.SharedVsDedicatedPct = dEq.Seconds() / sEq.Seconds() * 100
+
+	// Staggered jobs: the short job's devices must move to the long one.
+	short := items / 4
+	dSt, err := bestPoolRun(func() (time.Duration, error) { return runPoolDedicated(short, items, fleet) })
+	if err != nil {
+		return cmp, err
+	}
+	sSt, err := bestPoolRun(func() (time.Duration, error) { return runPoolShared(short, items, fleet) })
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Rows = append(cmp.Rows,
+		row("dedicated-staggered", "2 masters × 2 devices", short+items, dSt),
+		row("shared-staggered", "1 pool × 4 devices", short+items, sSt),
+	)
+	cmp.StaggeredGainPct = (dSt.Seconds()/sSt.Seconds() - 1) * 100
+	return cmp, nil
+}
+
+// RenderPool prints the comparison in the reporter's table style.
+func RenderPool(w io.Writer, cmp PoolComparison) {
+	fmt.Fprintf(w, "\nShared fleet vs dedicated masters, two concurrent collatz jobs (see BENCH_pool.json)\n")
+	fmt.Fprintf(w, "%-22s %-24s %8s %10s %10s\n", "row", "fleet", "items", "elapsed", "items/s")
+	for _, r := range cmp.Rows {
+		fmt.Fprintf(w, "%-22s %-24s %8d %9.0fms %10.1f\n",
+			r.Name, r.Fleet, r.Items, r.ElapsedMS, r.Throughput)
+	}
+	fmt.Fprintf(w, "equal jobs: shared fleet at %.1f%% of dedicated throughput (budget ≥ 85%%)\n",
+		cmp.SharedVsDedicatedPct)
+	fmt.Fprintf(w, "staggered jobs: shared fleet %.1f%% faster (idle devices re-leased to the long job)\n",
+		cmp.StaggeredGainPct)
+}

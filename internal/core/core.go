@@ -217,6 +217,13 @@ func (d *DistributedMap[I, O]) Stats() (lentNow, failedQueue, subStreams, ended 
 	return d.l.Stats()
 }
 
+// Backlog reports the engine's appetite for processors (values lent,
+// failed values awaiting re-lending, and whether the stream is
+// complete); a shared fleet weighs jobs by it when leasing workers.
+func (d *DistributedMap[I, O]) Backlog() (outstanding, failed int, complete bool) {
+	return d.l.Backlog()
+}
+
 // Flows snapshots every scheduler-managed processor's flow-control state
 // (credit window, in-flight count, smoothed throughput).
 func (d *DistributedMap[I, O]) Flows() []sched.WorkerFlow {

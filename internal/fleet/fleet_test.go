@@ -1,0 +1,329 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pando/internal/netsim"
+	"pando/internal/proto"
+	"pando/internal/transport"
+)
+
+// fakeJob records leases and lets tests control demand.
+type fakeJob struct {
+	name  string
+	batch int
+
+	mu      sync.Mutex
+	demand  int
+	leases  []transport.Channel
+	workers []string
+	leaseC  chan transport.Channel
+}
+
+func newFakeJob(name string, demand int) *fakeJob {
+	return &fakeJob{name: name, batch: 2, demand: demand, leaseC: make(chan transport.Channel, 8)}
+}
+
+func (j *fakeJob) Name() string { return j.name }
+func (j *fakeJob) Batch() int   { return j.batch }
+func (j *fakeJob) Demand() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.demand
+}
+func (j *fakeJob) setDemand(d int) {
+	j.mu.Lock()
+	j.demand = d
+	j.mu.Unlock()
+}
+func (j *fakeJob) Lease(worker string, ch transport.Channel) error {
+	j.mu.Lock()
+	j.leases = append(j.leases, ch)
+	j.workers = append(j.workers, worker)
+	j.mu.Unlock()
+	j.leaseC <- ch
+	return nil
+}
+func (j *fakeJob) RecordWire(worker, wire string) {}
+
+func (j *fakeJob) waitLease(t *testing.T) transport.Channel {
+	t.Helper()
+	select {
+	case ch := <-j.leaseC:
+		return ch
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job %s never received a lease", j.name)
+		return nil
+	}
+}
+
+// rawVolunteer opens a channel to the pool and performs the hello half.
+func rawVolunteer(t *testing.T, p *Pool, hello *proto.Message) transport.Channel {
+	t.Helper()
+	pipe := netsim.NewPipe(netsim.Loopback)
+	cfg := transport.Config{HeartbeatInterval: -1}
+	go func() { _ = p.Admit(transport.NewWSock(pipe.B, cfg)) }()
+	ch := transport.NewWSock(pipe.A, cfg)
+	hello.Type = proto.TypeHello
+	hello.Version = proto.Version
+	if len(hello.Formats) == 0 {
+		hello.Formats = proto.SupportedFormats()
+	}
+	if err := ch.Send(hello); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func recvType(t *testing.T, ch transport.Channel, want proto.Type) *proto.Message {
+	t.Helper()
+	m, err := ch.Recv()
+	if err != nil {
+		t.Fatalf("recv awaiting %q: %v", want, err)
+	}
+	if m.Type != want {
+		t.Fatalf("recv = %+v, want type %q", m, want)
+	}
+	return m
+}
+
+// TestPoolRoutesByFunctions: the welcome names a job the volunteer's
+// advertised list can serve, and incompatible volunteers are refused.
+func TestPoolRoutesByFunctions(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	jobA := newFakeJob("job-a", 1)
+	jobB := newFakeJob("job-b", 1)
+	if err := p.Register(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(jobB); err != nil {
+		t.Fatal(err)
+	}
+
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "only-b", Functions: []string{"job-b"}})
+	w := recvType(t, ch, proto.TypeWelcome)
+	if w.Func != "job-b" {
+		t.Fatalf("welcome routed to %q, want job-b", w.Func)
+	}
+	jobB.waitLease(t)
+
+	// A volunteer that serves nothing registered is refused.
+	ch2 := rawVolunteer(t, p, &proto.Message{Peer: "misfit", Functions: []string{"job-zzz"}})
+	if m, err := ch2.Recv(); err == nil && m.Type != proto.TypeError {
+		t.Fatalf("misfit got %+v, want error refusal", m)
+	}
+}
+
+// TestPoolReassignBarrier walks the whole handover protocol on the wire:
+// job A's goodbye is intercepted, the worker sees a reassign naming job
+// B, its echo completes the barrier, and the same connection starts
+// serving job B — while job A's lease ends with a synthesized goodbye.
+func TestPoolReassignBarrier(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	jobA := newFakeJob("job-a", 1)
+	jobB := newFakeJob("job-b", 0) // closed for routing until A completes
+	if err := p.Register(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(jobB); err != nil {
+		t.Fatal(err)
+	}
+
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "dev", Functions: []string{"job-a", "job-b"}})
+	w := recvType(t, ch, proto.TypeWelcome)
+	if w.Func != "job-a" {
+		t.Fatalf("first welcome = %q, want job-a (the only open job)", w.Func)
+	}
+	leaseA := jobA.waitLease(t)
+
+	// The job computes: one input crosses, one result returns.
+	if err := leaseA.Send(&proto.Message{Type: proto.TypeInput, Seq: 1, Data: []byte(`1`)}); err != nil {
+		t.Fatal(err)
+	}
+	in := recvType(t, ch, proto.TypeInput)
+	if err := ch.Send(&proto.Message{Type: proto.TypeResult, Seq: in.Seq, Data: []byte(`2`)}); err != nil {
+		t.Fatal(err)
+	}
+	res := recvTypeCh(t, leaseA, proto.TypeResult)
+	if string(res.Data) != `2` {
+		t.Fatalf("result = %s", res.Data)
+	}
+
+	// Job A completes for this worker; job B is open now.
+	jobA.setDemand(0)
+	jobB.setDemand(1)
+	if err := leaseA.Send(&proto.Message{Type: proto.TypeGoodbye}); err != nil {
+		t.Fatal(err)
+	}
+	// Worker side: reassign names job B...
+	re := recvType(t, ch, proto.TypeReassign)
+	if re.Func != "job-b" {
+		t.Fatalf("reassign = %+v, want job-b", re)
+	}
+	// ...while job A's lease ends with a synthesized goodbye.
+	recvTypeCh(t, leaseA, proto.TypeGoodbye)
+	if _, err := leaseA.Recv(); err == nil {
+		t.Fatal("lease A still readable after its goodbye")
+	}
+	// Sends on the dead lease must not reach the worker.
+	if err := leaseA.Send(&proto.Message{Type: proto.TypeInput, Seq: 9}); err == nil {
+		t.Fatal("send on a released lease succeeded")
+	}
+
+	// The echo completes the barrier; job B gets the same connection.
+	if err := ch.Send(&proto.Message{Type: proto.TypeReassign, Func: re.Func}); err != nil {
+		t.Fatal(err)
+	}
+	leaseB := jobB.waitLease(t)
+	if err := leaseB.Send(&proto.Message{Type: proto.TypeInput, Seq: 1, Data: []byte(`10`)}); err != nil {
+		t.Fatal(err)
+	}
+	in2 := recvType(t, ch, proto.TypeInput)
+	if string(in2.Data) != `10` {
+		t.Fatalf("job B input = %s", in2.Data)
+	}
+	if err := ch.Send(&proto.Message{Type: proto.TypeResult, Seq: in2.Seq, Data: []byte(`20`)}); err != nil {
+		t.Fatal(err)
+	}
+	res2 := recvTypeCh(t, leaseB, proto.TypeResult)
+	if string(res2.Data) != `20` {
+		t.Fatalf("job B result = %s", res2.Data)
+	}
+
+	// Worker-set accounting shows the device leased to job B.
+	var leased *WorkerInfo
+	for _, wi := range p.Workers() {
+		wi := wi
+		if wi.Name == "dev" {
+			leased = &wi
+		}
+	}
+	if leased == nil || leased.Job != "job-b" || leased.State != "leased" || !leased.Aware {
+		t.Fatalf("worker set = %+v, want dev leased to job-b", p.Workers())
+	}
+}
+
+// recvTypeCh is recvType for a lease (pool-side channel).
+func recvTypeCh(t *testing.T, ch transport.Channel, want proto.Type) *proto.Message {
+	t.Helper()
+	m, err := ch.Recv()
+	if err != nil {
+		t.Fatalf("lease recv awaiting %q: %v", want, err)
+	}
+	if m.Type != want {
+		t.Fatalf("lease recv = %+v, want type %q", m, want)
+	}
+	return m
+}
+
+// TestPoolDismissesWhenNoNextJob: with no other open job, the pool
+// forwards the goodbye for real and the volunteer leaves — the old
+// single-master end-of-stream behavior.
+func TestPoolDismissesWhenNoNextJob(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	jobA := newFakeJob("job-a", 1)
+	if err := p.Register(jobA); err != nil {
+		t.Fatal(err)
+	}
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "dev", Functions: []string{"job-a"}})
+	recvType(t, ch, proto.TypeWelcome)
+	leaseA := jobA.waitLease(t)
+
+	jobA.setDemand(0)
+	if err := leaseA.Send(&proto.Message{Type: proto.TypeGoodbye}); err != nil {
+		t.Fatal(err)
+	}
+	recvType(t, ch, proto.TypeGoodbye)
+	// The worker replies goodbye and hangs up, like a real serve loop.
+	_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+	ch.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(p.Workers()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker set not pruned after dismissal: %+v", p.Workers())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPoolSeversPreviousIncarnation: a rejoin hello (Seq > 0, same
+// instance token) closes the departed incarnation's session immediately.
+func TestPoolSeversPreviousIncarnation(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	job := newFakeJob("job-a", 1)
+	if err := p.Register(job); err != nil {
+		t.Fatal(err)
+	}
+
+	ch1 := rawVolunteer(t, p, &proto.Message{Peer: "w", Token: "inst-1", Seq: 0, Functions: []string{"job-a"}})
+	recvType(t, ch1, proto.TypeWelcome)
+	job.waitLease(t)
+
+	ch2 := rawVolunteer(t, p, &proto.Message{Peer: "w", Token: "inst-1", Seq: 1, Functions: []string{"job-a"}})
+	recvType(t, ch2, proto.TypeWelcome)
+	job.waitLease(t)
+
+	// The first incarnation's channel fails promptly (severed), without
+	// any heartbeat machinery running.
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, err := ch1.Recv(); err != nil {
+				close(done)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("previous incarnation was not severed on rejoin")
+	}
+
+	// An unrelated device with its own token is untouched: its channel
+	// must still be alive after the rejoin severing settled.
+	ch3 := rawVolunteer(t, p, &proto.Message{Peer: "w2", Token: "inst-2", Seq: 0, Functions: []string{"job-a"}})
+	recvType(t, ch3, proto.TypeWelcome)
+	job.waitLease(t)
+	severed := make(chan error, 1)
+	go func() {
+		_, err := ch3.Recv()
+		severed <- err
+	}()
+	select {
+	case err := <-severed:
+		t.Fatalf("unrelated session severed: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestPoolParkedVolunteerLeasedOnRegister: volunteers admitted before
+// any job parks pre-welcome and lease as soon as a job registers.
+func TestPoolParkedVolunteerLeasedOnRegister(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "early", Functions: []string{"*"}})
+	time.Sleep(20 * time.Millisecond)
+	ws := p.Workers()
+	if len(ws) != 1 || ws[0].State != "parked" {
+		t.Fatalf("worker set = %+v, want one parked", ws)
+	}
+
+	job := newFakeJob("late-job", 1)
+	if err := p.Register(job); err != nil {
+		t.Fatal(err)
+	}
+	w := recvType(t, ch, proto.TypeWelcome)
+	if w.Func != "late-job" {
+		t.Fatalf("welcome = %+v", w)
+	}
+	job.waitLease(t)
+}

@@ -1,0 +1,508 @@
+package fleet
+
+import (
+	"slices"
+	"sync"
+
+	"pando/internal/proto"
+	"pando/internal/transport"
+)
+
+// Session states.
+const (
+	stateParked     = iota // admitted, awaiting a job (welcome not sent yet, or between jobs)
+	stateLeased            // channel held by a job (through a lease when pool-aware)
+	stateReclaiming        // reassign sent, draining until the worker's echo
+	stateDismissing        // goodbye forwarded, awaiting the connection to end
+	stateDead              // connection gone
+)
+
+// session is one admitted volunteer connection owned by the pool. A
+// multi-core device contributes several sessions under one accounting
+// name, exactly as it contributed several channels to the old master.
+type session struct {
+	pool      *Pool
+	id        int
+	name      string
+	token     string   // volunteer instance nonce (rejoin severing)
+	seq       uint64   // join incarnation (>0 on rejoins)
+	functions []string // advertised functions; nil = pre-pool (any job, never reassigned)
+	aware     bool     // advertised a Functions list: reassignable mid-session
+	wire      proto.WireFormat
+	ch        transport.Channel
+
+	mu       sync.Mutex
+	state    int
+	welcomed bool
+	cur      *lease // active lease (aware sessions only)
+	curJob   Job    // job holding the channel (or reassign destination)
+	pending  Job    // reassign destination awaiting the worker's echo
+
+	// sendMu serializes job-side sends with lease revocation so no data
+	// frame can slip onto the wire after the reassign barrier frame.
+	sendMu sync.Mutex
+}
+
+func newSession(p *Pool, hello *proto.Message, wire proto.WireFormat, ch transport.Channel) *session {
+	return &session{
+		pool:      p,
+		name:      hello.Peer,
+		token:     hello.Token,
+		seq:       hello.Seq,
+		functions: append([]string(nil), hello.Functions...),
+		aware:     len(hello.Functions) > 0,
+		wire:      wire,
+		ch:        ch,
+	}
+}
+
+// serves reports whether the volunteer can resolve the named function. A
+// pre-pool session (no advertised list) and the wildcard "*" serve
+// anything.
+func (s *session) serves(name string) bool {
+	if len(s.functions) == 0 || slices.Contains(s.functions, "*") {
+		return true
+	}
+	return slices.Contains(s.functions, name)
+}
+
+func (s *session) info() WorkerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := WorkerInfo{Name: s.name, Wire: s.wire.Name(), Aware: s.aware}
+	if s.curJob != nil {
+		info.Job = s.curJob.Name()
+	}
+	switch s.state {
+	case stateParked:
+		info.State = "parked"
+	case stateLeased:
+		info.State = "leased"
+	case stateReclaiming:
+		info.State = "reclaiming"
+	case stateDismissing:
+		info.State = "dismissing"
+	default:
+		info.State = "dead"
+	}
+	return info
+}
+
+func (s *session) isParked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateParked
+}
+
+func (s *session) isLeased() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateLeased
+}
+
+func (s *session) leasedOrMoving() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateLeased || s.state == stateReclaiming
+}
+
+func (s *session) isDead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateDead
+}
+
+func (s *session) markDead() {
+	s.mu.Lock()
+	s.state = stateDead
+	s.curJob = nil
+	s.pending = nil
+	l := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if l != nil {
+		l.fail(transport.ErrChannelClosed)
+	}
+}
+
+func (s *session) currentJob() Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curJob != nil {
+		return s.curJob
+	}
+	return s.pending
+}
+
+// welcome reports whether the welcome was already sent, marking it sent.
+func (s *session) welcome() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	was := s.welcomed
+	s.welcomed = true
+	return was
+}
+
+// startLease transitions the session to leased and returns the channel
+// to hand the job: a lease for pool-aware sessions, the watched raw
+// channel otherwise. Returns nil when the session died meanwhile.
+func (s *session) startLease(job Job) transport.Channel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateDead {
+		return nil
+	}
+	s.state = stateLeased
+	s.curJob = job
+	s.pending = nil
+	if !s.aware {
+		return &watchedChannel{Channel: s.ch, s: s}
+	}
+	l := newLease(s, job)
+	s.cur = l
+	return l
+}
+
+// endLeaseRefused rolls back startLease after the job refused the Lease
+// call (it was closing concurrently).
+func (s *session) endLeaseRefused() {
+	s.mu.Lock()
+	l := s.cur
+	s.cur = nil
+	s.curJob = nil
+	s.state = stateParked
+	s.mu.Unlock()
+	if l != nil {
+		l.end(nil)
+	}
+}
+
+// released intercepts the job's goodbye on an active lease — the job
+// completed for this worker. It reports whether the interception won the
+// race against revocation and failure.
+func (s *session) released(l *lease) (Job, bool) {
+	s.mu.Lock()
+	if s.state != stateLeased || s.cur != l {
+		s.mu.Unlock()
+		return nil, false
+	}
+	job := s.curJob
+	s.cur = nil
+	s.curJob = nil
+	s.state = stateParked
+	s.mu.Unlock()
+	// The job's result source is parked on the lease; a synthesized
+	// goodbye ends its sub-stream gracefully, exactly as the worker's
+	// goodbye reply would have.
+	l.end(&proto.Message{Type: proto.TypeGoodbye})
+	return job, true
+}
+
+// aborted handles the job closing the lease (abort, decode failure,
+// worker-reported error). Reports whether this call took the lease down.
+func (s *session) abortedLease(l *lease) (Job, bool) {
+	s.mu.Lock()
+	if s.cur != l || s.state == stateDead {
+		s.mu.Unlock()
+		return nil, false
+	}
+	job := s.curJob
+	s.cur = nil
+	s.curJob = nil
+	s.state = stateParked
+	s.mu.Unlock()
+	l.end(nil)
+	return job, true
+}
+
+// revoke reclaims the channel from its current job mid-lease (fair-share
+// move or job unregistration). The job's side ends gracefully: its sink
+// loses the channel, its source receives a synthesized goodbye, and the
+// engine re-lends whatever the worker still held. Reports whether the
+// session is ready to be routed (false when another transition won).
+func (s *session) revoke(from Job) bool {
+	s.mu.Lock()
+	if s.state == stateDead || s.state == stateDismissing {
+		s.mu.Unlock()
+		return false
+	}
+	if s.curJob != from && s.pending != from {
+		s.mu.Unlock()
+		return false
+	}
+	l := s.cur
+	s.cur = nil
+	s.curJob = nil
+	s.pending = nil
+	s.state = stateParked
+	s.mu.Unlock()
+	if l != nil {
+		// Block concurrent job sends around the lease teardown so nothing
+		// can be written after the barrier frame that reassign sends.
+		s.sendMu.Lock()
+		l.end(&proto.Message{Type: proto.TypeGoodbye})
+		s.sendMu.Unlock()
+	}
+	return true
+}
+
+// reassign moves a reclaimed pool-aware session to the destination job:
+// it sends the reassign frame and waits (via the pump) for the worker's
+// echo before leasing. The echo is the drain barrier — every result of
+// the previous job precedes it on the ordered channel.
+func (s *session) reassign(job Job) {
+	s.mu.Lock()
+	if s.state != stateParked || !s.aware {
+		s.mu.Unlock()
+		return
+	}
+	s.state = stateReclaiming
+	s.pending = job
+	s.mu.Unlock()
+	if err := s.ch.Send(&proto.Message{
+		Type:  proto.TypeReassign,
+		Func:  job.Name(),
+		Batch: job.Batch(),
+	}); err != nil {
+		s.pool.sessionGone(s)
+	}
+}
+
+// takePending consumes the reassign destination once the worker's echo
+// arrived, transitioning back to parked for leaseTo.
+func (s *session) takePending() Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateReclaiming || s.pending == nil {
+		return nil
+	}
+	job := s.pending
+	s.pending = nil
+	s.state = stateParked
+	return job
+}
+
+// dismiss lets the volunteer go: the goodbye crosses for real and the
+// worker's serve loop exits, as under the old single-job master.
+func (s *session) dismiss() {
+	s.mu.Lock()
+	if s.state == stateDead || s.state == stateDismissing {
+		s.mu.Unlock()
+		return
+	}
+	s.state = stateDismissing
+	s.curJob = nil
+	s.pending = nil
+	welcomed, aware := s.welcomed, s.aware
+	s.mu.Unlock()
+	if !welcomed {
+		// Never routed: refuse politely and drop the connection; the
+		// volunteer's handshake fails cleanly.
+		_ = s.ch.Send(&proto.Message{Type: proto.TypeError, Err: ErrClosed.Error()})
+		s.ch.Close()
+		s.pool.sessionGone(s)
+		return
+	}
+	_ = s.ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+	if !aware {
+		// No pump watches a pre-pool session between jobs; reap it here.
+		go s.reap()
+	}
+}
+
+// reap drains the channel of a dismissing pre-pool session until it
+// fails (the worker replies goodbye and closes), pruning the worker set.
+func (s *session) reap() {
+	for {
+		if _, err := s.ch.Recv(); err != nil {
+			s.pool.sessionGone(s)
+			return
+		}
+	}
+}
+
+// pump owns Recv on a pool-aware session's channel for the connection's
+// lifetime, routing frames to the current lease, watching for reassign
+// echoes while reclaiming, and discarding stale frames in between.
+func (s *session) pump() {
+	for {
+		m, err := s.ch.Recv()
+		if err != nil {
+			s.pool.sessionGone(s)
+			return
+		}
+		s.mu.Lock()
+		state, l := s.state, s.cur
+		s.mu.Unlock()
+		switch state {
+		case stateLeased:
+			if l != nil {
+				l.deliver(m)
+			}
+		case stateReclaiming:
+			if m.Type == proto.TypeReassign {
+				s.pool.reassigned(s)
+			}
+			// Anything else is a result of the previous job racing the
+			// barrier; the engine already re-lends those values.
+		default:
+			// Parked or dismissing: stray frames (late results, goodbye
+			// replies) are dropped.
+		}
+	}
+}
+
+// lease is the channel a job holds on a pool-aware worker: a routed view
+// of the session's connection that the pool can end without closing the
+// connection itself.
+type lease struct {
+	s   *session
+	job Job
+
+	inbox chan *proto.Message
+	done  chan struct{}
+
+	mu        sync.Mutex
+	once      sync.Once
+	endMsg    *proto.Message // synthesized final message (goodbye), if any
+	endErr    error          // terminal error after endMsg is consumed
+	delivered bool
+}
+
+var _ transport.Channel = (*lease)(nil)
+
+func newLease(s *session, job Job) *lease {
+	return &lease{
+		s:     s,
+		job:   job,
+		inbox: make(chan *proto.Message, 64),
+		done:  make(chan struct{}),
+	}
+}
+
+// deliver routes one inbound frame to the job; ended leases drop it.
+func (l *lease) deliver(m *proto.Message) {
+	select {
+	case l.inbox <- m:
+	case <-l.done:
+	}
+}
+
+// end terminates the lease: a pending or future Recv first drains queued
+// frames, then returns final (when non-nil), then ErrChannelClosed.
+func (l *lease) end(final *proto.Message) {
+	l.mu.Lock()
+	l.endMsg = final
+	if l.endErr == nil {
+		l.endErr = transport.ErrChannelClosed
+	}
+	l.mu.Unlock()
+	l.once.Do(func() { close(l.done) })
+}
+
+// fail terminates the lease with the connection's error.
+func (l *lease) fail(err error) {
+	l.mu.Lock()
+	l.endErr = err
+	l.mu.Unlock()
+	l.once.Do(func() { close(l.done) })
+}
+
+func (l *lease) ended() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Recv returns the next frame routed to this lease. After the lease
+// ends, queued frames drain first, then the synthesized end (a goodbye
+// for graceful handovers), then the terminal error.
+func (l *lease) Recv() (*proto.Message, error) {
+	for {
+		select {
+		case m := <-l.inbox:
+			return m, nil
+		case <-l.done:
+			select {
+			case m := <-l.inbox:
+				return m, nil
+			default:
+			}
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			if l.endMsg != nil && !l.delivered {
+				l.delivered = true
+				return l.endMsg, nil
+			}
+			return nil, l.endErr
+		}
+	}
+}
+
+// Send forwards a job frame to the worker. A goodbye is intercepted: it
+// means the job's stream completed for this worker, which releases the
+// lease back to the pool instead of dismissing the device.
+func (l *lease) Send(m *proto.Message) error {
+	if m.Type == proto.TypeGoodbye {
+		if job, ok := l.s.released(l); ok {
+			l.s.pool.jobReleased(l.s, job)
+		}
+		return nil
+	}
+	l.s.sendMu.Lock()
+	defer l.s.sendMu.Unlock()
+	if l.ended() {
+		return transport.ErrChannelClosed
+	}
+	return l.s.ch.Send(m)
+}
+
+// Close ends the job's use of the worker without closing the connection:
+// the pool reclaims the device and routes it to another open job, or
+// closes the connection for real when none exists (the old behavior for
+// worker-reported errors on a single-job master).
+func (l *lease) Close() error {
+	if job, ok := l.s.abortedLease(l); ok {
+		l.s.pool.jobAborted(l.s, job)
+	}
+	return nil
+}
+
+func (l *lease) Wire() proto.WireFormat      { return l.s.ch.Wire() }
+func (l *lease) SetWire(wf proto.WireFormat) { l.s.ch.SetWire(wf) }
+func (l *lease) RemoteAddr() string          { return l.s.ch.RemoteAddr() }
+
+// watchedChannel wraps a pre-pool session's raw channel so the pool's
+// worker set is pruned when the connection ends. The job owns Recv; the
+// wrapper only observes.
+type watchedChannel struct {
+	transport.Channel
+	s *session
+}
+
+func (w *watchedChannel) Recv() (*proto.Message, error) {
+	m, err := w.Channel.Recv()
+	if err != nil {
+		w.s.pool.sessionGone(w.s)
+		return m, err
+	}
+	if m.Type == proto.TypeGoodbye {
+		// The worker acknowledged a dismissal; after this frame the job
+		// stops reading, so hand the tail of the connection to a reaper.
+		w.s.mu.Lock()
+		w.s.state = stateDismissing
+		w.s.curJob = nil
+		w.s.mu.Unlock()
+		go w.s.reap()
+	}
+	return m, nil
+}
+
+func (w *watchedChannel) Close() error {
+	err := w.Channel.Close()
+	w.s.pool.sessionGone(w.s)
+	return err
+}

@@ -255,6 +255,18 @@ func (l *Lender[I, O]) Stats() (lentNow, failedQueue, subStreams, endedSubStream
 	return l.outstanding, len(l.failed), l.subsMade, l.subsEnded
 }
 
+// Backlog reports the lender's appetite for workers: how many value
+// copies are currently lent, how many failed values await re-lending,
+// and whether the stream is complete (input ended and every value
+// answered — nothing left for any worker, current or future). It is the
+// demand signal a shared fleet weighs jobs by.
+func (l *Lender[I, O]) Backlog() (outstanding, failed int, complete bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	complete = l.aborted != nil || (l.inEnd != nil && l.pending == 0)
+	return l.outstanding, len(l.failed), complete
+}
+
 // SubInfo reports how many values are currently lent through s and the
 // age of the oldest one — the straggler signal the scheduler watches.
 func (l *Lender[I, O]) SubInfo(s *SubStream) (outstanding int, oldest time.Duration) {

@@ -6,12 +6,11 @@
 package master
 
 import (
-	"errors"
-	"fmt"
 	"sync"
 	"time"
 
 	"pando/internal/core"
+	"pando/internal/fleet"
 	"pando/internal/journal"
 	"pando/internal/proto"
 	"pando/internal/pullstream"
@@ -140,17 +139,25 @@ func (w WorkerStats) Throughput() float64 {
 	return float64(w.Items) / d.Seconds()
 }
 
-// Master coordinates a deployment: one per project and user, for the
-// lifetime of the corresponding tasks (design principle DP1).
+// Master coordinates one typed job: a single streaming map, for the
+// lifetime of the corresponding tasks (design principle DP1). Everything
+// untyped — listeners, admission, negotiation, the live worker set —
+// lives in the fleet.Pool the job leases workers from: its own
+// single-job pool when created with New (the classic one-deployment
+// master), or a shared multi-job pool when created with NewJob and
+// registered there.
 type Master[I, O any] struct {
 	cfg    Config
 	in     transport.Codec[I]
 	out    transport.Codec[O]
 	engine engine[I, O]
 
+	// pool is the master's own single-job pool (New); nil for a bare job
+	// (NewJob) leasing from a shared pool.
+	pool *fleet.Pool
+
 	mu      sync.Mutex
 	workers map[string]*WorkerStats
-	nextID  int
 	closed  bool
 	jerr    error // first journal write failure, for diagnostics
 }
@@ -160,6 +167,7 @@ type engine[I, O any] interface {
 	Bind(pullstream.Source[I]) pullstream.Source[O]
 	AttachChannel(name string, ch transport.Channel) error
 	Stats() (lentNow, failedQueue, subStreams, ended int)
+	Backlog() (outstanding, failed int, complete bool)
 	Flows() []sched.WorkerFlow
 	Close()
 }
@@ -180,6 +188,8 @@ func (e *plainEngine[I, O]) AttachChannel(name string, ch transport.Channel) err
 }
 
 func (e *plainEngine[I, O]) Stats() (int, int, int, int) { return e.d.Stats() }
+
+func (e *plainEngine[I, O]) Backlog() (int, int, bool) { return e.d.Backlog() }
 
 func (e *plainEngine[I, O]) Flows() []sched.WorkerFlow { return e.d.Flows() }
 
@@ -208,6 +218,12 @@ func (e *groupedEngine[I, O]) AttachChannel(name string, ch transport.Channel) e
 
 func (e *groupedEngine[I, O]) Stats() (int, int, int, int) { return e.d.Stats() }
 
+// Backlog rescales the group-counted backlog to values.
+func (e *groupedEngine[I, O]) Backlog() (int, int, bool) {
+	outstanding, failed, complete := e.d.Backlog()
+	return outstanding * e.group, failed * e.group, complete
+}
+
 // Flows rescales the group-counted windows back to values so operators
 // read one consistent unit.
 func (e *groupedEngine[I, O]) Flows() []sched.WorkerFlow {
@@ -223,8 +239,19 @@ func (e *groupedEngine[I, O]) Flows() []sched.WorkerFlow {
 
 func (e *groupedEngine[I, O]) Close() { e.d.Close() }
 
-// New creates a master with the given codecs and configuration.
+// New creates a classic single-deployment master: a typed job fused with
+// its own single-job fleet pool, so Admit/ServeWS/ServeRTC keep working
+// exactly as before the shared-fleet split.
 func New[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *Master[I, O] {
+	m := NewJob[I, O](cfg, in, out)
+	m.pool = fleet.NewPool(fleet.Config{Channel: cfg.Channel, Formats: cfg.Formats})
+	_ = m.pool.Register(m.Job())
+	return m
+}
+
+// NewJob creates the typed-job half alone, for registration with a
+// shared fleet.Pool (see Job). It has no listeners of its own.
+func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O]) *Master[I, O] {
 	m := &Master[I, O]{
 		cfg:     cfg,
 		in:      in,
@@ -363,43 +390,58 @@ func (m *Master[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
 }
 
 // Admit performs the hello/welcome handshake on a fresh volunteer
-// channel and, on success, attaches the device to the computation.
-//
-// Wire-format negotiation rides on the handshake: the hello lists the
-// formats the worker speaks (absent for pre-/pando/2.0.0 workers), the
-// master picks the best one its own Formats allow, and the welcome —
-// still sent in v1, which every worker reads — names the choice. Both
-// sides then switch their outgoing frames; reception sniffs per frame, so
-// no ordering between the switches matters.
+// channel and, on success, attaches the device to the computation. It
+// delegates to the master's single-job pool, where the admission
+// handshake and wire-format negotiation now live; a bare job created
+// with NewJob has no pool and refuses direct admissions — volunteers
+// reach it through the shared pool it registered with.
 func (m *Master[I, O]) Admit(ch transport.Channel) error {
-	if m.isClosed() {
+	if m.pool == nil {
 		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: ErrClosed.Error()})
 		ch.Close()
 		return ErrClosed
 	}
-	hello, wire, err := transport.AdmitHandshake(ch, m.cfg.FuncName, m.cfg.batch(), m.cfg.Formats)
-	if err != nil {
-		return fmt.Errorf("master: admission: %w", err)
+	return m.pool.Admit(ch)
+}
+
+// Pool exposes the master's own single-job pool (nil for NewJob
+// masters), e.g. for worker-set diagnostics.
+func (m *Master[I, O]) Pool() *fleet.Pool { return m.pool }
+
+// job adapts the typed master to the pool's untyped Job interface.
+type job[I, O any] struct{ m *Master[I, O] }
+
+// Job returns the fleet view of this master, for registration with a
+// shared pool: pool.Register(m.Job()).
+func (m *Master[I, O]) Job() fleet.Job { return job[I, O]{m} }
+
+func (j job[I, O]) Name() string { return j.m.cfg.FuncName }
+
+func (j job[I, O]) Batch() int { return j.m.cfg.batch() }
+
+// Demand weighs the job for the pool's fair-share leasing: zero once the
+// stream is complete (or the master closed), otherwise one for an open
+// job plus its current backlog — values lent out and failed values
+// awaiting re-lending.
+func (j job[I, O]) Demand() int {
+	if j.m.isClosed() {
+		return 0
 	}
-	// Close may have raced the handshake; re-check before attaching so a
-	// volunteer is never wired into a shut-down deployment. It already
-	// received the welcome, so dismiss it with an orderly goodbye.
-	if m.isClosed() {
-		_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
-		ch.Close()
+	outstanding, failed, complete := j.m.engine.Backlog()
+	if complete {
+		return 0
+	}
+	return 1 + outstanding + failed
+}
+
+func (j job[I, O]) Lease(worker string, ch transport.Channel) error {
+	if j.m.isClosed() {
 		return ErrClosed
 	}
-	name := hello.Peer
-	if name == "" {
-		m.mu.Lock()
-		m.nextID++
-		name = fmt.Sprintf("volunteer-%d", m.nextID)
-		m.mu.Unlock()
-	}
-	m.recordWire(name, wire.Name())
-	m.Attach(name, ch)
-	return nil
+	return j.m.engine.AttachChannel(worker, ch)
 }
+
+func (j job[I, O]) RecordWire(worker, wire string) { j.m.recordWire(worker, wire) }
 
 // recordWire notes the negotiated wire format in the device's stats row,
 // creating it if the attach event has not fired yet.
@@ -422,31 +464,22 @@ func (m *Master[I, O]) Attach(name string, ch transport.Channel) {
 }
 
 // ServeWS accepts WebSocket-like volunteers from acc until the acceptor
-// closes, admitting each one. It mirrors volunteers opening the deployment
-// URL over a LAN or VPN (paper §5.2-5.3).
+// closes, admitting each one through the pool. It mirrors volunteers
+// opening the deployment URL over a LAN or VPN (paper §5.2-5.3).
 func (m *Master[I, O]) ServeWS(acc transport.Acceptor) error {
-	for {
-		conn, err := acc.Accept()
-		if err != nil {
-			if m.isClosed() {
-				return nil
-			}
-			return err
-		}
-		go func() {
-			_ = m.Admit(transport.NewWSock(conn, m.cfg.Channel))
-		}()
+	if m.pool == nil {
+		return ErrClosed
 	}
+	return m.pool.ServeWS(acc)
 }
 
 // ServeRTC admits WebRTC-like volunteers whose direct channels are
 // delivered by the answerer (paper §5.4, the WAN deployment).
 func (m *Master[I, O]) ServeRTC(answerer *transport.RTCAnswerer) {
-	for ch := range answerer.Incoming() {
-		go func(ch transport.Channel) {
-			_ = m.Admit(ch)
-		}(ch)
+	if m.pool == nil {
+		return
 	}
+	m.pool.ServeRTC(answerer)
 }
 
 // Stats snapshots per-worker accounting, folding in the scheduler's
@@ -497,12 +530,16 @@ func (m *Master[I, O]) LenderStats() (lentNow, failedQueue, subStreams, ended in
 	return m.engine.Stats()
 }
 
-// Close marks the master as shutting down; in-flight Serve loops exit on
-// their next accept error and the engine's straggler scan stops.
+// Close marks the master as shutting down; its own pool (if any) refuses
+// further admissions, in-flight Serve loops exit on their next accept
+// error and the engine's straggler scan stops.
 func (m *Master[I, O]) Close() {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
+	if m.pool != nil {
+		m.pool.Close()
+	}
 	m.engine.Close()
 }
 
@@ -512,8 +549,9 @@ func (m *Master[I, O]) isClosed() bool {
 	return m.closed
 }
 
-// ErrClosed reports operations on a closed master.
-var ErrClosed = errors.New("master: closed")
+// ErrClosed reports operations on a closed master (it is the pool-layer
+// sentinel, so refusals compare equal wherever they surface).
+var ErrClosed = fleet.ErrClosed
 
 // ErrNoCommonFormat reports a volunteer refused because it speaks none of
 // the wire formats Config.Formats allows. It matches relay refusals too,

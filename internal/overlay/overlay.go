@@ -125,7 +125,7 @@ func (n *Node) Run(parent transport.Channel) error {
 			s.Stop()
 		}
 	}()
-	welcome, err := transport.ClientHandshake(parent, n.Name, nil)
+	welcome, err := transport.ClientHandshake(parent, n.Name, nil, nil)
 	if err != nil {
 		return fmt.Errorf("overlay: %w", err)
 	}

@@ -47,6 +47,7 @@ const (
 	tagAddr    = 0x89
 	tagFormat  = 0x8A // repeated, one per supported format
 	tagWire    = 0x8B
+	tagFunc2   = 0x8C // repeated, one per registered function (hello)
 )
 
 // typeCodes maps every known message type to a one-byte code; codeTypes
@@ -58,7 +59,7 @@ var typeCodes = map[Type]uint64{
 	TypePing: 7, TypePong: 8,
 	TypeGoodbye: 9,
 	TypeJoin:    10, TypeOffer: 11, TypeAnswer: 12, TypeCandidate: 13,
-	TypeError: 14,
+	TypeError: 14, TypeReassign: 15,
 }
 
 var codeTypes = func() map[uint64]Type {
@@ -128,6 +129,9 @@ func encodeBinaryFrame(m *Message) []byte {
 		b = appendString(b, tagFormat, f)
 	}
 	b = appendString(b, tagWire, m.Wire)
+	for _, f := range m.Functions {
+		b = appendString(b, tagFunc2, f)
+	}
 	return b
 }
 
@@ -204,6 +208,8 @@ func decodeBinaryBody(body []byte) (*Message, error) {
 			m.Formats = append(m.Formats, string(val))
 		case tagWire:
 			m.Wire = string(val)
+		case tagFunc2:
+			m.Functions = append(m.Functions, string(val))
 		default:
 			// Unknown length-delimited field from a newer peer: skip.
 		}

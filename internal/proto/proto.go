@@ -67,6 +67,16 @@ const (
 	// Orderly shutdown.
 	TypeGoodbye Type = "goodbye"
 
+	// Fleet reassignment (shared volunteer pools): the master moves a
+	// still-connected worker to another job mid-session. The frame names
+	// the new processing function, like a welcome; the worker echoes it
+	// back once it has switched, which doubles as the drain barrier — the
+	// channel is ordered and the worker serial, so every result of the
+	// previous job precedes the echo. Pre-pool workers ignore the frame
+	// (unknown control messages are skipped), which is why masters only
+	// reassign workers whose hello advertised a Functions list.
+	TypeReassign Type = "reassign"
+
 	// Signalling through the public server (WebRTC bootstrap, Figure 7).
 	TypeJoin      Type = "join"      // peer → server: register peer ID
 	TypeOffer     Type = "offer"     // peer → server → peer
@@ -96,6 +106,19 @@ type Message struct {
 	// mean v1, which is how pre-negotiation peers interoperate.
 	Formats []string `json:"fmts,omitempty"` // hello: supported wire formats
 	Wire    string   `json:"w,omitempty"`    // welcome: selected wire format
+
+	// Functions (hello only) lists every processing function the
+	// volunteer's registry can resolve, sorted — what lets a shared pool
+	// route the device to any job it can serve and reassign it when that
+	// job completes. The single entry "*" advertises "any function"
+	// (volunteers with an explicit handler or resolver). An absent list
+	// marks a pre-pool volunteer: it is routed once, to a compatible job,
+	// and never reassigned. On a rejoin after a transient failure the
+	// hello also carries Seq (the volunteer's join incarnation, >0 on
+	// rejoins) and Token (a per-volunteer-instance nonce), so the master
+	// can sever the departed incarnation's half-open sessions instead of
+	// waiting for their heartbeats to time out.
+	Functions []string `json:"fns,omitempty"`
 
 	// Signalling fields.
 	Peer string `json:"p,omitempty"`  // sender peer ID

@@ -120,6 +120,21 @@ func FuzzReadFrame(f *testing.F) {
 	var goodBin bytes.Buffer
 	_ = V2.WriteFrame(&goodBin, &Message{Type: TypeInput, Seq: 3, Data: []byte{0x00, 0xFF}})
 	f.Add(goodBin.Bytes())
+	// Pool-era hellos: a Functions list in both formats, and a reassign
+	// frame (type code 15).
+	var helloFns bytes.Buffer
+	_ = V1.WriteFrame(&helloFns, &Message{Type: TypeHello, Version: Version,
+		Functions: []string{"collatz", "render"}, Formats: SupportedFormats()})
+	f.Add(helloFns.Bytes())
+	var helloFnsBin bytes.Buffer
+	_ = V2.WriteFrame(&helloFnsBin, &Message{Type: TypeHello, Version: Version,
+		Functions: []string{"collatz", "render"}, Formats: SupportedFormats()})
+	f.Add(helloFnsBin.Bytes())
+	var reassign bytes.Buffer
+	_ = V2.WriteFrame(&reassign, &Message{Type: TypeReassign, Func: "mining"})
+	f.Add(reassign.Bytes())
+	// Hostile v2 Functions field: truncated repeated string entry.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x04, 0xB2, 0x01, 0x01, 0x8C})
 	// Truncations, garbage, hostile lengths.
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
@@ -143,20 +158,41 @@ func FuzzReadFrame(f *testing.F) {
 }
 
 // FuzzFrameRoundTrip checks Write/Read inversion — Decode(Encode(m)) == m
-// — for arbitrary payloads under both wire formats.
+// — for arbitrary payloads under both wire formats, including the
+// pool-era hello fields (a repeated Functions list). A hello written in
+// either format must also decode identically through the sniffing
+// ReadFrame, which is the v1↔v2 interop property the shared-fleet
+// admission path depends on (the hello always travels v1, but relays may
+// re-emit it in v2).
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(uint64(1), []byte("data"), "err", "peer")
-	f.Add(uint64(0), []byte{}, "", "")
-	f.Fuzz(func(t *testing.T, seq uint64, data []byte, errStr, peer string) {
+	f.Add(uint64(1), []byte("data"), "err", "peer", "collatz", "render")
+	f.Add(uint64(0), []byte{}, "", "", "", "")
+	f.Add(uint64(7), []byte{0xB2}, "", "dev", "*", "")
+	f.Fuzz(func(t *testing.T, seq uint64, data []byte, errStr, peer, fn1, fn2 string) {
+		var functions []string
+		for _, fn := range []string{fn1, fn2} {
+			if fn != "" {
+				functions = append(functions, fn)
+			}
+		}
+		strs := append([]string{errStr, peer}, functions...)
+		allUTF8 := true
+		for _, s := range strs {
+			if !utf8.ValidString(s) {
+				allUTF8 = false
+			}
+		}
+		var decoded []*Message
 		for _, wf := range []WireFormat{V1, V2} {
 			// encoding/json replaces invalid UTF-8 in strings with
 			// U+FFFD, so the v1 wire cannot round-trip such strings
 			// exactly; the binary wire carries them verbatim.
-			if wf == V1 && !(utf8.ValidString(errStr) && utf8.ValidString(peer)) {
+			if wf == V1 && !allUTF8 {
 				continue
 			}
 			var buf bytes.Buffer
-			in := &Message{Type: TypeResult, Seq: seq, Data: data, Err: errStr, Peer: peer}
+			in := &Message{Type: TypeResult, Seq: seq, Data: data, Err: errStr,
+				Peer: peer, Functions: functions}
 			if err := wf.WriteFrame(&buf, in); err != nil {
 				continue // oversize payloads may legitimately fail
 			}
@@ -166,6 +202,24 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 			if out.Seq != seq || !bytes.Equal(out.Data, data) || out.Err != errStr || out.Peer != peer {
 				t.Fatalf("%s: round trip mismatch: %+v", wf.Name(), out)
+			}
+			if len(out.Functions) != len(functions) {
+				t.Fatalf("%s: Functions count changed: %v != %v", wf.Name(), out.Functions, functions)
+			}
+			for i := range functions {
+				if out.Functions[i] != functions[i] {
+					t.Fatalf("%s: Functions[%d] = %q, want %q", wf.Name(), i, out.Functions[i], functions[i])
+				}
+			}
+			decoded = append(decoded, out)
+		}
+		// v1↔v2 interop: when both formats carried the message, the two
+		// decodings must agree field for field.
+		if len(decoded) == 2 {
+			a, b := decoded[0], decoded[1]
+			if a.Seq != b.Seq || !bytes.Equal(a.Data, b.Data) || a.Err != b.Err ||
+				a.Peer != b.Peer || len(a.Functions) != len(b.Functions) {
+				t.Fatalf("v1/v2 disagree: %+v != %+v", a, b)
 			}
 		}
 	})

@@ -119,10 +119,44 @@ func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullst
 // applying f to every item, reporting per-item errors in the result
 // batch.
 func WorkerServeGrouped[I, O any](ch Channel, in Codec[I], out Codec[O], f func(I) (O, error)) error {
+	return WorkerServeReassignable(ch, in, out, f, nil)
+}
+
+// WorkerServeReassignable is WorkerServeGrouped for pool-aware
+// volunteers: a reassign (or mid-session re-welcome) frame from a shared
+// fleet moves the worker to another job. reassign resolves the named
+// function to a new processing function; the switch is acknowledged by
+// echoing the reassign frame AFTER the resolution, which is the drain
+// barrier the master waits on — the channel is ordered and this loop
+// serial, so every result of the previous job has already been written
+// when the echo goes out. A nil reassign keeps the pre-pool behavior
+// (reassign frames are ignored like any unknown control message).
+func WorkerServeReassignable[I, O any](ch Channel, in Codec[I], out Codec[O], f func(I) (O, error), reassign func(name string) (func(I) (O, error), error)) error {
 	for {
 		m, err := ch.Recv()
 		if err != nil {
 			return err
+		}
+		switch m.Type {
+		case proto.TypeReassign, proto.TypeWelcome:
+			if m.Type == proto.TypeWelcome && m.Func == "" {
+				// Not a re-welcome; stray control frame.
+				continue
+			}
+			if reassign == nil {
+				continue
+			}
+			nf, err := reassign(m.Func)
+			if err != nil {
+				_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+				ch.Close()
+				return err
+			}
+			f = nf
+			if err := ch.Send(&proto.Message{Type: proto.TypeReassign, Func: m.Func}); err != nil {
+				return err
+			}
+			continue
 		}
 		switch m.Type {
 		case proto.TypeInput:

@@ -9,32 +9,50 @@ import (
 
 // This file centralizes the hello/welcome handshake with wire-format
 // negotiation, spoken on every admission edge of a deployment: master ↔
-// volunteer and relay ↔ child. Both the master and overlay packages build
-// on these two halves so the protocol cannot drift between them.
+// volunteer, pool ↔ volunteer and relay ↔ child. The master, fleet and
+// overlay packages all build on these halves so the protocol cannot
+// drift between them.
 //
 // The hello always travels as a v1 frame (the lingua franca any peer
-// reads) and lists the formats the client speaks; the welcome — also v1 —
-// names the master's choice and carries the deployment's whole allowed
-// list so relays can enforce the same restriction on their own children.
-// Each side switches its outgoing frames only after its half concluded;
-// reception sniffs every frame, so the switches need no ordering.
+// reads) and lists the formats the client speaks plus, for pool-aware
+// volunteers, the processing functions its registry resolves; the
+// welcome — also v1 — names the master's choices and carries the
+// deployment's whole allowed-format list so relays can enforce the same
+// restriction on their own children. Each side switches its outgoing
+// frames only after its half concluded; reception sniffs every frame, so
+// the switches need no ordering.
 
 // ClientHandshake performs the volunteer side of the handshake on ch: it
-// advertises formats (SupportedFormats when empty), validates the reply
-// and the wire selection it names, and switches outgoing frames to the
-// negotiated format. It returns the welcome, which carries the deployment
-// parameters (function name, batch, format restriction). On error the
-// channel is closed.
-func ClientHandshake(ch Channel, peer string, formats []string) (*proto.Message, error) {
-	if len(formats) == 0 {
-		formats = proto.SupportedFormats()
+// advertises formats (SupportedFormats when empty) and the functions the
+// volunteer can serve (nil for a single-purpose or pre-pool volunteer),
+// validates the reply and the wire selection it names, and switches
+// outgoing frames to the negotiated format. It returns the welcome, which
+// carries the deployment parameters (function name, batch, format
+// restriction). On error the channel is closed.
+//
+// A rejoining volunteer passes its incarnation number and instance token
+// through hello (see Hello); this thin wrapper keeps the zero values.
+func ClientHandshake(ch Channel, peer string, formats, functions []string) (*proto.Message, error) {
+	return Hello(ch, &proto.Message{
+		Peer:      peer,
+		Formats:   formats,
+		Functions: functions,
+	})
+}
+
+// Hello sends the hello message (filling in Type, Version and the
+// default format list) and validates the welcome, switching the outgoing
+// wire to the negotiated format. The caller may preset Peer, Formats,
+// Functions, Seq (join incarnation, >0 on rejoins) and Token (the
+// volunteer instance nonce that lets the master sever the departed
+// incarnation's sessions).
+func Hello(ch Channel, hello *proto.Message) (*proto.Message, error) {
+	hello.Type = proto.TypeHello
+	hello.Version = proto.Version
+	if len(hello.Formats) == 0 {
+		hello.Formats = proto.SupportedFormats()
 	}
-	if err := ch.Send(&proto.Message{
-		Type:    proto.TypeHello,
-		Version: proto.Version,
-		Peer:    peer,
-		Formats: formats,
-	}); err != nil {
+	if err := ch.Send(hello); err != nil {
 		ch.Close()
 		return nil, err
 	}
@@ -58,21 +76,21 @@ func ClientHandshake(ch Channel, peer string, formats []string) (*proto.Message,
 		chosen = proto.Version
 	}
 	wf, ok := proto.LookupFormat(chosen)
-	if !ok || !slices.Contains(formats, chosen) {
+	if !ok || !slices.Contains(hello.Formats, chosen) {
 		ch.Close()
-		return nil, fmt.Errorf("transport: master selected unsupported wire format %q (supported: %v)", chosen, formats)
+		return nil, fmt.Errorf("transport: master selected unsupported wire format %q (supported: %v)", chosen, hello.Formats)
 	}
 	ch.SetWire(wf)
 	return welcome, nil
 }
 
-// AdmitHandshake performs the admitting side: it receives and validates
-// the hello, negotiates strictly against the allowed formats (refusing
-// peers that share none rather than silently falling back), replies with
-// a welcome naming the choice and carrying the allowed list, and switches
-// outgoing frames. It returns the hello and the negotiated format. On
-// error the peer is sent a TypeError frame and the channel is closed.
-func AdmitHandshake(ch Channel, funcName string, batch int, allowed []string) (*proto.Message, proto.WireFormat, error) {
+// RecvHello receives and validates the hello half of an admission and
+// negotiates the wire format strictly against the allowed list (refusing
+// peers that share none rather than silently falling back). It does NOT
+// reply: a shared pool must first route the volunteer to a job before it
+// can name the function in the welcome. On error the peer is sent a
+// TypeError frame and the channel is closed.
+func RecvHello(ch Channel, allowed []string) (*proto.Message, proto.WireFormat, error) {
 	hello, err := ch.Recv()
 	if err != nil {
 		ch.Close()
@@ -89,6 +107,14 @@ func AdmitHandshake(ch Channel, funcName string, batch int, allowed []string) (*
 		ch.Close()
 		return nil, nil, err
 	}
+	return hello, wire, nil
+}
+
+// SendWelcome completes the admitting half: it replies with a welcome
+// naming the routed function, the batch bound and the negotiated wire
+// (carrying the deployment's allowed-format list for relays), then
+// switches outgoing frames. On error the channel is closed.
+func SendWelcome(ch Channel, funcName string, batch int, wire proto.WireFormat, allowed []string) error {
 	if err := ch.Send(&proto.Message{
 		Type:    proto.TypeWelcome,
 		Func:    funcName,
@@ -97,8 +123,22 @@ func AdmitHandshake(ch Channel, funcName string, batch int, allowed []string) (*
 		Formats: allowed,
 	}); err != nil {
 		ch.Close()
-		return nil, nil, fmt.Errorf("transport: welcome: %w", err)
+		return fmt.Errorf("transport: welcome: %w", err)
 	}
 	ch.SetWire(wire)
+	return nil
+}
+
+// AdmitHandshake performs the whole admitting side for a single-job
+// deployment: RecvHello followed immediately by SendWelcome. It returns
+// the hello and the negotiated format.
+func AdmitHandshake(ch Channel, funcName string, batch int, allowed []string) (*proto.Message, proto.WireFormat, error) {
+	hello, wire, err := RecvHello(ch, allowed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := SendWelcome(ch, funcName, batch, wire, allowed); err != nil {
+		return nil, nil, err
+	}
 	return hello, wire, nil
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"pando/internal/proto"
@@ -12,24 +13,48 @@ import (
 // used only to bootstrap WebRTC connections. Peers join with an ID and
 // exchange offer/answer/candidate messages addressed by ID; the relay
 // never sees application data.
+//
+// Pool mode (EnablePool) adds fleet sharing at the signalling layer:
+// masters join advertising the functions they serve, and a volunteer may
+// send an offer with an empty destination — "any master that can use
+// me". The relay assigns one round-robin, preferring masters whose
+// advertised functions intersect the volunteer's, so one public server
+// can feed a whole household of deployments without volunteers knowing
+// any master ID.
 type SignalServer struct {
 	// OnJoin, when set before Serve, is invoked after each successful
 	// peer registration — e.g. to keep a durable registration history
 	// across relay restarts. It must not block.
 	OnJoin func(peerID string)
+	// OnLeave, when set before Serve, is invoked after a registered peer
+	// deregisters (its signalling connection ended, gracefully or not)
+	// and has been pruned from Peers. It must not block.
+	OnLeave func(peerID string)
 
-	mu    sync.Mutex
-	peers map[string]Channel
-	done  chan struct{}
-	once  sync.Once
+	mu      sync.Mutex
+	peers   map[string]Channel
+	masters map[string][]string // master peer ID -> advertised functions
+	rr      int                 // round-robin cursor over masters
+	pool    bool
+	done    chan struct{}
+	once    sync.Once
 }
 
 // NewSignalServer returns an idle signalling relay.
 func NewSignalServer() *SignalServer {
 	return &SignalServer{
-		peers: make(map[string]Channel),
-		done:  make(chan struct{}),
+		peers:   make(map[string]Channel),
+		masters: make(map[string][]string),
+		done:    make(chan struct{}),
 	}
+}
+
+// EnablePool turns on pool mode: offers with an empty destination are
+// routed to a registered master. Call before Serve.
+func (s *SignalServer) EnablePool() {
+	s.mu.Lock()
+	s.pool = true
+	s.mu.Unlock()
 }
 
 // Serve accepts signalling connections from acc until the acceptor or the
@@ -57,10 +82,12 @@ func (s *SignalServer) Close() {
 	for id, ch := range s.peers {
 		ch.Close()
 		delete(s.peers, id)
+		delete(s.masters, id)
 	}
 }
 
-// Peers returns the IDs currently registered, for diagnostics.
+// Peers returns the IDs currently registered, for diagnostics. Departed
+// peers are pruned as soon as their signalling connection ends.
 func (s *SignalServer) Peers() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -71,10 +98,54 @@ func (s *SignalServer) Peers() []string {
 	return ids
 }
 
+// pickMaster assigns a master for an anonymous offer: round-robin over
+// the registered masters, preferring those whose advertised functions
+// intersect the volunteer's (an empty volunteer list matches any).
+func (s *SignalServer) pickMaster(functions []string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pool || len(s.masters) == 0 {
+		return "", false
+	}
+	ids := make([]string, 0, len(s.masters))
+	for id := range s.masters {
+		ids = append(ids, id)
+	}
+	// Map iteration order is random; a stable order keeps the round-robin
+	// fair.
+	slices.Sort(ids)
+	serves := func(master string) bool {
+		if len(functions) == 0 {
+			return true
+		}
+		for _, want := range functions {
+			if want == "*" {
+				return true
+			}
+			for _, have := range s.masters[master] {
+				if want == have {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for k := 0; k < len(ids); k++ {
+		id := ids[(s.rr+k)%len(ids)]
+		if serves(id) {
+			s.rr = (s.rr + k + 1) % len(ids)
+			return id, true
+		}
+	}
+	return "", false
+}
+
 func (s *SignalServer) handle(ch Channel) {
 	defer ch.Close()
 
-	// The first message must register the peer.
+	// The first message must register the peer. A join carrying a
+	// Functions list registers a master advertising the jobs it serves
+	// (pool mode routing).
 	m, err := ch.Recv()
 	if err != nil {
 		return
@@ -92,14 +163,24 @@ func (s *SignalServer) handle(ch Channel) {
 		return
 	}
 	s.peers[id] = ch
+	if len(m.Functions) > 0 {
+		s.masters[id] = m.Functions
+	}
 	s.mu.Unlock()
 
 	defer func() {
 		s.mu.Lock()
+		left := false
 		if s.peers[id] == ch {
 			delete(s.peers, id)
+			delete(s.masters, id)
+			left = true
 		}
+		onLeave := s.OnLeave
 		s.mu.Unlock()
+		if left && onLeave != nil {
+			onLeave(id)
+		}
 	}()
 
 	// Acknowledge the registration.
@@ -118,23 +199,37 @@ func (s *SignalServer) handle(ch Channel) {
 		}
 		switch m.Type {
 		case proto.TypeOffer, proto.TypeAnswer, proto.TypeCandidate:
+			to := m.To
+			if to == "" && m.Type == proto.TypeOffer {
+				// Pool mode: "any master that can use me".
+				assigned, ok := s.pickMaster(m.Functions)
+				if !ok {
+					_ = ch.Send(&proto.Message{
+						Type: proto.TypeError,
+						Err:  "no master registered for pool assignment",
+					})
+					continue
+				}
+				to = assigned
+			}
 			s.mu.Lock()
-			dst, ok := s.peers[m.To]
+			dst, ok := s.peers[to]
 			s.mu.Unlock()
 			if !ok {
 				_ = ch.Send(&proto.Message{
 					Type: proto.TypeError,
-					To:   m.To,
-					Err:  fmt.Sprintf("peer %q not connected", m.To),
+					To:   to,
+					Err:  fmt.Sprintf("peer %q not connected", to),
 				})
 				continue
 			}
 			fwd := *m
 			fwd.Peer = id // authoritative sender
+			fwd.To = to
 			if err := dst.Send(&fwd); err != nil {
 				_ = ch.Send(&proto.Message{
 					Type: proto.TypeError,
-					To:   m.To,
+					To:   to,
 					Err:  "relay failed: " + err.Error(),
 				})
 			}
@@ -149,7 +244,14 @@ func (s *SignalServer) handle(ch Channel) {
 // JoinSignal connects a peer to the signalling relay over ch: it sends the
 // join message and waits for the acknowledgement.
 func JoinSignal(ch Channel, peerID string) error {
-	if err := ch.Send(&proto.Message{Type: proto.TypeJoin, Peer: peerID}); err != nil {
+	return JoinSignalServing(ch, peerID, nil)
+}
+
+// JoinSignalServing is JoinSignal for a master: the join advertises the
+// processing functions the master serves, registering it for pool-mode
+// assignment of anonymous volunteers.
+func JoinSignalServing(ch Channel, peerID string, functions []string) error {
+	if err := ch.Send(&proto.Message{Type: proto.TypeJoin, Peer: peerID, Functions: functions}); err != nil {
 		return err
 	}
 	m, err := ch.Recv()

@@ -140,8 +140,19 @@ func (a *RTCAnswerer) acceptLoop() {
 // with the nonce. On success the signalling channel is closed, as in the
 // paper ("That connection closes after the WebRTC connection is
 // established").
+//
+// An empty remoteID is the pool-mode bootstrap: the relay assigns a
+// registered master (see SignalServer.EnablePool) and the answer from
+// whichever master it picked is accepted. functions, when non-nil, rides
+// on the offer so the relay can prefer masters serving them.
 func RTCOffer(signal Channel, selfID, remoteID string, dial Dialer, cfg Config) (Channel, error) {
-	if err := signal.Send(&proto.Message{Type: proto.TypeOffer, To: remoteID, Peer: selfID}); err != nil {
+	return RTCOfferServing(signal, selfID, remoteID, nil, dial, cfg)
+}
+
+// RTCOfferServing is RTCOffer with the volunteer's function list attached
+// to the offer, for pool-mode master assignment.
+func RTCOfferServing(signal Channel, selfID, remoteID string, functions []string, dial Dialer, cfg Config) (Channel, error) {
+	if err := signal.Send(&proto.Message{Type: proto.TypeOffer, To: remoteID, Peer: selfID, Functions: functions}); err != nil {
 		return nil, fmt.Errorf("transport: send offer: %w", err)
 	}
 	var answer *proto.Message
@@ -153,7 +164,7 @@ func RTCOffer(signal Channel, selfID, remoteID string, dial Dialer, cfg Config) 
 		if m.Type == proto.TypeError {
 			return nil, fmt.Errorf("transport: signalling error: %s", m.Err)
 		}
-		if m.Type == proto.TypeAnswer && m.Peer == remoteID {
+		if m.Type == proto.TypeAnswer && (remoteID == "" || m.Peer == remoteID) {
 			answer = m
 			break
 		}

@@ -12,6 +12,8 @@
 package worker
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
@@ -93,9 +95,22 @@ type Volunteer struct {
 	// first. Empty advertises everything this build supports; set it to
 	// []string{proto.Version} to emulate a v1-only device.
 	Formats []string
+	// Functions overrides the function list the hello advertises — what a
+	// shared pool routes and reassigns the device by. The single entry
+	// "*" advertises "any function" (pair it with Handler or Resolve).
+	// Empty advertises the global registry when Handler and Resolve are
+	// nil, and nothing otherwise — an un-advertised volunteer behaves
+	// exactly like a pre-pool device: routed once, never reassigned.
+	Functions []string
+	// Resolve overrides the global registry lookup when non-nil, letting
+	// embedders (e.g. a pando.Pool's local workers) resolve reassignment
+	// targets from their own handler table.
+	Resolve func(name string) (Handler, bool)
 
 	mu        sync.Mutex
 	processed int
+	sessions  uint64 // join incarnations served (rejoins send > 0)
+	nonce     string // per-instance token identifying rejoins to the master
 }
 
 // Processed returns how many items this volunteer completed.
@@ -149,35 +164,104 @@ func (v *Volunteer) JoinURL(url string, dial transport.Dialer) error {
 
 // JoinRTC joins a master through the WebRTC-like bootstrap: signalling
 // via the public server channel, then a direct connection (paper §5.4).
+// An empty masterID is pool mode: the relay assigns a registered master,
+// guided by the functions this volunteer advertises.
 func (v *Volunteer) JoinRTC(signal transport.Channel, selfID, masterID string, dial transport.Dialer) error {
 	if err := transport.JoinSignal(signal, selfID); err != nil {
+		signal.Close()
 		return err
 	}
-	ch, err := transport.RTCOffer(signal, selfID, masterID, dial, v.Channel)
+	ch, err := transport.RTCOfferServing(signal, selfID, masterID, v.advertised(), dial, v.Channel)
 	if err != nil {
+		// A failed bootstrap must release the signalling registration:
+		// a retry loop would otherwise collide with its own stale peer
+		// ID (and leak one connection per attempt).
+		signal.Close()
 		return err
 	}
 	return v.serve(ch)
 }
 
+// advertised returns the function list the hello carries: the explicit
+// Functions override, or the global registry for registry-backed
+// volunteers. A volunteer with an explicit Handler or Resolve and no
+// override advertises nothing, which keeps it a pre-pool device.
+func (v *Volunteer) advertised() []string {
+	if len(v.Functions) > 0 {
+		return v.Functions
+	}
+	if v.Handler == nil && v.Resolve == nil {
+		return Registered()
+	}
+	return nil
+}
+
+// resolve maps a function name to a processing handler: the fixed
+// Handler when set, then the Resolve hook, then the global registry.
+func (v *Volunteer) resolve(name string) (Handler, error) {
+	if v.Handler != nil {
+		return v.Handler, nil
+	}
+	if v.Resolve != nil {
+		if h, ok := v.Resolve(name); ok {
+			return h, nil
+		}
+		return nil, fmt.Errorf("worker: unknown function %q", name)
+	}
+	if h, ok := Lookup(name); ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("worker: unknown function %q (registered: %v)", name, Registered())
+}
+
+// incarnation returns this join's incarnation number and the volunteer's
+// instance token. A rejoin (incarnation > 0) lets the master sever the
+// previous incarnation's half-open sessions instead of waiting out their
+// heartbeats — the crash-recovery footnote of the paper's §2.3 without
+// stale flow-control state surviving the reattach.
+func (v *Volunteer) incarnation() (uint64, string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.nonce == "" {
+		var b [12]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			v.nonce = hex.EncodeToString(b[:])
+		} else {
+			v.nonce = fmt.Sprintf("volunteer-%p", v)
+		}
+	}
+	seq := v.sessions
+	v.sessions++
+	return seq, v.nonce
+}
+
 func (v *Volunteer) serve(ch transport.Channel) error {
 	// The hello still declares '/pando/1.0.0' and travels as a v1 frame:
 	// that is the lingua franca an un-upgraded master understands. The
-	// Formats list is what advertises newer wire formats.
-	welcome, err := transport.ClientHandshake(ch, v.Name, v.Formats)
+	// Formats list advertises newer wire formats, and the Functions list
+	// (pool-aware volunteers) the jobs the device can serve.
+	seq, nonce := v.incarnation()
+	formats := v.Formats
+	if len(formats) == 0 {
+		formats = proto.SupportedFormats()
+	}
+	welcome, err := transport.Hello(ch, &proto.Message{
+		Peer:      v.Name,
+		Formats:   formats,
+		Functions: v.advertised(),
+		Seq:       seq,
+		Token:     nonce,
+	})
 	if err != nil {
 		return err
 	}
 
-	h := v.Handler
-	if h == nil {
-		var ok bool
-		h, ok = Lookup(welcome.Func)
-		if !ok {
-			ch.Close()
-			return fmt.Errorf("worker: unknown function %q (registered: %v)", welcome.Func, Registered())
-		}
+	h, err := v.resolve(welcome.Func)
+	if err != nil {
+		ch.Close()
+		return err
 	}
+	var hmu sync.Mutex
 
 	wrapped := func(input []byte) ([]byte, error) {
 		v.mu.Lock()
@@ -191,7 +275,10 @@ func (v *Volunteer) serve(ch transport.Channel) error {
 		if v.Delay > 0 {
 			time.Sleep(v.Delay)
 		}
-		out, err := h(input)
+		hmu.Lock()
+		handler := h
+		hmu.Unlock()
+		out, err := handler(input)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +288,21 @@ func (v *Volunteer) serve(ch transport.Channel) error {
 		return out, nil
 	}
 
-	err = transport.WorkerServeGrouped[[]byte, []byte](ch, RawCodec{}, RawCodec{}, wrapped)
+	// A pool master may reassign the device to another job mid-session (a
+	// re-welcome); switching the handler in place keeps the same
+	// connection, credits and accounting alive across jobs.
+	reassign := func(name string) (func([]byte) ([]byte, error), error) {
+		nh, err := v.resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		hmu.Lock()
+		h = nh
+		hmu.Unlock()
+		return wrapped, nil
+	}
+
+	err = transport.WorkerServeReassignable[[]byte, []byte](ch, RawCodec{}, RawCodec{}, wrapped, reassign)
 	if err != nil && v.crashed() {
 		return ErrCrashed
 	}

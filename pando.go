@@ -22,10 +22,14 @@ package pando
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
+	"pando/internal/fleet"
 	"pando/internal/journal"
 	"pando/internal/master"
 	"pando/internal/netsim"
@@ -56,6 +60,10 @@ type (
 	// RawCodec passes []byte payloads through untouched; with the binary
 	// wire format they cross the network verbatim.
 	RawCodec = transport.RawCodec
+	// PoolWorker is one live worker-set row of a shared pool.
+	PoolWorker = fleet.WorkerInfo
+	// Invitation is the deployment bootstrap document served over HTTP.
+	Invitation = master.Invitation
 )
 
 // Wire format tags, for WithWireFormat.
@@ -81,6 +89,7 @@ type options struct {
 	channel     transport.Config
 	register    bool
 	formats     []string
+	rebalance   time.Duration
 	inCodec     any // transport.Codec[I], stored untyped (Option is not generic)
 	outCodec    any // transport.Codec[O]
 	checkpoint  string
@@ -137,6 +146,14 @@ func WithUnordered() Option { return func(o *options) { o.unordered = true } }
 // WithChannelConfig tunes heartbeat intervals on volunteer channels.
 func WithChannelConfig(cfg ChannelConfig) Option {
 	return func(o *options) { o.channel = cfg }
+}
+
+// WithRebalanceInterval tunes how often a shared pool's fair-share scan
+// moves workers between jobs (NewPool only). Zero keeps the default
+// (fleet.DefaultRebalance, 250ms); negative disables the scan — workers
+// then move only when their job completes.
+func WithRebalanceInterval(d time.Duration) Option {
+	return func(o *options) { o.rebalance = d }
 }
 
 // WithoutRegistry skips registering the processing function in the global
@@ -219,8 +236,213 @@ func (o options) flow() sched.Policy {
 	return p
 }
 
-// Pando is one deployment: a single project, a single user, the lifetime
-// of the corresponding tasks (design principle DP1).
+// Pool is a shared volunteer fleet serving many concurrent jobs: the
+// same devices a person contributed once are reused across all of their
+// applications (the paper's DP1 taken literally). Create jobs on it with
+// Map; every job leases workers from the pool, which routes each
+// admitted volunteer to a job it can serve, rebalances leases across
+// jobs with demand-weighted fair share, and reassigns a worker to the
+// next job when its job completes — over the same connection.
+type Pool struct {
+	fp   *fleet.Pool
+	opts options
+
+	mu       sync.Mutex
+	handlers map[string]worker.Handler // job name -> payload handler (local workers)
+	jobs     []poolJob
+	locals   []*worker.Volunteer
+	pipes    []*netsim.Pipe
+	closed   bool
+}
+
+// poolJob is the untyped view of a Map'd deployment the Pool keeps for
+// per-job stats.
+type poolJob interface {
+	Name() string
+	Stats() []WorkerStats
+	TotalItems() int
+}
+
+// NewPool creates a shared fleet. Pool-level options apply
+// (WithChannelConfig, WithWireFormat, WithRebalanceInterval); job-level
+// options are given to Map per job.
+func NewPool(opts ...Option) *Pool {
+	o := options{register: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	checkFormats(o.formats)
+	return &Pool{
+		fp: fleet.NewPool(fleet.Config{
+			Channel:   o.channel,
+			Formats:   o.formats,
+			Rebalance: o.rebalance,
+		}),
+		opts:     o,
+		handlers: make(map[string]worker.Handler),
+	}
+}
+
+// Fleet exposes the underlying fleet pool, e.g. for direct Admit calls
+// on embedded transports.
+func (p *Pool) Fleet() *fleet.Pool { return p.fp }
+
+// ServeWS accepts remote volunteers over the WebSocket-like transport
+// until the acceptor closes, admitting each into the shared fleet. Run
+// it on a goroutine.
+func (p *Pool) ServeWS(acc Acceptor) error { return p.fp.ServeWS(acc) }
+
+// ServeRTC admits volunteers arriving through the WebRTC-like bootstrap.
+// Run it on a goroutine.
+func (p *Pool) ServeRTC(answerer *transport.RTCAnswerer) { p.fp.ServeRTC(answerer) }
+
+// AddLocalWorkers attaches n in-process volunteers that serve every job
+// of the pool, one per core the user wants to dedicate.
+func (p *Pool) AddLocalWorkers(n int) {
+	for i := 0; i < n; i++ {
+		p.AddWorker(fmt.Sprintf("local-%d", i+1), netsim.Loopback, 0, -1)
+	}
+}
+
+// AddWorker attaches one in-process volunteer under an exact name,
+// connected through a simulated link with a fixed per-item delay and an
+// optional crash after crashAfter items (negative: never). The volunteer
+// advertises the wildcard function list, so the pool may lease it to any
+// current or future job; handlers resolve against the pool's own table
+// at (re)assignment time.
+func (p *Pool) AddWorker(name string, link netsim.Link, delay time.Duration, crashAfter int) {
+	v := &worker.Volunteer{
+		Name:       name,
+		Channel:    p.opts.channel,
+		Delay:      delay,
+		CrashAfter: crashAfter,
+		Functions:  []string{"*"},
+		Resolve:    p.resolveHandler,
+	}
+	pipe := netsim.NewPipe(link)
+	p.mu.Lock()
+	p.locals = append(p.locals, v)
+	p.pipes = append(p.pipes, pipe)
+	p.mu.Unlock()
+	go func() { _ = v.JoinWS(pipe.A) }()
+	go func() { _ = p.fp.Admit(transport.NewWSock(pipe.B, p.opts.channel)) }()
+}
+
+func (p *Pool) resolveHandler(name string) (worker.Handler, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.handlers[name]
+	return h, ok
+}
+
+// Workers snapshots the pool's live worker set: which device is leased
+// to which job, its negotiated wire format and whether it is
+// reassignable.
+func (p *Pool) Workers() []PoolWorker { return p.fp.Workers() }
+
+// Stats snapshots per-device accounting for every job, keyed by job
+// (function) name — the per-job blocks of the /stats JSON.
+func (p *Pool) Stats() map[string][]WorkerStats {
+	p.mu.Lock()
+	jobs := append([]poolJob(nil), p.jobs...)
+	p.mu.Unlock()
+	out := make(map[string][]WorkerStats, len(jobs))
+	for _, j := range jobs {
+		out[j.Name()] = j.Stats()
+	}
+	return out
+}
+
+// PoolStats is the /stats JSON of a shared pool: the live worker set
+// plus per-job accounting blocks keyed by function name.
+type PoolStats struct {
+	Workers []PoolWorker             `json:"workers"`
+	Jobs    map[string][]WorkerStats `json:"jobs"`
+}
+
+// ServeHTTPInfo serves the pool's deployment invitation on "/" and the
+// pool-wide statistics on "/stats": the live worker set (who is leased
+// to which job) and one per-device accounting block per job. It returns
+// immediately; the server runs on its own goroutines.
+func (p *Pool) ServeHTTPInfo(ln net.Listener, inv Invitation) *http.Server {
+	if inv.Version == "" {
+		inv.Version = proto.Version
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(inv)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(PoolStats{
+			Workers: p.Workers(),
+			Jobs:    p.Stats(),
+		})
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv
+}
+
+// Close shuts the shared fleet down: admissions are refused, parked
+// volunteers dismissed, and the in-process volunteers' links cut. Jobs
+// created with Map have their own lifecycles — Close each Pando (or let
+// its stream complete) before closing the pool it leases from.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pipes := p.pipes
+	p.pipes = nil
+	p.mu.Unlock()
+	p.fp.Close()
+	for _, pipe := range pipes {
+		pipe.Cut()
+	}
+}
+
+// register adds a Map'd job to the pool's tables.
+func (p *Pool) register(j poolJob, h worker.Handler) {
+	p.mu.Lock()
+	p.jobs = append(p.jobs, j)
+	p.handlers[j.Name()] = h
+	p.mu.Unlock()
+}
+
+// unregister removes a closing job. The handler table entry survives as
+// long as any other registered job shares the name (WithoutRegistry
+// deployments may create many same-named instances), so a surviving
+// job's reassigned workers keep resolving.
+func (p *Pool) unregister(j poolJob) {
+	p.mu.Lock()
+	kept := p.jobs[:0]
+	nameInUse := false
+	for _, job := range p.jobs {
+		if job != j {
+			kept = append(kept, job)
+			if job.Name() == j.Name() {
+				nameInUse = true
+			}
+		}
+	}
+	p.jobs = kept
+	if !nameInUse {
+		delete(p.handlers, j.Name())
+	}
+	p.mu.Unlock()
+}
+
+// Pando is one deployment: a single streaming map. Created with New it
+// owns a single-job pool of its own (the classic tool); created with Map
+// it is one job of a shared Pool, leasing workers from the common fleet.
 type Pando[I, O any] struct {
 	name string
 	f    func(I) (O, error)
@@ -228,6 +450,10 @@ type Pando[I, O any] struct {
 	out  transport.Codec[O]
 	m    *master.Master[I, O]
 	opts options
+
+	pool     *Pool
+	job      fleet.Job
+	ownsPool bool
 
 	journal *journal.Journal
 	initErr error // deferred WithCheckpoint failure, surfaced by Process
@@ -237,20 +463,42 @@ type Pando[I, O any] struct {
 	pipes  []*netsim.Pipe
 }
 
-// New creates a deployment that applies f, registered under name so that
-// generic volunteer binaries can resolve it (the Go substitute for
-// shipping browserified code).
-func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, O] {
-	o := options{batch: master.DefaultBatch, register: true}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	for _, f := range o.formats {
+// checkFormats panics on unknown wire-format names, which are
+// programming errors like WithCodec mismatches.
+func checkFormats(formats []string) {
+	for _, f := range formats {
 		if _, ok := proto.LookupFormat(f); !ok {
 			panic(fmt.Sprintf("pando: WithWireFormat: unknown wire format %q (supported: %v)",
 				f, proto.SupportedFormats()))
 		}
 	}
+}
+
+// New creates a deployment that applies f, registered under name so that
+// generic volunteer binaries can resolve it (the Go substitute for
+// shipping browserified code). It is a single-job pool: the same
+// admission, negotiation and leasing machinery as NewPool, serving
+// exactly one job — so every pre-pool deployment keeps working
+// unchanged.
+func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, O] {
+	pool := NewPool(opts...)
+	p := Map(pool, name, f, opts...)
+	p.ownsPool = true
+	return p
+}
+
+// Map creates a job on a shared pool: a deployment applying f under the
+// given function name, leasing workers from pool's common fleet. The
+// returned Pando behaves exactly like one from New — Process,
+// ProcessSlice, Stats, checkpointing — except that serving and worker
+// attachment happen at the pool level. (Go methods cannot introduce type
+// parameters, so Map is a package function rather than a Pool method.)
+func Map[I, O any](pool *Pool, name string, f func(I) (O, error), opts ...Option) *Pando[I, O] {
+	o := options{batch: master.DefaultBatch, register: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	checkFormats(o.formats)
 	var in transport.Codec[I] = transport.JSONCodec[I]{}
 	var out transport.Codec[O] = transport.JSONCodec[O]{}
 	if o.inCodec != nil {
@@ -273,6 +521,7 @@ func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, 
 		in:   in,
 		out:  out,
 		opts: o,
+		pool: pool,
 	}
 	cfg := master.Config{
 		FuncName: name,
@@ -300,14 +549,26 @@ func New[I, O any](name string, f func(I) (O, error), opts ...Option) *Pando[I, 
 			cfg.Journal = j
 		}
 	}
-	p.m = master.New[I, O](cfg, in, out)
+	p.m = master.NewJob[I, O](cfg, in, out)
+	p.job = p.m.Job()
+	h := CodecHandler(f, in, out)
+	pool.register(p, h)
+	if err := pool.fp.Register(p.job); err != nil && p.initErr == nil {
+		// Mapping onto a closed pool: the job would never receive a
+		// worker, so surface the failure on the first Process instead of
+		// hanging silently.
+		p.initErr = fmt.Errorf("pando: Map %q: %w", name, err)
+	}
 	if o.register {
 		if _, exists := worker.Lookup(name); !exists {
-			worker.Register(name, CodecHandler(f, in, out))
+			worker.Register(name, h)
 		}
 	}
 	return p
 }
+
+// Name returns the job's function name.
+func (p *Pando[I, O]) Name() string { return p.name }
 
 // Handler adapts a typed processing function into a registry handler, the
 // equivalent of the paper's Figure 2 glue code: decode the input, apply
@@ -434,7 +695,10 @@ func (p *Pando[I, O]) AddSimulatedWorkers(n int, namePrefix string, link netsim.
 // AddWorker attaches one volunteer under an exact name. Attaching several
 // volunteers under the same name models one device contributing several
 // cores (one browser tab per core, as in the paper's evaluation): their
-// accounting aggregates into a single Stats row.
+// accounting aggregates into a single Stats row. The volunteer is
+// dedicated to this job — it advertises only this function, so a shared
+// pool never leases it elsewhere; use Pool.AddWorker for fleet-wide
+// devices.
 func (p *Pando[I, O]) AddWorker(name string, link netsim.Link, delay time.Duration, crashAfter int) {
 	v := &worker.Volunteer{
 		Name:       name,
@@ -442,6 +706,7 @@ func (p *Pando[I, O]) AddWorker(name string, link netsim.Link, delay time.Durati
 		Channel:    p.opts.channel,
 		Delay:      delay,
 		CrashAfter: crashAfter,
+		Functions:  []string{p.name},
 	}
 	pipe := netsim.NewPipe(link)
 	p.mu.Lock()
@@ -449,16 +714,17 @@ func (p *Pando[I, O]) AddWorker(name string, link netsim.Link, delay time.Durati
 	p.pipes = append(p.pipes, pipe)
 	p.mu.Unlock()
 	go func() { _ = v.JoinWS(pipe.A) }()
-	go func() { _ = p.m.Admit(transport.NewWSock(pipe.B, p.opts.channel)) }()
+	go func() { _ = p.pool.fp.Admit(transport.NewWSock(pipe.B, p.opts.channel)) }()
 }
 
 // ServeWS accepts remote volunteers over the WebSocket-like transport
-// until the acceptor closes. Run it on a goroutine.
-func (p *Pando[I, O]) ServeWS(acc Acceptor) error { return p.m.ServeWS(acc) }
+// until the acceptor closes; they join the deployment's pool (shared
+// with other jobs when created with Map). Run it on a goroutine.
+func (p *Pando[I, O]) ServeWS(acc Acceptor) error { return p.pool.fp.ServeWS(acc) }
 
 // ServeRTC admits volunteers arriving through the WebRTC-like bootstrap.
 // Run it on a goroutine.
-func (p *Pando[I, O]) ServeRTC(answerer *transport.RTCAnswerer) { p.m.ServeRTC(answerer) }
+func (p *Pando[I, O]) ServeRTC(answerer *transport.RTCAnswerer) { p.pool.fp.ServeRTC(answerer) }
 
 // Stats snapshots per-device accounting (items processed, active period).
 func (p *Pando[I, O]) Stats() []WorkerStats { return p.m.Stats() }
@@ -472,10 +738,20 @@ func (p *Pando[I, O]) TotalItems() int { return p.m.TotalItems() }
 func (p *Pando[I, O]) Checkpoint() *journal.Journal { return p.journal }
 
 // Close releases local resources; remote volunteers observe the
-// disconnection through their heartbeats. The checkpoint journal, if
-// any, is flushed and closed.
+// disconnection through their heartbeats — except in a shared pool,
+// where the job's leased workers are handed back to the fleet and move
+// on to the remaining jobs. The checkpoint journal, if any, is flushed
+// and closed.
 func (p *Pando[I, O]) Close() {
+	// Unregister first so the fleet reclaims this job's leases (or, for
+	// an owned single-job pool, volunteers are dismissed) before the
+	// engine shuts down.
+	p.pool.fp.Unregister(p.job)
+	p.pool.unregister(p)
 	p.m.Close()
+	if p.ownsPool {
+		p.pool.Close()
+	}
 	p.mu.Lock()
 	pipes := p.pipes
 	p.pipes = nil
