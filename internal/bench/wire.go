@@ -8,7 +8,7 @@ import (
 	"pando/internal/proto"
 )
 
-// This file measures what the '/pando/2.0.0' binary wire format buys over
+// This file measures what the '/pando/2.1.0' binary wire format buys over
 // the '/pando/1.0.0' JSON framing, on the two workload shapes the paper's
 // evaluation spans: small JSON-ish items (collatz starting integers,
 // Table 2's Bignum workload) where the envelope dominates, and large

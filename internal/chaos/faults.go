@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"pando/internal/netsim"
+)
+
+// The fault builders below append deterministic events to a Schedule.
+// Each takes its own (forked) Rand so one injector's draw count never
+// shifts another's timings. They compose freely: a scenario is just the
+// union of whatever the seed selected.
+
+// Pauser freezes and thaws a link (netsim.Pipe satisfies it).
+type Pauser interface {
+	Pause()
+	Resume()
+}
+
+// Cutter severs a link for good (netsim.Pipe satisfies it).
+type Cutter interface {
+	Cut()
+}
+
+// Cut schedules a hard, permanent cut of c at the given offset — the
+// paper's crash-stop failure, on demand.
+func Cut(s *Schedule, name string, c Cutter, at time.Duration) {
+	s.Add(at, fmt.Sprintf("cut %s", name), c.Cut)
+}
+
+// Flap schedules n pause/resume cycles of p, starting in [from,
+// from+over) with holds in [minHold, maxHold). Holds shorter than the
+// heartbeat timeout exercise the partial-synchrony rule (a stall is not a
+// crash); longer ones force a false-positive crash verdict followed by
+// recovery — both must preserve the output invariants.
+func Flap(s *Schedule, r *Rand, name string, p Pauser, n int, from, over, minHold, maxHold time.Duration) {
+	for i := 0; i < n; i++ {
+		at := from + r.Duration(0, over)
+		hold := r.Duration(minHold, maxHold)
+		s.Add(at, fmt.Sprintf("pause %s (%s)", name, hold.Round(time.Millisecond)), p.Pause)
+		s.Add(at+hold, fmt.Sprintf("resume %s", name), p.Resume)
+	}
+}
+
+// Partition pauses a whole group of links at once and heals them together
+// after hold — the netsplit case, as opposed to per-link flaps.
+func Partition(s *Schedule, name string, pipes []*netsim.Pipe, at, hold time.Duration) {
+	group := append([]*netsim.Pipe(nil), pipes...)
+	s.Add(at, fmt.Sprintf("partition %s (%d links, %s)", name, len(group), hold.Round(time.Millisecond)), func() {
+		for _, p := range group {
+			p.Pause()
+		}
+	})
+	s.Add(at+hold, fmt.Sprintf("heal %s", name), func() {
+		for _, p := range group {
+			p.Resume()
+		}
+	})
+}
+
+// Degrade schedules asymmetric extra latency on one direction of p for
+// the window [at, at+hold), then heals it.
+func Degrade(s *Schedule, name string, p *netsim.Pipe, aToB bool, extra, at, hold time.Duration) {
+	dir := "a→b"
+	if !aToB {
+		dir = "b→a"
+	}
+	s.Add(at, fmt.Sprintf("degrade %s %s (+%s)", name, dir, extra.Round(time.Millisecond)), func() {
+		p.Degrade(aToB, extra)
+	})
+	s.Add(at+hold, fmt.Sprintf("heal-degrade %s", name), func() {
+		p.Degrade(aToB, 0)
+	})
+}
+
+// Scramble returns a FaultFunc that corrupts a chunk with probability
+// pCorrupt and drops it with probability pDrop, drawing from r. On the
+// reliable stream transport either is connection-lethal: the receiver's
+// framing fails and the stack must treat the peer as crashed.
+func Scramble(r *Rand, pCorrupt, pDrop float64) netsim.FaultFunc {
+	return func(data []byte) ([]byte, bool) {
+		roll := r.Float64()
+		if roll < pDrop {
+			return nil, false
+		}
+		if roll < pDrop+pCorrupt && len(data) > 0 {
+			out := append([]byte(nil), data...)
+			out[r.Intn(len(out))] ^= 1 << uint(r.Intn(8))
+			return out, true
+		}
+		return data, true
+	}
+}
+
+// Corrupt schedules the installation of a Scramble fault on one direction
+// of p at the given offset. From that point the link loses and flips
+// bytes until the connection dies — modelling a NIC or path gone bad.
+func Corrupt(s *Schedule, r *Rand, name string, p *netsim.Pipe, aToB bool, at time.Duration) {
+	f := Scramble(r.Fork("scramble:"+name), 0.3, 0.2)
+	s.Add(at, fmt.Sprintf("corrupt %s", name), func() { p.Inject(aToB, f) })
+}

@@ -1,0 +1,222 @@
+package fleet
+
+// Table-driven edge-case tests for the demand-weighted fair-share
+// rebalancer: the floor guarantee when the fleet is smaller than the job
+// set, the all-jobs-complete quiescent state, and a job closing in the
+// middle of a scan tick.
+
+import (
+	"testing"
+	"time"
+
+	"pando/internal/proto"
+)
+
+// TestTargetsEdgeCases drives targetsLocked through the boundary
+// configurations the scan must get right.
+func TestTargetsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		demands []int
+		workers int
+		want    []float64 // expected target per job, NaN-free; 0 = absent
+	}{
+		{
+			// One worker, three open jobs: the fleet cannot give every
+			// open job its floor, so shares are purely proportional and
+			// sum to the single worker.
+			name:    "one worker many jobs",
+			demands: []int{1, 1, 2},
+			workers: 1,
+			want:    []float64{0.25, 0.25, 0.5},
+		},
+		{
+			// Exactly one worker per open job: the floor consumes the
+			// whole fleet and demand weighting has nothing to split.
+			name:    "floor exactly covers fleet",
+			demands: []int{5, 1, 1},
+			workers: 3,
+			want:    []float64{1, 1, 1},
+		},
+		{
+			// Spare workers above the floor split proportionally.
+			name:    "floor plus proportional remainder",
+			demands: []int{3, 1},
+			workers: 6,
+			want:    []float64{4, 2},
+		},
+		{
+			// Every job complete: no targets at all; the scan must go
+			// quiescent instead of dividing by a zero demand sum.
+			name:    "demand all zero",
+			demands: []int{0, 0, 0},
+			workers: 4,
+			want:    []float64{0, 0, 0},
+		},
+		{
+			// A complete job among open ones neither receives a target
+			// nor distorts the others' shares.
+			name:    "complete job excluded",
+			demands: []int{0, 1, 1},
+			workers: 4,
+			want:    []float64{0, 2, 2},
+		},
+		{
+			// Zero workers: open jobs get a zero-ish proportional target,
+			// never a negative or NaN one.
+			name:    "zero workers",
+			demands: []int{1, 1},
+			workers: 0,
+			want:    []float64{0, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPool(Config{Rebalance: -1})
+			defer p.Close()
+			jobs := make([]*fakeJob, len(tc.demands))
+			for i, d := range tc.demands {
+				jobs[i] = newFakeJob(string(rune('a'+i)), d)
+				if err := p.Register(jobs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p.mu.Lock()
+			targets := p.targetsLocked(tc.workers)
+			p.mu.Unlock()
+			total := 0.0
+			for i, j := range jobs {
+				got, open := targets[j]
+				if tc.want[i] == 0 {
+					if open && got != 0 {
+						t.Fatalf("job %d: target %v, want none", i, got)
+					}
+					continue
+				}
+				if !open {
+					t.Fatalf("job %d: no target, want %v", i, tc.want[i])
+				}
+				if diff := got - tc.want[i]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("job %d: target %v, want %v", i, got, tc.want[i])
+				}
+				total += got
+			}
+			if tc.workers > 0 && total > float64(tc.workers)+1e-9 {
+				t.Fatalf("targets sum %v exceeds fleet of %d", total, tc.workers)
+			}
+		})
+	}
+}
+
+// TestRebalanceAllDemandZeroIsQuiescent: with every job complete, a scan
+// tick must move nothing and leave lease state untouched.
+func TestRebalanceAllDemandZeroIsQuiescent(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	jobA := newFakeJob("job-a", 1)
+	jobB := newFakeJob("job-b", 1)
+	if err := p.Register(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(jobB); err != nil {
+		t.Fatal(err)
+	}
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "w1", Functions: []string{"*"}})
+	recvType(t, ch, proto.TypeWelcome)
+	jobA.waitLease(t)
+
+	jobA.setDemand(0)
+	jobB.setDemand(0)
+	p.rebalanceOnce()
+
+	// No reassign frame may reach the worker; the next frame it sees
+	// should be nothing at all within the grace window.
+	moved := make(chan *proto.Message, 1)
+	go func() {
+		if m, err := ch.Recv(); err == nil {
+			moved <- m
+		}
+	}()
+	select {
+	case m := <-moved:
+		t.Fatalf("quiescent scan sent %+v to the worker", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestRebalanceMovesWorkerFromClosingJob: a job whose demand drops to
+// zero mid-scan (its stream completed or it is shutting down) donates its
+// leased worker to the remaining open job on the next tick.
+func TestRebalanceMovesWorkerFromClosingJob(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	jobA := newFakeJob("job-a", 1)
+	jobB := newFakeJob("job-b", 0) // not open yet
+	if err := p.Register(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(jobB); err != nil {
+		t.Fatal(err)
+	}
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "mover", Functions: []string{"*"}})
+	recvType(t, ch, proto.TypeWelcome)
+	jobA.waitLease(t)
+
+	// Mid-tick flip: A closes, B opens.
+	jobA.setDemand(0)
+	jobB.setDemand(1)
+	p.rebalanceOnce()
+
+	// The worker is reassigned to job B over the same connection.
+	re := recvType(t, ch, proto.TypeReassign)
+	if re.Func != "job-b" {
+		t.Fatalf("reassign = %+v, want job-b", re)
+	}
+	if err := ch.Send(&proto.Message{Type: proto.TypeReassign, Func: re.Func}); err != nil {
+		t.Fatal(err)
+	}
+	jobB.waitLease(t)
+}
+
+// TestRebalanceJobClosingDuringScanTick: the donor job unregisters
+// between the scan's snapshot and the move; the revoke must simply miss
+// (the session is already elsewhere) without panicking or stranding the
+// worker.
+func TestRebalanceJobClosingDuringScanTick(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	jobA := newFakeJob("job-a", 3)
+	jobB := newFakeJob("job-b", 1)
+	if err := p.Register(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(jobB); err != nil {
+		t.Fatal(err)
+	}
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "w", Functions: []string{"*"}})
+	recvType(t, ch, proto.TypeWelcome)
+	jobA.waitLease(t)
+
+	// Unregister A as a scan would be moving its worker: the session is
+	// reclaimed by Unregister first, so rebalanceOnce's revoke loses the
+	// race and must cope.
+	p.Unregister(jobA)
+	p.rebalanceOnce()
+
+	// The worker lands on job B (the only open job) via the reassign
+	// barrier, whichever path won.
+	re := recvType(t, ch, proto.TypeReassign)
+	if re.Func != "job-b" {
+		t.Fatalf("reassign = %+v, want job-b", re)
+	}
+	if err := ch.Send(&proto.Message{Type: proto.TypeReassign, Func: re.Func}); err != nil {
+		t.Fatal(err)
+	}
+	jobB.waitLease(t)
+	// And the pool's books stay consistent.
+	for _, w := range p.Workers() {
+		if w.Job == "job-a" {
+			t.Fatalf("worker still attributed to the unregistered job: %+v", w)
+		}
+	}
+}

@@ -46,7 +46,7 @@ type Config struct {
 	Channel transport.Config
 	// Formats restricts the wire formats this master will negotiate, best
 	// first. Empty allows everything this build supports (binary
-	// '/pando/2.0.0' preferred, JSON '/pando/1.0.0' fallback). When
+	// '/pando/2.1.0' preferred, JSON '/pando/1.0.0' fallback). When
 	// non-empty, volunteers that speak none of the listed formats are
 	// refused with ErrNoCommonFormat — so a list excluding '/pando/1.0.0'
 	// turns off the v1 fallback entirely.
@@ -109,7 +109,7 @@ type WorkerStats struct {
 	LastSeen  time.Time
 	Alive     bool
 	// Wire is the wire format negotiated at admission ("/pando/1.0.0" or
-	// "/pando/2.0.0"); empty for devices attached without a handshake.
+	// "/pando/2.1.0"); empty for devices attached without a handshake.
 	Wire string
 
 	// InFlight is how many values the device currently holds (summed

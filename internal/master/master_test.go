@@ -247,7 +247,12 @@ func TestMasterAdaptiveFasterDeviceProcessesMore(t *testing.T) {
 func TestMasterWebRTCVolunteer(t *testing.T) {
 	// End-to-end WAN-style deployment: volunteer bootstraps through the
 	// public server and computes over the direct channel (paper §5.4).
-	cfg := transport.Config{HeartbeatInterval: 25 * time.Millisecond}
+	// The explicit timeout keeps the failure detector honest about the
+	// link it watches: the WAN profile's RTT is 80–100ms, so the default
+	// 3x-interval timeout (75ms) would sit inside the round trip and
+	// declare a healthy peer dead whenever two jitter draws line up —
+	// and this deployment's single volunteer does not rejoin.
+	cfg := transport.Config{HeartbeatInterval: 25 * time.Millisecond, HeartbeatTimeout: 300 * time.Millisecond}
 	m := newTestMaster(t, Config{Batch: 4, Channel: cfg})
 
 	signalLn := netsim.NewListener("public", netsim.WAN)

@@ -30,7 +30,7 @@ func workerWire(t *testing.T, m *Master[int, int], name string) string {
 }
 
 // TestAdmitNegotiatesBinaryWire: a format-advertising worker and an
-// unrestricted master settle on '/pando/2.0.0' and complete a
+// unrestricted master settle on '/pando/2.1.0' and complete a
 // computation over it.
 func TestAdmitNegotiatesBinaryWire(t *testing.T) {
 	m := newTestMaster(t, Config{})

@@ -11,7 +11,14 @@
 // latency by batching inputs (paper §5.5).
 //
 // The link can be Cut to simulate a sudden crash or loss of connectivity,
-// the failure mode of the paper's crash-stop model (§2.3).
+// the failure mode of the paper's crash-stop model (§2.3). Beyond the
+// crash-stop primitive, a pipe supports the composable fault hooks the
+// chaos harness (internal/chaos) drives: Pause/Resume freeze delivery (a
+// transient stall or partition), Degrade adds extra one-way latency to a
+// single direction (asymmetric congestion), and Inject installs a
+// per-chunk FaultFunc that can drop or corrupt bytes in flight — on a
+// reliable stream transport either manifests as stream corruption, which
+// the protocol layer must treat exactly like a crash.
 package netsim
 
 import (
@@ -54,6 +61,20 @@ var (
 // pipe is severed with Cut.
 var ErrLinkCut = errors.New("netsim: link cut")
 
+// FaultFunc inspects one chunk about to enter the link. It returns the
+// (possibly modified) bytes to deliver, or ok=false to drop the chunk
+// entirely. Dropping or corrupting bytes of a reliable stream garbles
+// every following frame, so the receiving protocol layer is expected to
+// fail the connection — which is precisely the fault model chaos tests
+// want: packet-level loss that surfaces as a crash-stop failure.
+type FaultFunc func(data []byte) (out []byte, ok bool)
+
+// Directions of a pipe, for the asymmetric fault hooks.
+const (
+	dirAtoB = 0
+	dirBtoA = 1
+)
+
 // Pipe is a bidirectional in-memory connection with link simulation.
 type Pipe struct {
 	// A and B are the two endpoints.
@@ -64,6 +85,18 @@ type Pipe struct {
 	cut    bool
 	closed chan struct{}
 	frozen chan struct{} // non-nil while the link is paused
+
+	// rng is the pipe's jitter source: one seeded generator per pipe,
+	// lock-protected because both relay directions draw from it. (A
+	// process-wide source would be a contention point — and a race
+	// magnet — with thousands of simulated pipes.)
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Fault state, per direction, changeable at run time.
+	faultMu sync.Mutex
+	fault   [2]FaultFunc
+	extra   [2]time.Duration
 }
 
 // chunk is a unit of data in flight on the link.
@@ -72,7 +105,10 @@ type chunk struct {
 	deliverAt time.Time
 }
 
-// NewPipe creates a connected pair of endpoints joined by link l.
+// NewPipe creates a connected pair of endpoints joined by link l. The
+// pipe's jitter generator is seeded from l.Seed (zero selects a fixed
+// default of 1, so unseeded pipes stay deterministic); Listener.Dial
+// threads a distinct per-connection seed through here.
 func NewPipe(l Link) *Pipe {
 	aUser, aInner := net.Pipe()
 	bUser, bInner := net.Pipe()
@@ -86,9 +122,58 @@ func NewPipe(l Link) *Pipe {
 	if seed == 0 {
 		seed = 1
 	}
-	go relay(aInner, bInner, l, rand.New(rand.NewSource(seed)), p.closed, p.gate)
-	go relay(bInner, aInner, l, rand.New(rand.NewSource(seed+1)), p.closed, p.gate)
+	p.rng = rand.New(rand.NewSource(seed))
+	go p.relay(aInner, bInner, l, dirAtoB)
+	go p.relay(bInner, aInner, l, dirBtoA)
 	return p
+}
+
+// jitter draws one delay in [0, j) from the pipe's locked generator.
+func (p *Pipe) jitter(j time.Duration) time.Duration {
+	if j <= 0 {
+		return 0
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return time.Duration(p.rng.Int63n(int64(j)))
+}
+
+// Inject installs f as the fault hook for one direction (A→B when aToB,
+// B→A otherwise); nil heals the direction. Each chunk read off the source
+// endpoint passes through f before it is queued on the link.
+func (p *Pipe) Inject(aToB bool, f FaultFunc) {
+	p.faultMu.Lock()
+	defer p.faultMu.Unlock()
+	p.fault[dirIdx(aToB)] = f
+}
+
+// Degrade adds extra one-way propagation delay to a single direction,
+// modelling asymmetric link degradation (a congested uplink under a clean
+// downlink); zero heals the direction.
+func (p *Pipe) Degrade(aToB bool, extra time.Duration) {
+	p.faultMu.Lock()
+	defer p.faultMu.Unlock()
+	p.extra[dirIdx(aToB)] = extra
+}
+
+func dirIdx(aToB bool) int {
+	if aToB {
+		return dirAtoB
+	}
+	return dirBtoA
+}
+
+// mangle applies the direction's current fault state to one chunk.
+func (p *Pipe) mangle(dir int, data []byte) ([]byte, bool, time.Duration) {
+	p.faultMu.Lock()
+	f := p.fault[dir]
+	extra := p.extra[dir]
+	p.faultMu.Unlock()
+	if f == nil {
+		return data, true, extra
+	}
+	out, ok := f(data)
+	return out, ok, extra
 }
 
 // gate blocks while the link is paused.
@@ -145,9 +230,10 @@ func (p *Pipe) Cut() {
 	p.B.Close()
 }
 
-// relay moves chunks from src to dst applying the link delay model. The
-// gate callback blocks while the link is paused.
-func relay(src, dst net.Conn, l Link, rng *rand.Rand, closed chan struct{}, gate func()) {
+// relay moves chunks from src to dst applying the link delay model and
+// the direction's fault state. The gate blocks while the link is paused.
+func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
+	closed := p.closed
 	inFlight := make(chan chunk, 4096)
 
 	// Deliverer: writes chunks at their delivery time, in order.
@@ -166,7 +252,7 @@ func relay(src, dst net.Conn, l Link, rng *rand.Rand, closed chan struct{}, gate
 					return
 				}
 			}
-			gate()
+			p.gate()
 			if _, err := dst.Write(c.data); err != nil {
 				return
 			}
@@ -191,19 +277,21 @@ func relay(src, dst net.Conn, l Link, rng *rand.Rand, closed chan struct{}, gate
 			if l.Bandwidth > 0 {
 				tx = time.Duration(float64(n) / float64(l.Bandwidth) * float64(time.Second))
 			}
+			// Transmission occupies the link whether or not the chunk is
+			// then lost — a dropped packet still burned the bandwidth.
 			busyUntil = start.Add(tx)
-			delay := l.Latency
-			if l.Jitter > 0 {
-				delay += time.Duration(rng.Int63n(int64(l.Jitter)))
-			}
 			data := make([]byte, n)
 			copy(data, buf[:n])
-			select {
-			case inFlight <- chunk{data: data, deliverAt: busyUntil.Add(delay)}:
-			case <-closed:
-				close(inFlight)
-				wg.Wait()
-				return
+			data, deliver, extra := p.mangle(dir, data)
+			if deliver {
+				delay := l.Latency + extra + p.jitter(l.Jitter)
+				select {
+				case inFlight <- chunk{data: data, deliverAt: busyUntil.Add(delay)}:
+				case <-closed:
+					close(inFlight)
+					wg.Wait()
+					return
+				}
 			}
 		}
 		if err != nil {

@@ -290,7 +290,18 @@ func (n *Node) Children() int {
 
 // childDuplex frames payloads for a child channel, preserving the
 // upstream sequence numbers so results can be matched at the root.
+//
+// The relay's nested lender matches results FIFO, like the master's. The
+// upstream seqs are not contiguous per child, so the duplex remembers the
+// order it sent them and requires each result to echo the oldest
+// unanswered one: a cleanly lost frame (the chaos drop fault) then fails
+// the channel — the subtree's values re-lend — instead of silently
+// pairing every later result with the wrong value.
 func childDuplex(ch transport.Channel) pullstream.Duplex[payload, payload] {
+	var (
+		seqMu sync.Mutex
+		sent  []uint64 // seqs in flight to this child, oldest first
+	)
 	return pullstream.Duplex[payload, payload]{
 		Sink: func(src pullstream.Source[payload]) {
 			for {
@@ -309,6 +320,9 @@ func childDuplex(ch transport.Channel) pullstream.Duplex[payload, payload] {
 					}
 					return
 				}
+				seqMu.Lock()
+				sent = append(sent, a.v.seq)
+				seqMu.Unlock()
 				if err := ch.Send(&proto.Message{Type: proto.TypeInput, Seq: a.v.seq, Data: a.v.data}); err != nil {
 					return
 				}
@@ -332,6 +346,17 @@ func childDuplex(ch transport.Channel) pullstream.Duplex[payload, payload] {
 					if m.Err != "" {
 						ch.Close()
 						cb(&transport.WorkerError{Seq: m.Seq, Msg: m.Err}, zero)
+						return
+					}
+					seqMu.Lock()
+					ok := len(sent) > 0 && sent[0] == m.Seq
+					if ok {
+						sent = sent[1:]
+					}
+					seqMu.Unlock()
+					if !ok {
+						ch.Close()
+						cb(fmt.Errorf("overlay: result seq %d out of order (frame lost or reordered)", m.Seq), zero)
 						return
 					}
 					cb(nil, payload{seq: m.Seq, data: m.Data})

@@ -3,15 +3,17 @@ package proto
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// This file implements the '/pando/2.0.0' binary wire format. The outer
+// This file implements the '/pando/2.1.0' binary wire format. The outer
 // framing (4-byte big-endian body length) is shared with v1; the body is
 //
 //	magic byte 0xB2, then a sequence of fields:
 //	  tag byte with the high bit clear:  uvarint value      (numeric)
 //	  tag byte with the high bit set:    uvarint length + raw bytes
+//	then a 4-byte little-endian CRC32 (IEEE) of everything before it.
 //
 // Zero-valued fields are omitted, mirroring JSON's omitempty, and unknown
 // tags are skipped (the high bit tells a decoder how), so fields can be
@@ -19,13 +21,25 @@ import (
 // instead of strings, and Data travels as raw bytes — eliminating the
 // base64 inflation that dominated v1 frames carrying binary payloads.
 //
+// The CRC trailer (the 2.0 → 2.1 bump) exists because the chaos suite
+// injects byte-level drop and corruption on simulated links: without an
+// integrity check, a flipped bit inside a payload or a seq varint decodes
+// as a *valid* frame carrying wrong data, silently corrupting the output
+// stream — the one failure mode the crash-stop design cannot absorb. With
+// the trailer, any corruption surfaces as ErrBadFrame, the channel fails,
+// and the engine re-lends the peer's values: corruption degrades to a
+// crash, which the stack already tolerates. (v1 JSON has no trailer; it
+// remains the permissive legacy format.)
+//
 // Grouped batches (the Data field of inputs/results frames) get their own
 // compact encoding: magic 0xB3, uvarint item count, then per item a
-// uvarint payload length + payload and a uvarint error length + error.
+// uvarint payload length + payload and a uvarint error length + error;
+// batches ride inside a frame body, so the frame CRC covers them.
 
 const (
 	binMagic      = 0xB2 // first body byte of a v2 envelope
 	binBatchMagic = 0xB3 // first byte of a v2 batch payload
+	binCRCSize    = 4    // CRC32 trailer bytes at the end of a v2 body
 )
 
 // Field tags. The high bit selects the wire kind so unknown tags remain
@@ -70,7 +84,7 @@ var codeTypes = func() map[uint64]Type {
 	return m
 }()
 
-// binaryWire is the '/pando/2.0.0' WireFormat.
+// binaryWire is the '/pando/2.1.0' WireFormat.
 type binaryWire struct{}
 
 func (binaryWire) Name() string { return Version2 }
@@ -132,16 +146,27 @@ func encodeBinaryFrame(m *Message) []byte {
 	for _, f := range m.Functions {
 		b = appendString(b, tagFunc2, f)
 	}
-	return b
+	sum := crc32.ChecksumIEEE(b[4:])
+	return binary.LittleEndian.AppendUint32(b, sum)
 }
 
-// decodeBinaryBody parses a v2 body (including the magic byte).
+// decodeBinaryBody parses a v2 body (including the magic byte), verifying
+// the CRC trailer first so a corrupted frame fails the channel instead of
+// decoding into a plausible message with wrong content.
 func decodeBinaryBody(body []byte) (*Message, error) {
 	if len(body) == 0 || body[0] != binMagic {
 		return nil, fmt.Errorf("%w: missing v2 magic", ErrBadFrame)
 	}
+	if len(body) < 1+binCRCSize {
+		return nil, fmt.Errorf("%w: v2 body shorter than its CRC trailer", ErrBadFrame)
+	}
+	payload := body[:len(body)-binCRCSize]
+	sum := binary.LittleEndian.Uint32(body[len(body)-binCRCSize:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch (corrupted frame)", ErrBadFrame)
+	}
 	m := new(Message)
-	rest := body[1:]
+	rest := payload[1:]
 	for len(rest) > 0 {
 		tag := rest[0]
 		rest = rest[1:]

@@ -7,7 +7,7 @@
 //
 // Two wire formats share the same outer framing (a 4-byte big-endian body
 // length): '/pando/1.0.0' encodes the body as JSON, keeping the protocol
-// debuggable and mirroring the JavaScript original, while '/pando/2.0.0'
+// debuggable and mirroring the JavaScript original, while '/pando/2.1.0'
 // encodes it as binary tag-length-value fields with varint lengths and raw
 // payload bytes, removing the base64 inflation JSON imposes on []byte
 // payloads. Bodies are self-describing (a v2 body starts with a magic byte
@@ -33,7 +33,7 @@ const Version = "/pando/1.0.0"
 // Version2 tags the binary wire format: same message vocabulary, binary
 // tag-length-value envelope, raw payload bytes (no base64), varint
 // lengths, and binary grouped batches.
-const Version2 = "/pando/2.0.0"
+const Version2 = "/pando/2.1.0"
 
 // MaxFrameSize bounds a single frame. The paper notes a limitation on the
 // size of individual WebRTC messages in the simple-peer library (§5.1);

@@ -16,7 +16,7 @@ import (
 // writes.
 type WireFormat interface {
 	// Name is the protocol tag exchanged during negotiation
-	// ("/pando/1.0.0" or "/pando/2.0.0").
+	// ("/pando/1.0.0" or "/pando/2.1.0").
 	Name() string
 	// WriteFrame encodes m as one frame on w.
 	WriteFrame(w io.Writer, m *Message) error

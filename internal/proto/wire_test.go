@@ -2,10 +2,18 @@ package proto
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"reflect"
 	"testing"
 	"testing/quick"
 )
+
+// withCRC appends the v2 CRC trailer to a hand-built body so tests reach
+// the field-level validation behind the integrity check.
+func withCRC(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
 
 func fullMessage() *Message {
 	return &Message{
@@ -46,9 +54,9 @@ func TestBinaryFrameOmitsEmptyFields(t *testing.T) {
 	if err := V2.WriteFrame(&buf, &Message{Type: TypePing}); err != nil {
 		t.Fatal(err)
 	}
-	// 4-byte prefix + magic + tag + 1-byte type code.
-	if got := buf.Len(); got != 7 {
-		t.Fatalf("ping frame is %d bytes, want 7", got)
+	// 4-byte prefix + magic + tag + 1-byte type code + 4-byte CRC.
+	if got := buf.Len(); got != 11 {
+		t.Fatalf("ping frame is %d bytes, want 11", got)
 	}
 	m, err := V2.ReadFrame(&buf)
 	if err != nil {
@@ -125,9 +133,10 @@ func TestBinaryFrameTruncations(t *testing.T) {
 
 func TestBinaryBodyCorruptions(t *testing.T) {
 	cases := map[string][]byte{
-		"empty after magic ok but no type": {binMagic},
-		"bad varint":                       {binMagic, tagSeq, 0x80},
-		"length past end":                  {binMagic, tagData, 0x05, 'a'},
+		"empty after magic ok but no type": withCRC([]byte{binMagic}),
+		"bad varint":                       withCRC([]byte{binMagic, tagSeq, 0x80}),
+		"length past end":                  withCRC([]byte{binMagic, tagData, 0x05, 'a'}),
+		"no CRC trailer":                   {binMagic, tagType, 0x07},
 	}
 	for name, body := range cases {
 		if _, err := decodeBinaryBody(body); err == nil {
@@ -140,7 +149,7 @@ func TestBinaryBodyCorruptions(t *testing.T) {
 // kill the channel — it decodes to an opaque type the receive loops skip,
 // matching how v1 treats unknown type strings.
 func TestBinaryBodyUnknownTypeCode(t *testing.T) {
-	m, err := decodeBinaryBody([]byte{binMagic, tagType, 0x7F})
+	m, err := decodeBinaryBody(withCRC([]byte{binMagic, tagType, 0x7F}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +163,7 @@ func TestBinaryBodySkipsUnknownTags(t *testing.T) {
 	body = append(body, 0x70, 0x05)             // unknown numeric field
 	body = append(body, 0xF0, 0x02, 0xAA, 0xBB) // unknown length-delimited field
 	body = append(body, tagType, 0x07)          // ping
-	m, err := decodeBinaryBody(body)
+	m, err := decodeBinaryBody(withCRC(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,5 +314,28 @@ func BenchmarkWireEnvelope(b *testing.B) {
 			b.SetBytes(int64(frameLen))
 			b.ReportMetric(float64(frameLen), "wire-bytes/frame")
 		})
+	}
+}
+
+// TestBinaryFrameRejectsBitFlips is the chaos-suite regression for the
+// CRC trailer: flipping any single bit anywhere in a v2 frame (length
+// prefix included) must produce a read error, never a silently different
+// message — on the wire, corruption has to degrade to a connection
+// failure the crash-stop machinery already handles.
+func TestBinaryFrameRejectsBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{Type: TypeResult, Seq: 32, Data: []byte(`"s32-ok"`)}
+	if err := V2.WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 0; i < len(raw); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 1 << bit
+			if m, err := ReadFrame(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("byte %d bit %d flipped: decoded %+v instead of failing", i, bit, m)
+			}
+		}
 	}
 }

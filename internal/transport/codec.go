@@ -10,7 +10,7 @@ import "encoding"
 // own MarshalBinary/UnmarshalBinary.
 
 // RawCodec passes []byte payloads through untouched. Combined with the
-// '/pando/2.0.0' envelope the bytes appear on the wire verbatim — no
+// '/pando/2.1.0' envelope the bytes appear on the wire verbatim — no
 // JSON, no base64.
 type RawCodec struct{}
 

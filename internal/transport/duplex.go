@@ -51,7 +51,20 @@ func (e *WorkerError) Error() string {
 // Failure semantics: a channel error (including heartbeat timeout) or an
 // application error reported by the worker ends the Source with an error,
 // which the StreamLender converts into re-lending.
+//
+// The engine matches results to lent values FIFO, which is only sound if
+// the result stream mirrors the input stream one for one. Workers process
+// serially and echo each input's Seq, so the Seqs coming back must be
+// exactly 1, 2, 3, ... — any gap means a frame was lost in flight (or a
+// peer misbehaved) and the next result would be paired with the wrong
+// value, silently corrupting the output. The Source therefore enforces
+// contiguity and fails the channel on the first hole: the loss degrades
+// to a worker crash, every outstanding value is re-lent, and exactly-once
+// output survives. (The chaos suite's packet-drop fault is what forces
+// this: a cleanly dropped result frame leaves the stream parseable, so
+// only the Seq discipline can detect it.)
 func MasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullstream.Duplex[I, O] {
+	var got uint64 // last result Seq accepted, owned by the Source side
 	return pullstream.Duplex[I, O]{
 		Sink: func(src pullstream.Source[I]) {
 			var seq uint64
@@ -109,6 +122,12 @@ func MasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullstream.Du
 						cb(err, zero)
 						return
 					}
+					if m.Seq != got+1 {
+						ch.Close()
+						cb(fmt.Errorf("transport: result seq %d, want %d (frame lost or reordered)", m.Seq, got+1), zero)
+						return
+					}
+					got = m.Seq
 					v, err := out.Decode(m.Data)
 					if err != nil {
 						ch.Close()

@@ -17,8 +17,11 @@ import (
 
 // GroupedMasterDuplex is MasterDuplex speaking grouped frames: its Sink
 // consumes slices of inputs (one frame each) and its Source produces
-// slices of results.
+// slices of results. Like MasterDuplex, the Source enforces batch-Seq
+// contiguity so a cleanly lost frame fails the channel (re-lending the
+// outstanding values) instead of mispairing every later batch.
 func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullstream.Duplex[[]I, []O] {
+	var got uint64 // last batch Seq accepted, owned by the Source side
 	return pullstream.Duplex[[]I, []O]{
 		Sink: func(src pullstream.Source[[]I]) {
 			var seq uint64
@@ -79,6 +82,12 @@ func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullst
 				}
 				switch m.Type {
 				case proto.TypeResultBatch:
+					if m.Seq != got+1 {
+						ch.Close()
+						cb(fmt.Errorf("transport: result batch seq %d, want %d (frame lost or reordered)", m.Seq, got+1), nil)
+						return
+					}
+					got = m.Seq
 					items, err := proto.DecodeBatch(m.Data)
 					if err != nil {
 						ch.Close()

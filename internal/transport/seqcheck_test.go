@@ -1,0 +1,160 @@
+package transport
+
+// Regression tests for the duplex result-Seq discipline, forced by the
+// chaos suite's packet-drop fault: a result frame that vanishes cleanly
+// from the stream (no parse error, no desync) must fail the channel —
+// re-lending the worker's values — rather than let FIFO matching pair
+// every later result with the wrong value.
+
+import (
+	"strings"
+	"testing"
+
+	"pando/internal/netsim"
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+)
+
+// pump runs a duplex source once and returns its answer.
+func pump[O any](src pullstream.Source[O]) (O, error) {
+	type ans struct {
+		end error
+		v   O
+	}
+	ansc := make(chan ans, 1)
+	src(nil, func(end error, v O) { ansc <- ans{end, v} })
+	a := <-ansc
+	return a.v, a.end
+}
+
+// TestMasterDuplexDetectsDroppedResult: the worker answers inputs 1 and 2
+// but result 1 is lost in flight; the master must fail the channel at
+// result 2, not deliver f(2) as the answer to input 1.
+func TestMasterDuplexDetectsDroppedResult(t *testing.T) {
+	master, workerCh, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	d := MasterDuplex(master, JSONCodec[int]{}, JSONCodec[int]{})
+
+	// Feed two inputs through the sink.
+	inputs := []int{10, 20}
+	go d.Sink(func(abort error, cb pullstream.Callback[int]) {
+		if abort != nil || len(inputs) == 0 {
+			cb(pullstream.ErrDone, 0)
+			return
+		}
+		v := inputs[0]
+		inputs = inputs[1:]
+		cb(nil, v)
+	})
+
+	// Worker side: receive both inputs, "lose" the first result, answer
+	// only the second — the cleanly-dropped-frame scenario.
+	for i := 0; i < 2; i++ {
+		m, err := workerCh.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != proto.TypeInput {
+			t.Fatalf("worker received %q, want input", m.Type)
+		}
+		if m.Seq == 2 {
+			if err := workerCh.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Data: []byte(`400`)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	_, err := pump(d.Source)
+	if err == nil {
+		t.Fatal("source delivered a result despite the hole in the seq sequence")
+	}
+	if !strings.Contains(err.Error(), "frame lost") {
+		t.Fatalf("err = %v, want the frame-loss diagnosis", err)
+	}
+}
+
+// TestMasterDuplexAcceptsContiguousResults: the discipline must not
+// reject an honest serial worker.
+func TestMasterDuplexAcceptsContiguousResults(t *testing.T) {
+	master, workerCh, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	d := MasterDuplex(master, JSONCodec[int]{}, JSONCodec[int]{})
+
+	inputs := []int{1, 2, 3}
+	go d.Sink(func(abort error, cb pullstream.Callback[int]) {
+		if abort != nil || len(inputs) == 0 {
+			cb(pullstream.ErrDone, 0)
+			return
+		}
+		v := inputs[0]
+		inputs = inputs[1:]
+		cb(nil, v)
+	})
+	go func() {
+		for {
+			m, err := workerCh.Recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case proto.TypeInput:
+				_ = workerCh.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Data: m.Data})
+			case proto.TypeGoodbye:
+				_ = workerCh.Send(&proto.Message{Type: proto.TypeGoodbye})
+				return
+			}
+		}
+	}()
+
+	for want := 1; want <= 3; want++ {
+		v, err := pump(d.Source)
+		if err != nil {
+			t.Fatalf("result %d: %v", want, err)
+		}
+		if v != want {
+			t.Fatalf("result %d = %d", want, v)
+		}
+	}
+}
+
+// TestGroupedMasterDuplexDetectsDroppedBatch is the grouped-frame analog.
+func TestGroupedMasterDuplexDetectsDroppedBatch(t *testing.T) {
+	master, workerCh, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	d := GroupedMasterDuplex(master, JSONCodec[int]{}, JSONCodec[int]{})
+
+	batches := [][]int{{1, 2}, {3, 4}}
+	go d.Sink(func(abort error, cb pullstream.Callback[[]int]) {
+		if abort != nil || len(batches) == 0 {
+			cb(pullstream.ErrDone, nil)
+			return
+		}
+		v := batches[0]
+		batches = batches[1:]
+		cb(nil, v)
+	})
+
+	for i := 0; i < 2; i++ {
+		m, err := workerCh.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != proto.TypeInputBatch {
+			t.Fatalf("worker received %q, want input batch", m.Type)
+		}
+		if m.Seq == 2 {
+			data, err := workerCh.Wire().EncodeBatch([]proto.BatchItem{{D: []byte(`9`)}, {D: []byte(`16`)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := workerCh.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Data: data}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	_, err := pump(d.Source)
+	if err == nil {
+		t.Fatal("source delivered a batch despite the hole in the seq sequence")
+	}
+	if !strings.Contains(err.Error(), "frame lost") {
+		t.Fatalf("err = %v, want the frame-loss diagnosis", err)
+	}
+}

@@ -32,6 +32,12 @@ type RTCAnswerer struct {
 	pending map[string]chan Channel // nonce -> delivery
 	closed  bool
 
+	// wg tracks the signal/accept loops and per-connection establishment
+	// goroutines; incoming closes once they all exit, so range loops over
+	// Incoming() (master ServeRTC) terminate after Close instead of
+	// leaking.
+	wg sync.WaitGroup
+
 	// Incoming delivers fully established peer channels.
 	incoming chan Channel
 }
@@ -39,7 +45,8 @@ type RTCAnswerer struct {
 // NewRTCAnswerer starts answering offers received on signal, instructing
 // peers to connect directly to acc's address. The caller must already have
 // joined the signalling relay (JoinSignal). Established channels are
-// delivered on Incoming().
+// delivered on Incoming(), which closes after Close (or after both the
+// signalling channel and the acceptor fail).
 func NewRTCAnswerer(signal Channel, acc Acceptor, cfg Config) *RTCAnswerer {
 	a := &RTCAnswerer{
 		signal:   signal,
@@ -48,12 +55,15 @@ func NewRTCAnswerer(signal Channel, acc Acceptor, cfg Config) *RTCAnswerer {
 		pending:  make(map[string]chan Channel),
 		incoming: make(chan Channel, 16),
 	}
-	go a.signalLoop()
-	go a.acceptLoop()
+	a.wg.Add(2)
+	go func() { defer a.wg.Done(); a.signalLoop() }()
+	go func() { defer a.wg.Done(); a.acceptLoop() }()
+	go func() { a.wg.Wait(); close(a.incoming) }()
 	return a
 }
 
-// Incoming delivers established peer channels.
+// Incoming delivers established peer channels. The channel closes once
+// the answerer stops (Close, or signalling and acceptor both gone).
 func (a *RTCAnswerer) Incoming() <-chan Channel { return a.incoming }
 
 // Close stops answering.
@@ -99,7 +109,9 @@ func (a *RTCAnswerer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		a.wg.Add(1)
 		go func() {
+			defer a.wg.Done()
 			ch := NewWSock(conn, a.cfg)
 			m, err := ch.Recv()
 			if err != nil {
