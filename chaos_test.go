@@ -195,11 +195,19 @@ func runChaosStack(t *testing.T, seed int64) {
 		return pipe
 	}
 
+	// Job A also runs with a tiny memory bound and a spill segment, so
+	// every chaos scenario exercises the bounded-memory reorder path —
+	// out-of-order bursts page through the spill store and must still
+	// come out exactly-once, in order, byte-identical across the
+	// kill+restart. The spill file is transient: the restarted master
+	// recreates it from scratch (durability is the checkpoint's job).
+	spillPath := filepath.Join(t.TempDir(), "chaos.spill")
 	mapA := func() *pando.Pando[int, int] {
 		return pando.Map(pool, nameA, fA,
 			pando.WithAdaptiveLimit(1, 8),
 			pando.WithSpeculation(2.0),
 			pando.WithCheckpoint(ckpt), pando.WithResume(), pando.WithFsyncInterval(5*time.Millisecond),
+			pando.WithMemoryBound(4), pando.WithSpill(spillPath),
 			pando.WithChannelConfig(hb),
 			pando.WithoutRegistry())
 	}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,11 +40,46 @@ func main() {
 		jrnOut    = flag.String("journal-out", "BENCH_journal.json", "where -journal persists its results")
 		poolExp   = flag.Bool("pool", false, "measure shared-fleet vs dedicated-masters on two concurrent jobs")
 		poolOut   = flag.String("pool-out", "BENCH_pool.json", "where -pool persists its results")
+		hotExp    = flag.Bool("hotpath", false, "measure the pooled codec + coalescing data plane against the pre-pooling baseline")
+		hotOut    = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath persists its results")
+		hotFleets = flag.String("hotpath-fleets", "1000,10000", "comma-separated netsim worker counts for -hotpath")
+		hotPer    = flag.Int("hotpath-items", 50, "items per worker for each -hotpath fleet (enough stream to reach the steady state the arena is built for)")
+		hotPay    = flag.Int("hotpath-payload", 16384, "payload bytes per item for -hotpath (default: one 128x128 grayscale imgproc tile)")
+		hotReps   = flag.Int("hotpath-reps", 3, "baseline/pooled pairs per -hotpath fleet cell (median-speedup pair is reported)")
+		hotOne    = flag.String("hotpath-one", "", "internal: run one fleet measurement (\"workers,items,payload,pooled\") and print items/sec")
 		items     = flag.Int("items", 400, "work items per cell")
 		timeScale = flag.Float64("timescale", bench.DefaultTimeScale, "time compression factor")
 	)
 	flag.Parse()
 	opt := bench.Options{Items: *items, TimeScale: *timeScale}
+
+	// Child mode for -hotpath: run exactly one fleet measurement and
+	// print the rate. The parent re-executes itself per measurement so
+	// every run starts from a pristine runtime — a fleet leaves tens of
+	// thousands of dead goroutine stacks and an inflated heap target
+	// behind, which would otherwise bleed into the next measurement.
+	if *hotOne != "" {
+		parts := strings.Split(*hotOne, ",")
+		if len(parts) != 4 {
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -hotpath-one %q\n", *hotOne)
+			os.Exit(1)
+		}
+		w, err1 := strconv.Atoi(parts[0])
+		it, err2 := strconv.Atoi(parts[1])
+		pay, err3 := strconv.Atoi(parts[2])
+		pooled, err4 := strconv.ParseBool(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -hotpath-one %q\n", *hotOne)
+			os.Exit(1)
+		}
+		rate, err := bench.RunHotpathProfile(w, it, pay, pooled)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%f\n", rate)
+		return
+	}
 
 	ran := false
 	if *table == 2 {
@@ -185,8 +222,63 @@ func main() {
 		fmt.Printf("results written to %s\n", *poolOut)
 	}
 
+	if *hotExp {
+		ran = true
+		var fleets []int
+		for _, f := range strings.Split(*hotFleets, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "pando-bench: bad -hotpath-fleets entry %q\n", f)
+				os.Exit(1)
+			}
+			fleets = append(fleets, n)
+		}
+		if *hotReps > 0 {
+			bench.HotpathReps = *hotReps
+		}
+		cmp, err := bench.RunHotpathWith(fleets, *hotPer, *hotPay, freshProcessRun)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		bench.RenderHotpath(os.Stdout, cmp)
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*hotOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *hotOut)
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// freshProcessRun executes one -hotpath fleet measurement in a child
+// process (this same binary with -hotpath-one) and parses the rate it
+// prints. Falls back to an in-process run if the executable path is
+// unavailable.
+func freshProcessRun(workers, items, payload int, pooled bool) (float64, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return bench.RunHotpathProfile(workers, items, payload, pooled)
+	}
+	arg := fmt.Sprintf("%d,%d,%d,%t", workers, items, payload, pooled)
+	cmd := exec.Command(exe, "-hotpath-one", arg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("hotpath child %s: %w", arg, err)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(string(out)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("hotpath child %s: bad output %q", arg, out)
+	}
+	return rate, nil
 }

@@ -29,16 +29,26 @@ import (
 	"sync"
 
 	"pando/internal/journal"
+	"pando/internal/pprofserve"
 	"pando/internal/transport"
 )
 
 func main() {
 	var (
-		port = flag.Int("port", 9000, "TCP port to listen on")
-		ckpt = flag.String("checkpoint", "", "journal peer registrations to this file, surviving relay restarts")
-		pool = flag.Bool("pool", false, "shared-fleet mode: assign anonymous volunteers to registered masters")
+		port  = flag.Int("port", 9000, "TCP port to listen on")
+		ckpt  = flag.String("checkpoint", "", "journal peer registrations to this file, surviving relay restarts")
+		pool  = flag.Bool("pool", false, "shared-fleet mode: assign anonymous volunteers to registered masters")
+		pprof = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		if err := pprofserve.Serve(*pprof); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-server:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pando-server: pprof at http://%s/debug/pprof/\n", *pprof)
+	}
 
 	srv := transport.NewSignalServer()
 	if *pool {

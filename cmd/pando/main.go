@@ -24,6 +24,7 @@ import (
 	"pando/internal/journal"
 	"pando/internal/master"
 	"pando/internal/netsim"
+	"pando/internal/pprofserve"
 	"pando/internal/pullstream"
 	"pando/internal/transport"
 	"pando/internal/worker"
@@ -49,6 +50,9 @@ func run() error {
 		report   = fs.Bool("report", false, "print periodic per-device throughput on stderr")
 		ckpt     = fs.String("checkpoint", "", "journal completed results to this file; restarting with the same flag and inputs resumes instead of redoing work")
 		fsync    = fs.Duration("fsync", 0, "checkpoint fsync batching interval (0: default 100ms; negative: every record)")
+		window   = fs.Int("window", 0, "bound buffered results to this many; past it input reads pause (or overflow spills, with -spill)")
+		spill    = fs.String("spill", "", "with -window: page far-ahead results to this transient file instead of pausing input reads")
+		pprofArg = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: pando <function> [flags] [inputs...]")
@@ -98,6 +102,21 @@ func run() error {
 				"(feed the same inputs; completed ones are replayed, not recomputed)\n", *ckpt, n)
 		}
 		cfg.Journal = j
+	}
+	cfg.SpillHighWater = *window
+	if *spill != "" && *window > 0 {
+		s, err := journal.OpenSpill(*spill)
+		if err != nil {
+			return fmt.Errorf("open spill: %w", err)
+		}
+		defer s.Close()
+		cfg.Spill = s
+	}
+	if *pprofArg != "" {
+		if err := pprofserve.Serve(*pprofArg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pprof at http://%s/debug/pprof/\n", *pprofArg)
 	}
 	m := master.New[string, json.RawMessage](cfg, stringCodec{}, rawCodec{})
 

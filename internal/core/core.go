@@ -101,6 +101,27 @@ func (d *DistributedMap[I, O]) OnResult(fn func(idx int, v O)) {
 	d.l.OnResult(fn)
 }
 
+// BoundMemory caps the engine's buffered-result window at hw results.
+// With a store attached (see lender.SetSpill semantics), ordered results
+// past the window page out to it and come back exactly when the output
+// cursor reaches them; with store == nil the bound propagates as
+// backpressure that pauses input reads, so a slow output consumer slows
+// the whole pipeline instead of growing the reorder buffer without limit.
+// enc/dec map results to stored payloads and may be nil when store is.
+// Call before Bind.
+func (d *DistributedMap[I, O]) BoundMemory(hw int, store lender.SpillStore, enc func(O) ([]byte, error), dec func([]byte) (O, error)) {
+	d.l.SetHighWater(hw)
+	if store != nil {
+		d.l.SetSpill(store, enc, dec)
+	}
+}
+
+// MemStats reports buffered results on the heap and parked in the spill
+// store.
+func (d *DistributedMap[I, O]) MemStats() (heap, spilled int) {
+	return d.l.MemStats()
+}
+
 // New creates an idle engine.
 func New[I, O any](opts ...Option) *DistributedMap[I, O] {
 	cfg := config{policy: sched.Static(2), ordered: true}

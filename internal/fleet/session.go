@@ -314,10 +314,12 @@ func (s *session) dismiss() {
 // fails (the worker replies goodbye and closes), pruning the worker set.
 func (s *session) reap() {
 	for {
-		if _, err := s.ch.Recv(); err != nil {
+		m, err := s.ch.Recv()
+		if err != nil {
 			s.pool.sessionGone(s)
 			return
 		}
+		proto.Release(m)
 	}
 }
 
@@ -338,6 +340,8 @@ func (s *session) pump() {
 		case stateLeased:
 			if l != nil {
 				l.deliver(m)
+			} else {
+				proto.Release(m)
 			}
 		case stateReclaiming:
 			if m.Type == proto.TypeReassign {
@@ -345,9 +349,11 @@ func (s *session) pump() {
 			}
 			// Anything else is a result of the previous job racing the
 			// barrier; the engine already re-lends those values.
+			proto.Release(m)
 		default:
 			// Parked or dismissing: stray frames (late results, goodbye
-			// replies) are dropped.
+			// replies) are dropped — back into the arena.
+			proto.Release(m)
 		}
 	}
 }
@@ -380,11 +386,13 @@ func newLease(s *session, job Job) *lease {
 	}
 }
 
-// deliver routes one inbound frame to the job; ended leases drop it.
+// deliver routes one inbound frame to the job; ended leases drop it
+// (back into the arena — nobody will Recv it).
 func (l *lease) deliver(m *proto.Message) {
 	select {
 	case l.inbox <- m:
 	case <-l.done:
+		proto.Release(m)
 	}
 }
 
@@ -460,6 +468,36 @@ func (l *lease) Send(m *proto.Message) error {
 	return l.s.ch.Send(m)
 }
 
+// SendBatch forwards a coalesced batch of job frames to the worker in one
+// vectored write. A trailing goodbye (the only place the coalescing
+// duplex puts one) is split off and intercepted exactly like Send's, so
+// lease release semantics survive batching.
+func (l *lease) SendBatch(ms []*proto.Message) error {
+	n := len(ms)
+	goodbye := n > 0 && ms[n-1].Type == proto.TypeGoodbye
+	if goodbye {
+		ms = ms[:n-1]
+	}
+	if len(ms) > 0 {
+		l.s.sendMu.Lock()
+		if l.ended() {
+			l.s.sendMu.Unlock()
+			return transport.ErrChannelClosed
+		}
+		err := transport.SendAll(l.s.ch, ms)
+		l.s.sendMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if goodbye {
+		return l.Send(&proto.Message{Type: proto.TypeGoodbye})
+	}
+	return nil
+}
+
+var _ transport.BatchSender = (*lease)(nil)
+
 // Close ends the job's use of the worker without closing the connection:
 // the pool reclaims the device and routes it to another open job, or
 // closes the connection for real when none exists (the old behavior for
@@ -499,6 +537,12 @@ func (w *watchedChannel) Recv() (*proto.Message, error) {
 		go w.s.reap()
 	}
 	return m, nil
+}
+
+// SendBatch forwards a batch to the wrapped channel's vectored path (or
+// degrades to per-frame sends when the inner channel has none).
+func (w *watchedChannel) SendBatch(ms []*proto.Message) error {
+	return transport.SendAll(w.Channel, ms)
 }
 
 func (w *watchedChannel) Close() error {

@@ -1,0 +1,132 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSpillPutLoadForget(t *testing.T) {
+	s, err := OpenSpill(filepath.Join(t.TempDir(), "spill.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := s.Put(i, []byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	// Random-access loads, out of append order.
+	for i := n - 1; i >= 0; i-- {
+		got, err := s.Load(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("payload-%03d", i); string(got) != want {
+			t.Fatalf("Load(%d) = %q, want %q", i, got, want)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.Forget(i)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after forgetting all = %d", s.Len())
+	}
+	// Draining the store must truncate the segment.
+	if s.Bytes() != 0 {
+		t.Fatalf("Bytes after drain = %d, want 0", s.Bytes())
+	}
+	if _, err := s.Load(3); !errors.Is(err, ErrNotSpilled) {
+		t.Fatalf("Load after Forget: %v, want ErrNotSpilled", err)
+	}
+}
+
+func TestSpillDedupsAndIgnoresReSpill(t *testing.T) {
+	s, err := OpenSpill(filepath.Join(t.TempDir(), "spill.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(7, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(7, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("first")) {
+		t.Fatalf("re-spill overwrote: %q", got)
+	}
+}
+
+func TestSpillDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.seg")
+	s, err := OpenSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	payload := bytes.Repeat([]byte{0x5A}, 128)
+	if err := s.Put(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte on disk behind the store's back.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xA5}, 10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := s.Load(1); err == nil {
+		t.Fatal("Load returned corrupted payload without error")
+	}
+}
+
+func TestSpillCloseRemovesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.seg")
+	s, err := OpenSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("spill file still exists after Close: %v", err)
+	}
+	if err := s.Put(2, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSpillTruncatesExistingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.seg")
+	if err := os.WriteFile(path, []byte("stale garbage from a previous run"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Bytes() != 0 || s.Len() != 0 {
+		t.Fatalf("stale state survived open: %d bytes, %d refs", s.Bytes(), s.Len())
+	}
+}

@@ -94,6 +94,18 @@ type Lender[I, O any] struct {
 	// results are discarded on arrival.
 	spec map[int]*specState
 
+	// Memory bounding (SetHighWater/SetSpill). highWater caps how many
+	// buffered results the lender holds on the heap; beyond it, ordered
+	// results far ahead of the output cursor move to the spill store when
+	// one is attached, and fresh input reads pause otherwise (output
+	// backpressure propagating all the way to the input source).
+	highWater   int
+	spill       SpillStore
+	spillEnc    func(O) ([]byte, error)
+	spillDec    func([]byte) (O, error)
+	spilled     map[int]struct{} // indices parked in the spill store
+	spillBroken bool             // a Put failed; stop spilling, keep correctness
+
 	waiters []waiter[I] // parked sub-stream asks, FIFO
 	out     *outAsk[O]  // parked output ask (at most one)
 
@@ -135,6 +147,106 @@ func New[I, O any](opts ...Option) *Lender[I, O] {
 	}
 }
 
+// SpillStore is the overflow segment the lender parks far-ahead results
+// in when the reorder buffer exceeds the high-water mark. It is the
+// byte-level subset of journal.SpillStore the lender needs; payloads are
+// produced and consumed through the encode/decode pair given to SetSpill.
+type SpillStore interface {
+	Put(idx int, payload []byte) error
+	Load(idx int) ([]byte, error)
+	Forget(idx int)
+}
+
+// SetHighWater bounds the lender's buffered-result memory at hw results.
+// In ordered mode the bound applies to the reorder buffer: past it,
+// results whose index is farthest ahead of the output cursor spill to the
+// attached store (SetSpill), or — with no store — fresh input reads pause
+// until the output consumer catches up. In unordered mode there is
+// nothing to reorder, so the bound is pure backpressure on the ready
+// queue. hw <= 0 (the default) disables the bound. Call before Bind.
+func (l *Lender[I, O]) SetHighWater(hw int) {
+	l.mu.Lock()
+	l.highWater = hw
+	l.mu.Unlock()
+}
+
+// SetSpill attaches an overflow store for ordered results beyond the
+// high-water mark, with the encode/decode pair that maps results to
+// stored payloads. Spilled results return to the heap exactly when the
+// output stream reaches their index; a store that fails to load back
+// fails the output stream (the payload is gone, exactly-once emission
+// cannot be preserved by recomputing silently). Call before Bind.
+func (l *Lender[I, O]) SetSpill(store SpillStore, enc func(O) ([]byte, error), dec func([]byte) (O, error)) {
+	l.mu.Lock()
+	l.spill = store
+	l.spillEnc = enc
+	l.spillDec = dec
+	if l.spilled == nil {
+		l.spilled = make(map[int]struct{})
+	}
+	l.mu.Unlock()
+}
+
+// MemStats reports the reorder state: results buffered on the heap and
+// results parked in the spill store. The long-stream memory-bound tests
+// watch these.
+func (l *Lender[I, O]) MemStats() (heap, spilled int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ordered {
+		return len(l.results), len(l.spilled)
+	}
+	return len(l.ready), 0
+}
+
+// saturatedLocked reports whether fresh input reads should pause: the
+// buffered-result bound is hit and no spill store absorbs the overflow.
+// Re-lending from the failed queue is never gated — a gated re-lend could
+// deadlock the stream behind the very straggler whose value must be
+// re-lent to make the output advance.
+func (l *Lender[I, O]) saturatedLocked() bool {
+	if l.highWater <= 0 {
+		return false
+	}
+	if !l.ordered {
+		return len(l.ready) >= l.highWater
+	}
+	if l.spill != nil && !l.spillBroken {
+		return false // the spill store bounds the heap instead
+	}
+	return len(l.results) >= l.highWater
+}
+
+// maybeSpillLocked moves the farthest-ahead buffered results to the spill
+// store until the heap is back under the high-water mark. The results
+// nearest the output cursor stay in memory, so the common case — the
+// consumer draining in order — never touches disk. A failed Put turns
+// spilling off and degrades to read gating; the result stays on the heap
+// and correctness is unaffected.
+func (l *Lender[I, O]) maybeSpillLocked() {
+	if l.spill == nil || l.spillBroken || l.highWater <= 0 || !l.ordered {
+		return
+	}
+	for len(l.results) > l.highWater {
+		max := -1
+		for idx := range l.results {
+			if idx > max {
+				max = idx
+			}
+		}
+		payload, err := l.spillEnc(l.results[max])
+		if err == nil {
+			err = l.spill.Put(max, payload)
+		}
+		if err != nil {
+			l.spillBroken = true
+			return
+		}
+		delete(l.results, max)
+		l.spilled[max] = struct{}{}
+	}
+}
+
 // Restore marks completed indices recovered from a durable checkpoint:
 // their values are skipped at the input (consumed, never lent) and their
 // results are replayed to the output exactly once, in index order,
@@ -152,6 +264,9 @@ func (l *Lender[I, O]) Restore(completed map[int]O) {
 			l.done[idx] = true
 			l.results[idx] = v
 		}
+		// A large restored set is exactly the far-ahead overflow the
+		// spill store exists for: page it out before replay begins.
+		l.maybeSpillLocked()
 		return
 	}
 	// Unordered mode has no reorder buffer: replay in index order first,
@@ -413,6 +528,7 @@ func (l *Lender[I, O]) resultLocked(s *SubStream, v O) []func() {
 	l.pending--
 	if l.ordered {
 		l.results[item.idx] = v
+		l.maybeSpillLocked()
 	} else {
 		l.ready = append(l.ready, v)
 	}
@@ -569,8 +685,12 @@ func (l *Lender[I, O]) serviceLocked() []func() {
 			// available (e.g. channel-backed sources), and the goroutine
 			// that triggered this service step may be needed elsewhere
 			// in the meantime (it might even be the one that will
-			// produce the input).
-			if !l.reading && l.input != nil {
+			// produce the input). Fresh reads pause while the buffered
+			// results sit at the high-water mark (saturatedLocked) — the
+			// backpressure that keeps a slow output consumer from turning
+			// the reorder buffer into O(stream) state. Re-lending above
+			// is never gated, so stragglers still resolve.
+			if !l.reading && l.input != nil && !l.saturatedLocked() {
 				l.reading = true
 				actions = append(actions, func() { go l.input(nil, l.inputAnswer) })
 			}
@@ -657,7 +777,7 @@ func (l *Lender[I, O]) completeLocked() bool {
 		return false
 	}
 	if l.ordered {
-		return len(l.results) == 0
+		return len(l.results) == 0 && len(l.spilled) == 0
 	}
 	return len(l.ready) == 0
 }
@@ -669,7 +789,25 @@ func (l *Lender[I, O]) serveOutputLocked() []func() {
 	}
 	cb := l.out.cb
 	if l.ordered {
-		if _, ok := l.results[l.nextOut]; !ok && l.inEnd != nil && l.pending == 0 && len(l.results) > 0 {
+		if _, ok := l.results[l.nextOut]; !ok {
+			if _, sp := l.spilled[l.nextOut]; sp {
+				// The next result was paged out; bring it back. A store
+				// that cannot return the payload fails the stream —
+				// the result is gone and exactly-once ordered emission
+				// cannot be silently preserved.
+				v, err := l.unspillLocked(l.nextOut)
+				if err != nil {
+					l.out = nil
+					l.outDone = true
+					return []func(){func() {
+						var zero O
+						cb(err, zero)
+					}}
+				}
+				l.results[l.nextOut] = v
+			}
+		}
+		if _, ok := l.results[l.nextOut]; !ok && l.inEnd != nil && l.pending == 0 && (len(l.results) > 0 || len(l.spilled) > 0) {
 			// Every in-flight value is answered yet the next slot is
 			// empty: the remaining results are checkpoint-restored
 			// leftovers past the end of a (shorter) resumed input. Skip
@@ -681,7 +819,24 @@ func (l *Lender[I, O]) serveOutputLocked() []func() {
 					min = idx
 				}
 			}
+			for idx := range l.spilled {
+				if min < 0 || idx < min {
+					min = idx
+				}
+			}
 			l.nextOut = min
+			if _, sp := l.spilled[l.nextOut]; sp {
+				v, err := l.unspillLocked(l.nextOut)
+				if err != nil {
+					l.out = nil
+					l.outDone = true
+					return []func(){func() {
+						var zero O
+						cb(err, zero)
+					}}
+				}
+				l.results[l.nextOut] = v
+			}
 		}
 		if v, ok := l.results[l.nextOut]; ok {
 			delete(l.results, l.nextOut)
@@ -761,7 +916,27 @@ func (l *Lender[I, O]) outputSource(abort error, cb pullstream.Callback[O]) {
 		return
 	}
 	l.out = &outAsk[O]{cb: cb}
-	actions := l.serveOutputLocked()
+	// A full service step, not just output delivery: emitting a result
+	// shrinks the buffered window, which is what lets saturation-gated
+	// input reads resume — the release edge of the backpressure loop.
+	actions := l.serviceLocked()
 	l.mu.Unlock()
 	run(actions)
+}
+
+// unspillLocked loads one spilled result back from the store. The caller
+// holds mu; the load is a CRC-checked page-cache read.
+func (l *Lender[I, O]) unspillLocked(idx int) (O, error) {
+	var zero O
+	payload, err := l.spill.Load(idx)
+	if err != nil {
+		return zero, err
+	}
+	v, err := l.spillDec(payload)
+	if err != nil {
+		return zero, err
+	}
+	delete(l.spilled, idx)
+	l.spill.Forget(idx)
+	return v, nil
 }

@@ -12,6 +12,7 @@ import (
 	"pando/internal/core"
 	"pando/internal/fleet"
 	"pando/internal/journal"
+	"pando/internal/lender"
 	"pando/internal/proto"
 	"pando/internal/pullstream"
 	"pando/internal/sched"
@@ -60,6 +61,30 @@ type Config struct {
 	// resumes instead of redoing work. The caller owns the journal's
 	// lifecycle (Close it after the master).
 	Journal *journal.Journal
+	// SpillHighWater, when > 0, bounds the master's buffered-result
+	// window (the lender's reorder buffer in ordered mode, the ready
+	// queue otherwise) at that many results. Without a Spill store the
+	// bound propagates as backpressure — input reads pause until the
+	// output consumer catches up — so an arbitrarily long stream holds
+	// O(window) master state. Counted in lending units: values for the
+	// plain engine, groups when Group > 1.
+	SpillHighWater int
+	// Spill, when non-nil with SpillHighWater > 0, absorbs the ordered
+	// overflow instead: results past the window page out to the store
+	// (encoded with the output codec) and page back exactly when the
+	// output reaches their index, keeping the input side running at full
+	// speed ahead of a slow consumer. The caller owns the store's
+	// lifecycle (Close it after the master).
+	Spill *journal.SpillStore
+}
+
+// spillStore adapts the optional config store to the engine's interface
+// without producing a typed-nil interface value.
+func (c Config) spillStore() lender.SpillStore {
+	if c.Spill == nil {
+		return nil
+	}
+	return c.Spill
 }
 
 func (c Config) batch() int {
@@ -184,7 +209,13 @@ func (e *plainEngine[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] 
 }
 
 func (e *plainEngine[I, O]) AttachChannel(name string, ch transport.Channel) error {
-	return e.d.Attach(name, transport.MasterDuplex(ch, e.in, e.out))
+	// Coalescing data plane: values pulled while a send syscall is in
+	// flight accumulate and leave as one vectored write. The pending run
+	// is naturally sized by the live credit window — the scheduler's gate
+	// precedes every pull — so a wide window coalesces aggressively and a
+	// clamped one degenerates to frame-per-value, with no extra latency
+	// in either case (an idle sender flushes a lone value immediately).
+	return e.d.Attach(name, transport.CoalescingMasterDuplex(ch, e.in, e.out))
 }
 
 func (e *plainEngine[I, O]) Stats() (int, int, int, int) { return e.d.Stats() }
@@ -268,6 +299,11 @@ func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O])
 			d.Restore(m.groupedRestore())
 			d.OnResult(m.groupedRecord())
 		}
+		if cfg.SpillHighWater > 0 {
+			d.BoundMemory(cfg.SpillHighWater, cfg.spillStore(),
+				func(vs []O) ([]byte, error) { return encodeGroup(out, vs) },
+				func(b []byte) ([]O, error) { return decodeGroup(out, b) })
+		}
 		m.engine = &groupedEngine[I, O]{
 			group: cfg.Group,
 			d:     d,
@@ -284,6 +320,9 @@ func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O])
 	if cfg.Journal != nil {
 		d.Restore(m.plainRestore())
 		d.OnResult(m.plainRecord())
+	}
+	if cfg.SpillHighWater > 0 {
+		d.BoundMemory(cfg.SpillHighWater, cfg.spillStore(), out.Encode, out.Decode)
 	}
 	m.engine = &plainEngine[I, O]{d: d, in: in, out: out}
 	return m

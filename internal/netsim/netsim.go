@@ -103,7 +103,23 @@ type Pipe struct {
 type chunk struct {
 	data      []byte
 	deliverAt time.Time
+	// buf, when non-nil, is the chunkPool buffer backing data; the
+	// deliverer returns it to the pool after the write. Chunks that
+	// passed through a fault hook carry no buf: the hook may have
+	// swapped or retained the slice.
+	buf *[]byte
 }
+
+// chunkPool recycles relay chunk buffers. Every chunk is at most
+// relayBufSize, so one size class covers all of them; without the pool a
+// busy fleet allocates (and the runtime zeroes) one fresh buffer per
+// write, which at tens of thousands of simulated pipes is the dominant
+// GC load of the simulation rather than of the system under test.
+var chunkPool = sync.Pool{
+	New: func() any { b := make([]byte, relayBufSize); return &b },
+}
+
+const relayBufSize = 32 * 1024
 
 // NewPipe creates a connected pair of endpoints joined by link l. The
 // pipe's jitter generator is seeded from l.Seed (zero selects a fixed
@@ -163,17 +179,19 @@ func dirIdx(aToB bool) int {
 	return dirBtoA
 }
 
-// mangle applies the direction's current fault state to one chunk.
-func (p *Pipe) mangle(dir int, data []byte) ([]byte, bool, time.Duration) {
+// mangle applies the direction's current fault state to one chunk. The
+// clean return reports whether the bytes passed through untouched by any
+// hook (and so may keep riding a pooled buffer).
+func (p *Pipe) mangle(dir int, data []byte) (out []byte, ok, clean bool, extra time.Duration) {
 	p.faultMu.Lock()
 	f := p.fault[dir]
-	extra := p.extra[dir]
+	extra = p.extra[dir]
 	p.faultMu.Unlock()
 	if f == nil {
-		return data, true, extra
+		return data, true, true, extra
 	}
-	out, ok := f(data)
-	return out, ok, extra
+	out, ok = f(data)
+	return out, ok, false, extra
 }
 
 // gate blocks while the link is paused.
@@ -234,7 +252,13 @@ func (p *Pipe) Cut() {
 // the direction's fault state. The gate blocks while the link is paused.
 func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 	closed := p.closed
-	inFlight := make(chan chunk, 4096)
+	// The in-flight queue bounds how much data the link buffers beyond
+	// what the endpoints' own pipes hold; past it the writer blocks, which
+	// is ordinary network backpressure. Keep it modest: chunk headers
+	// carry pointers, so with tens of thousands of simulated pipes alive a
+	// deep preallocated queue per relay direction costs gigabytes of
+	// zeroed, GC-scanned channel buffer that dwarfs the traffic itself.
+	inFlight := make(chan chunk, 256)
 
 	// Deliverer: writes chunks at their delivery time, in order.
 	var wg sync.WaitGroup
@@ -253,7 +277,11 @@ func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 				}
 			}
 			p.gate()
-			if _, err := dst.Write(c.data); err != nil {
+			_, err := dst.Write(c.data)
+			if c.buf != nil {
+				chunkPool.Put(c.buf)
+			}
+			if err != nil {
 				return
 			}
 		}
@@ -263,10 +291,13 @@ func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 
 	// Reader: stamps each chunk with its delivery time at read time so
 	// later chunks propagate while earlier ones are still in flight.
+	// Each read lands directly in a pooled chunk buffer — no per-chunk
+	// allocation or copy on the clean path; the deliverer recycles the
+	// buffer once the bytes are written out the far end.
 	var busyUntil time.Time
-	buf := make([]byte, 32*1024)
 	for {
-		n, err := src.Read(buf)
+		bp := chunkPool.Get().(*[]byte)
+		n, err := src.Read(*bp)
 		if n > 0 {
 			now := time.Now()
 			start := now
@@ -280,19 +311,28 @@ func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 			// Transmission occupies the link whether or not the chunk is
 			// then lost — a dropped packet still burned the bandwidth.
 			busyUntil = start.Add(tx)
-			data := make([]byte, n)
-			copy(data, buf[:n])
-			data, deliver, extra := p.mangle(dir, data)
+			data, deliver, clean, extra := p.mangle(dir, (*bp)[:n])
+			owner := bp
+			if !clean {
+				// A fault hook saw (and may retain or have replaced) the
+				// buffer; let the GC have it rather than risk recycling
+				// bytes still aliased somewhere.
+				owner = nil
+			}
 			if deliver {
 				delay := l.Latency + extra + p.jitter(l.Jitter)
 				select {
-				case inFlight <- chunk{data: data, deliverAt: busyUntil.Add(delay)}:
+				case inFlight <- chunk{data: data, deliverAt: busyUntil.Add(delay), buf: owner}:
 				case <-closed:
 					close(inFlight)
 					wg.Wait()
 					return
 				}
+			} else if owner != nil {
+				chunkPool.Put(owner)
 			}
+		} else {
+			chunkPool.Put(bp)
 		}
 		if err != nil {
 			close(inFlight)

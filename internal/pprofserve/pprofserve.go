@@ -1,0 +1,32 @@
+// Package pprofserve starts the standard net/http/pprof endpoint for the
+// long-running commands. Profiling the hot path (allocations, mutex
+// contention in the codec arena, syscall time in the vectored writer) is
+// how the zero-alloc work is validated against a live deployment rather
+// than only under `go test -bench`.
+package pprofserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve exposes the pprof index, profile, heap, and friends at
+// http://addr/debug/pprof/ in a background goroutine. It binds before
+// returning so a bad address fails fast at startup instead of silently
+// leaving the deployment unprofilable.
+func Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
+}

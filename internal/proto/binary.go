@@ -115,13 +115,34 @@ func appendString(b []byte, tag byte, v string) []byte {
 	return append(b, v...)
 }
 
-// encodeBinaryFrame serializes m as a complete v2 frame, reserving the
-// 4-byte length prefix at the head of the same buffer so WriteFrame needs
-// no second allocation-and-copy to prepend it.
+// binaryFrameSize estimates the encoded size of m (length prefix
+// included), for sizing the pooled encode buffer without regrowth.
+func binaryFrameSize(m *Message) int {
+	n := 4 + len(m.Data) + len(m.Err) + len(m.Version) + len(m.Func) +
+		len(m.Token) + len(m.Peer) + len(m.To) + len(m.Addr) + len(m.Wire) + 64
+	for _, f := range m.Formats {
+		n += len(f) + 11
+	}
+	for _, f := range m.Functions {
+		n += len(f) + 11
+	}
+	return n
+}
+
+// encodeBinaryFrame serializes m as a complete v2 frame into a freshly
+// allocated buffer. It is the pre-arena codec path, kept callable so the
+// hotpath bench can quantify the pooled path against it (see V2Unpooled).
 func encodeBinaryFrame(m *Message) []byte {
-	// Envelope overhead is small and payload-dominated; size the buffer
-	// for Data plus a modest field margin to avoid regrowth.
-	b := make([]byte, 4, 4+len(m.Data)+64)
+	return appendBinaryFrame(make([]byte, 0, binaryFrameSize(m)), m)
+}
+
+// appendBinaryFrame appends one complete v2 frame — length prefix, body,
+// CRC trailer — to b and returns the extended buffer. Appending into a
+// caller-owned buffer is what lets WriteFrame encode into the arena and
+// SendBatch pack several frames back to back for one vectored write.
+func appendBinaryFrame(b []byte, m *Message) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // length prefix, filled in below
 	b = append(b, binMagic)
 	if code, ok := typeCodes[m.Type]; ok {
 		b = appendUint(b, tagType, code)
@@ -146,26 +167,39 @@ func encodeBinaryFrame(m *Message) []byte {
 	for _, f := range m.Functions {
 		b = appendString(b, tagFunc2, f)
 	}
-	sum := crc32.ChecksumIEEE(b[4:])
-	return binary.LittleEndian.AppendUint32(b, sum)
+	sum := crc32.ChecksumIEEE(b[start+4:])
+	b = binary.LittleEndian.AppendUint32(b, sum)
+	binary.BigEndian.PutUint32(b[start:start+4], uint32(len(b)-start-4))
+	return b
 }
 
-// decodeBinaryBody parses a v2 body (including the magic byte), verifying
-// the CRC trailer first so a corrupted frame fails the channel instead of
-// decoding into a plausible message with wrong content.
+// decodeBinaryBody parses a v2 body into a fresh Message (the pre-arena
+// decode path, kept for V2Unpooled and as the conservative fallback).
 func decodeBinaryBody(body []byte) (*Message, error) {
+	m := new(Message)
+	if err := decodeBinaryBodyInto(m, body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeBinaryBodyInto parses a v2 body (including the magic byte) into
+// m, verifying the CRC trailer first so a corrupted frame fails the
+// channel instead of decoding into a plausible message with wrong
+// content. m's Data aliases body; the caller decides whether the message
+// adopts the buffer (pooled reads) or the buffer outlives it.
+func decodeBinaryBodyInto(m *Message, body []byte) error {
 	if len(body) == 0 || body[0] != binMagic {
-		return nil, fmt.Errorf("%w: missing v2 magic", ErrBadFrame)
+		return fmt.Errorf("%w: missing v2 magic", ErrBadFrame)
 	}
 	if len(body) < 1+binCRCSize {
-		return nil, fmt.Errorf("%w: v2 body shorter than its CRC trailer", ErrBadFrame)
+		return fmt.Errorf("%w: v2 body shorter than its CRC trailer", ErrBadFrame)
 	}
 	payload := body[:len(body)-binCRCSize]
 	sum := binary.LittleEndian.Uint32(body[len(body)-binCRCSize:])
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, fmt.Errorf("%w: CRC mismatch (corrupted frame)", ErrBadFrame)
+		return fmt.Errorf("%w: CRC mismatch (corrupted frame)", ErrBadFrame)
 	}
-	m := new(Message)
 	rest := payload[1:]
 	for len(rest) > 0 {
 		tag := rest[0]
@@ -173,7 +207,7 @@ func decodeBinaryBody(body []byte) (*Message, error) {
 		if tag&0x80 == 0 {
 			v, n := binary.Uvarint(rest)
 			if n <= 0 {
-				return nil, fmt.Errorf("%w: bad varint for tag %#x", ErrBadFrame, tag)
+				return fmt.Errorf("%w: bad varint for tag %#x", ErrBadFrame, tag)
 			}
 			rest = rest[n:]
 			switch tag {
@@ -200,11 +234,11 @@ func decodeBinaryBody(body []byte) (*Message, error) {
 		}
 		l, n := binary.Uvarint(rest)
 		if n <= 0 {
-			return nil, fmt.Errorf("%w: bad length for tag %#x", ErrBadFrame, tag)
+			return fmt.Errorf("%w: bad length for tag %#x", ErrBadFrame, tag)
 		}
 		rest = rest[n:]
 		if l > uint64(len(rest)) {
-			return nil, fmt.Errorf("%w: field length %d exceeds body", ErrBadFrame, l)
+			return fmt.Errorf("%w: field length %d exceeds body", ErrBadFrame, l)
 		}
 		val := rest[:l]
 		rest = rest[l:]
@@ -212,8 +246,9 @@ func decodeBinaryBody(body []byte) (*Message, error) {
 		case tagTypeStr:
 			m.Type = Type(val)
 		case tagData:
-			// Alias the body: readBody allocates a fresh buffer per
-			// frame, so no copy is needed even for large payloads.
+			// Alias the body: no copy even for large payloads. The body
+			// buffer's ownership follows the message (adoptBuf) or the
+			// caller keeps it alive — see the arena rules in pool.go.
 			m.Data = val
 		case tagErr:
 			m.Err = string(val)
@@ -240,21 +275,24 @@ func decodeBinaryBody(body []byte) (*Message, error) {
 		}
 	}
 	if m.Type == "" {
-		return nil, fmt.Errorf("%w: missing message type", ErrBadFrame)
+		return fmt.Errorf("%w: missing message type", ErrBadFrame)
 	}
-	return m, nil
+	return nil
 }
 
 func (binaryWire) WriteFrame(w io.Writer, m *Message) error {
-	frame := encodeBinaryFrame(m)
-	body := len(frame) - 4
-	if body > MaxFrameSize {
+	// Encode into an arena buffer: the steady-state write path performs no
+	// allocation per frame.
+	frame := appendBinaryFrame(GetBuf(binaryFrameSize(m)), m)
+	if len(frame)-4 > MaxFrameSize {
+		PutBuf(frame)
 		return ErrFrameTooLarge
 	}
-	binary.BigEndian.PutUint32(frame[:4], uint32(body))
 	// A single Write for the whole frame, like writeBody, so interleaved
 	// writers cannot corrupt the stream boundary mid-frame.
-	if _, err := w.Write(frame); err != nil {
+	_, err := w.Write(frame)
+	PutBuf(frame)
+	if err != nil {
 		return fmt.Errorf("proto: write frame: %w", err)
 	}
 	return nil
@@ -265,8 +303,94 @@ func (binaryWire) ReadFrame(r io.Reader) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := GetMessage()
+	if err := decodeBinaryBodyInto(m, body); err != nil {
+		Release(m)
+		PutBuf(body)
+		return nil, err
+	}
+	m.adoptBuf(body)
+	return m, nil
+}
+
+// AppendFrame appends one complete frame (length prefix included) encoded
+// by wf to dst and returns the extended buffer. It is the building block
+// of vectored batch sends: a session packs several frames back to back in
+// one arena buffer and hands the result to a single writev. For the v2
+// binary format the append is direct; other formats fall through to their
+// WriteFrame via an in-memory writer.
+func AppendFrame(dst []byte, wf WireFormat, m *Message) ([]byte, error) {
+	if _, ok := wf.(binaryWire); ok {
+		start := len(dst)
+		dst = appendBinaryFrame(dst, m)
+		if len(dst)-start-4 > MaxFrameSize {
+			return dst[:start], ErrFrameTooLarge
+		}
+		return dst, nil
+	}
+	sw := sliceWriter{buf: dst}
+	if err := wf.WriteFrame(&sw, m); err != nil {
+		return dst, err
+	}
+	return sw.buf, nil
+}
+
+// sliceWriter adapts an append-target buffer to io.Writer for WireFormats
+// without a native append path.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// unpooledWire is the pre-arena v2 codec: same bytes on the wire as V2,
+// but every frame allocates fresh buffers and messages. It exists so the
+// hotpath bench (and future regressions) can measure the pooled codec
+// against an honest baseline; nothing negotiates it.
+type unpooledWire struct{}
+
+func (unpooledWire) Name() string { return Version2 + "-unpooled" }
+
+func (unpooledWire) WriteFrame(w io.Writer, m *Message) error {
+	frame := encodeBinaryFrame(m)
+	if len(frame)-4 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
+	}
+	return nil
+}
+
+func (unpooledWire) ReadFrame(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("proto: short frame body: %w", err)
+	}
 	return decodeBinaryBody(body)
 }
+
+func (unpooledWire) EncodeBatch(items []BatchItem) ([]byte, error) {
+	return V2.EncodeBatch(items)
+}
+
+func (unpooledWire) DecodeBatch(data []byte) ([]BatchItem, error) {
+	return V2.DecodeBatch(data)
+}
+
+// V2Unpooled is the pre-arena reference implementation of the v2 format,
+// wire-identical to V2. The hotpath benchmark uses it as the before
+// codec; it is not registered for negotiation.
+var V2Unpooled WireFormat = unpooledWire{}
 
 func (binaryWire) EncodeBatch(items []BatchItem) ([]byte, error) {
 	size := 16
@@ -320,6 +444,55 @@ func (binaryWire) DecodeBatch(data []byte) ([]BatchItem, error) {
 					// amplification). Message.Data stays aliased —
 					// there the mapping is 1:1.
 					it.D = append([]byte(nil), rest[:l]...)
+				}
+			} else if l > 0 {
+				it.E = string(rest[:l])
+			}
+			rest = rest[l:]
+		}
+		items = append(items, it)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(rest))
+	}
+	return items, nil
+}
+
+// DecodeBatchShared parses a grouped payload like DecodeBatch but lets v2
+// item payloads alias data instead of copying them. It is for strictly
+// serial consumers that fully process (or copy) every item before the
+// backing frame is released — the worker's apply loop — where the decoded
+// items never outlive the frame and the per-item copy is pure overhead.
+// Retaining an item past the frame's release is a use-after-free of arena
+// memory; when in doubt use DecodeBatch.
+func DecodeBatchShared(data []byte) ([]BatchItem, error) {
+	if len(data) == 0 || data[0] != binBatchMagic {
+		return DecodeBatch(data) // v1 JSON copies every field anyway
+	}
+	rest := data[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad batch count", ErrBadFrame)
+	}
+	rest = rest[n:]
+	if count > uint64(len(rest)/2) {
+		return nil, fmt.Errorf("%w: batch count %d exceeds body", ErrBadFrame, count)
+	}
+	items := make([]BatchItem, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var it BatchItem
+		for f := 0; f < 2; f++ {
+			l, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad batch item length", ErrBadFrame)
+			}
+			rest = rest[n:]
+			if l > uint64(len(rest)) {
+				return nil, fmt.Errorf("%w: batch item length %d exceeds body", ErrBadFrame, l)
+			}
+			if f == 0 {
+				if l > 0 {
+					it.D = rest[:l:l]
 				}
 			} else if l > 0 {
 				it.E = string(rest[:l])

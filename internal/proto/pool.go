@@ -1,0 +1,157 @@
+package proto
+
+import "sync"
+
+// This file is the buffer arena of the zero-alloc hot path: a
+// sync.Pool-backed store of frame buffers and Message envelopes that the
+// codec reuses across frames, so the steady-state encode/decode path of a
+// long-running deployment performs no heap allocation per frame.
+//
+// # Ownership rules
+//
+// Every buffer has exactly one owner at a time, and the owner is explicit
+// at each step:
+//
+//   - WriteFrame owns its encode buffer for the duration of the write and
+//     recycles it before returning; callers never see it.
+//   - ReadFrame transfers ownership of the body buffer to the returned
+//     Message: a v2 Message's Data field aliases it (the zero-copy decode),
+//     and the Message remembers the buffer in its unexported buf field.
+//   - Release(m) returns the Message and its owned buffer to the arena.
+//     After Release the caller must not touch m, m.Data, or any sub-slice
+//     of m.Data — the memory will be handed to a future frame. Receive
+//     loops call Release once a frame is fully consumed.
+//   - Detach(m) severs m.Data from the owned buffer when the decoded
+//     payload escapes the receive loop (e.g. a pass-through payload codec
+//     hands m.Data itself to the application): the data's ownership moves
+//     to the escaping reference and a later Release recycles only the
+//     envelope. Data that outlives the frame MUST be detached (or copied)
+//     before Release, or it would alias recycled memory.
+//
+// A Message that is never Released is simply collected by the GC — safety
+// never depends on Release being called, only performance does.
+
+// Size classes for pooled buffers. A buffer is recycled into the class
+// whose capacity it fits; buffers beyond maxPooledBuf (a giant frame) are
+// left to the GC so one outlier cannot pin megabytes in the pool.
+const (
+	bufClassSmall  = 4 << 10
+	bufClassMedium = 64 << 10
+	bufClassLarge  = 1 << 20
+
+	maxPooledBuf = bufClassLarge
+)
+
+var bufPools = [3]sync.Pool{
+	{New: func() any { b := make([]byte, 0, bufClassSmall); return &b }},
+	{New: func() any { b := make([]byte, 0, bufClassMedium); return &b }},
+	{New: func() any { b := make([]byte, 0, bufClassLarge); return &b }},
+}
+
+// poisonPut, when set by tests, scribbles over every buffer returned to
+// the arena so any use-after-release surfaces as corrupted data instead
+// of a silent heisenbug (the corrupt-after-release canary).
+var poisonPut bool
+
+// classFor returns the pool index whose buffers hold n bytes, or -1 when
+// n exceeds the largest pooled class.
+func classFor(n int) int {
+	switch {
+	case n <= bufClassSmall:
+		return 0
+	case n <= bufClassMedium:
+		return 1
+	case n <= maxPooledBuf:
+		return 2
+	}
+	return -1
+}
+
+// GetBuf returns a zero-length pooled buffer with capacity at least n.
+// Pair it with PutBuf when the buffer's contents no longer escape.
+func GetBuf(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	bp := bufPools[c].Get().(*[]byte)
+	b := (*bp)[:0]
+	if cap(b) < n {
+		// A smaller buffer was recycled into this class by a caller that
+		// over-estimated; grow once, it stays in the class from now on.
+		b = make([]byte, 0, n)
+	}
+	*bp = nil
+	putHeader(bp)
+	return b
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or any buffer the caller
+// owns outright). The caller must not use b afterwards.
+func PutBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := classFor(cap(b))
+	if c < 0 {
+		return // oversized: let the GC have it
+	}
+	if poisonPut {
+		b = b[:cap(b)]
+		for i := range b {
+			b[i] = 0xDB
+		}
+	}
+	bp := getHeader()
+	*bp = b[:0]
+	bufPools[c].Put(bp)
+}
+
+// headerPool recycles the *[]byte boxes themselves so GetBuf/PutBuf do
+// not allocate a header per cycle.
+var headerPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getHeader() *[]byte  { return headerPool.Get().(*[]byte) }
+func putHeader(h *[]byte) { headerPool.Put(h) }
+
+// msgPool recycles Message envelopes for the receive path.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMessage returns a zeroed Message from the arena. It is what ReadFrame
+// uses; callers constructing outbound messages may use it too, paired with
+// Release once the frame is written.
+func GetMessage() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// Release returns m and its owned frame buffer to the arena. After the
+// call, m and every slice decoded from its frame (Data in particular) are
+// invalid. Releasing nil is a no-op. See the ownership rules above.
+func Release(m *Message) {
+	if m == nil {
+		return
+	}
+	buf := m.buf
+	*m = Message{}
+	msgPool.Put(m)
+	if buf != nil {
+		PutBuf(buf)
+	}
+}
+
+// Detach severs m's decoded payload from its pooled frame buffer: the
+// buffer's ownership transfers to whoever holds the escaping references
+// (m.Data keeps pointing at it), and a later Release recycles only the
+// envelope. Call it when Data outlives the receive loop — e.g. when a
+// pass-through payload codec hands the bytes straight to the application.
+func (m *Message) Detach() {
+	if m != nil {
+		m.buf = nil
+	}
+}
+
+// adoptBuf records buf as the pooled storage backing m's decoded fields,
+// transferring its ownership to the message (reclaimed by Release).
+func (m *Message) adoptBuf(buf []byte) {
+	m.buf = buf
+}

@@ -1,0 +1,305 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestCodecWriteZeroAlloc pins the steady-state v2 encode path at zero
+// heap allocations per frame: the arena supplies the encode buffer and
+// recycles it after the write.
+func TestCodecWriteZeroAlloc(t *testing.T) {
+	m := &Message{Type: TypeInput, Seq: 7, Data: bytes.Repeat([]byte{0xAB}, 1024)}
+	// Warm the pools outside the measured region.
+	for i := 0; i < 8; i++ {
+		if err := V2.WriteFrame(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Seq++
+		if err := V2.WriteFrame(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("v2 WriteFrame: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCodecReadZeroAlloc pins the steady-state v2 decode path at zero
+// heap allocations per frame: the body buffer and the Message envelope
+// both come from the arena and return to it via Release.
+func TestCodecReadZeroAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Message{Type: TypeResult, Seq: 42, Data: bytes.Repeat([]byte{0xCD}, 1024)}
+	if err := V2.WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	r := bytes.NewReader(frame)
+	for i := 0; i < 8; i++ { // warm the pools
+		r.Reset(frame)
+		out, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Release(out)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		out, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Seq != 42 || len(out.Data) != 1024 {
+			t.Fatalf("bad decode: %+v", out)
+		}
+		Release(out)
+	})
+	if allocs != 0 {
+		t.Fatalf("v2 ReadFrame+Release: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReleaseCanary proves the corrupt-after-release canary works: with
+// poisonPut enabled, data still referenced after Release is visibly
+// scribbled, so any use-after-release in the stack fails loudly in tests
+// instead of silently corrupting a stream.
+func TestReleaseCanary(t *testing.T) {
+	poisonPut = true
+	defer func() { poisonPut = false }()
+
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte{0x11}, 256)
+	if err := V2.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 1, Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Data // illegally retained across Release
+	Release(m)
+	poisoned := false
+	for _, b := range data {
+		if b == 0xDB {
+			poisoned = true
+			break
+		}
+	}
+	if !poisoned {
+		t.Fatal("released frame data was not poisoned; use-after-release would be silent")
+	}
+}
+
+// TestDetachPreservesData is the legal counterpart of the canary test:
+// Detach transfers buffer ownership to the escaping Data reference, so a
+// later Release must leave the bytes intact even with poisoning on.
+func TestDetachPreservesData(t *testing.T) {
+	poisonPut = true
+	defer func() { poisonPut = false }()
+
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte{0x22}, 256)
+	if err := V2.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 2, Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Data
+	m.Detach()
+	Release(m)
+	if !bytes.Equal(data, payload) {
+		t.Fatal("detached data was clobbered by Release")
+	}
+}
+
+// TestReleaseRecyclesAcrossFrames checks the ownership handoff end to
+// end: a detached payload from frame 1 must survive frame 2 reusing the
+// arena, byte for byte.
+func TestReleaseRecyclesAcrossFrames(t *testing.T) {
+	first := bytes.Repeat([]byte{0x33}, 512)
+	second := bytes.Repeat([]byte{0x44}, 512)
+
+	var buf bytes.Buffer
+	if err := V2.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 1, Data: first}); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := m1.Data
+	m1.Detach()
+	Release(m1)
+
+	buf.Reset()
+	if err := V2.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 2, Data: second}); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m2)
+
+	if !bytes.Equal(kept, first) {
+		t.Fatal("detached frame-1 payload changed after the arena served frame 2")
+	}
+	if !bytes.Equal(m2.Data, second) {
+		t.Fatal("frame-2 payload corrupted")
+	}
+}
+
+// TestGetBufClasses exercises the size-class mapping, including the
+// oversized path that bypasses the pool.
+func TestGetBufClasses(t *testing.T) {
+	for _, n := range []int{0, 1, bufClassSmall, bufClassSmall + 1, bufClassMedium, bufClassLarge} {
+		b := GetBuf(n)
+		if len(b) != 0 || cap(b) < n {
+			t.Fatalf("GetBuf(%d): len=%d cap=%d", n, len(b), cap(b))
+		}
+		PutBuf(b)
+	}
+	huge := GetBuf(maxPooledBuf + 1)
+	if cap(huge) < maxPooledBuf+1 {
+		t.Fatalf("oversized GetBuf too small: %d", cap(huge))
+	}
+	PutBuf(huge) // must not pin it in a pool; just must not panic
+}
+
+// TestAppendFrameMatchesWriteFrame checks that the append-path encoder
+// (the vectored-batch building block) produces byte-identical frames to
+// WriteFrame for both wire formats.
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	m := fullMessage()
+	for _, wf := range []WireFormat{V1, V2, V2Unpooled} {
+		var buf bytes.Buffer
+		if err := wf.WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		appended, err := AppendFrame(nil, wf, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), appended) {
+			t.Fatalf("%s: AppendFrame differs from WriteFrame", wf.Name())
+		}
+	}
+}
+
+// TestV2UnpooledWireCompatible confirms the benchmark baseline codec is
+// wire-identical to the pooled one in both directions.
+func TestV2UnpooledWireCompatible(t *testing.T) {
+	m := fullMessage()
+	var pooled, unpooled bytes.Buffer
+	if err := V2.WriteFrame(&pooled, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := V2Unpooled.WriteFrame(&unpooled, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pooled.Bytes(), unpooled.Bytes()) {
+		t.Fatal("pooled and unpooled v2 frames differ on the wire")
+	}
+	out, err := V2Unpooled.ReadFrame(&pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Data, m.Data) || out.Seq != m.Seq {
+		t.Fatalf("unpooled decode of pooled frame mismatch: %+v", out)
+	}
+}
+
+// TestDecodeBatchShared checks the aliasing batch decoder round-trips and
+// actually aliases (no copy) for v2 batches.
+func TestDecodeBatchShared(t *testing.T) {
+	items := []BatchItem{
+		{D: []byte("alpha")},
+		{E: "boom"},
+		{D: []byte("gamma"), E: "warn"},
+	}
+	data, err := V2.EncodeBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchShared(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("got %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if !bytes.Equal(got[i].D, items[i].D) || got[i].E != items[i].E {
+			t.Fatalf("item %d mismatch: %+v != %+v", i, got[i], items[i])
+		}
+	}
+	// Aliasing: mutating the frame must show through the decoded item.
+	if len(got[0].D) > 0 {
+		got[0].D[0] ^= 0xFF
+		found := bytes.Contains(data, got[0].D)
+		if !found {
+			t.Fatal("DecodeBatchShared copied items; expected aliasing")
+		}
+	}
+
+	// v1 fallback still works (and copies, which is fine).
+	v1data, err := V1.EncodeBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeBatchShared(v1data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("v1 fallback: got %d items, want %d", len(got), len(items))
+	}
+}
+
+// FuzzFrameReuse drives random payloads through the full pooled
+// write→read→detach→release cycle twice, checking that a detached
+// payload from the first frame is never clobbered by the second — the
+// core no-aliasing-after-recycle guarantee under arbitrary sizes.
+func FuzzFrameReuse(f *testing.F) {
+	f.Add([]byte("hello"), []byte("world"))
+	f.Add([]byte{}, bytes.Repeat([]byte{0x7F}, 5000))
+	f.Add(bytes.Repeat([]byte{0xB2}, 70000), []byte{0x00})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		poisonPut = true
+		defer func() { poisonPut = false }()
+
+		var buf bytes.Buffer
+		if err := V2.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 1, Data: a}); err != nil {
+			t.Fatal(err)
+		}
+		m1, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := m1.Data
+		m1.Detach()
+		Release(m1)
+
+		buf.Reset()
+		if err := V2.WriteFrame(&buf, &Message{Type: TypeResult, Seq: 2, Data: b}); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(kept, a) && len(a) > 0 {
+			t.Fatal("detached payload clobbered by arena reuse")
+		}
+		if !bytes.Equal(m2.Data, b) && len(b) > 0 {
+			t.Fatal("second frame decoded wrong payload")
+		}
+		Release(m2)
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Version is the baseline protocol version tag, mirroring the
@@ -124,6 +125,11 @@ type Message struct {
 	Peer string `json:"p,omitempty"`  // sender peer ID
 	To   string `json:"to,omitempty"` // destination peer ID
 	Addr string `json:"a,omitempty"`  // candidate network address
+
+	// buf is the pooled frame buffer backing Data when the message was
+	// decoded from the arena's read path; Release returns it. See pool.go
+	// for the ownership rules.
+	buf []byte
 }
 
 // BatchItem is one element of a grouped input or result frame.
@@ -163,34 +169,44 @@ func WriteFrame(w io.Writer, m *Message) error {
 	return V1.WriteFrame(w, m)
 }
 
-// writeBody length-prefixes body and writes it in a single Write call so
-// interleaved writers cannot corrupt the stream boundary mid-frame
-// (callers should still serialize writes).
+// writeBody length-prefixes body and writes header and body as one
+// vectored write (net.Buffers degrades to two ordered Writes on plain
+// writers), avoiding the historical copy of the whole body into a fresh
+// frame buffer. Callers serialize writes per connection, so the two
+// iovecs cannot interleave with another frame.
 func writeBody(w io.Writer, body []byte) error {
 	if len(body) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
-	copy(frame[4:], body)
-	if _, err := w.Write(frame); err != nil {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	bufs := net.Buffers{hdr[:], body}
+	if _, err := bufs.WriteTo(w); err != nil {
 		return fmt.Errorf("proto: write frame: %w", err)
 	}
 	return nil
 }
 
-// readBody reads one length-prefixed frame body from r.
+// readBody reads one length-prefixed frame body from r into a pooled
+// buffer. The caller owns the buffer: either PutBuf it once decoded, or
+// hand it to the decoded Message (adoptBuf) so Release reclaims it.
 func readBody(r io.Reader) ([]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	// The prefix buffer comes from the arena too: a stack array would
+	// escape through the io.Reader interface call and cost one heap
+	// allocation per frame.
+	lenBuf := GetBuf(4)[:4]
+	if _, err := io.ReadFull(r, lenBuf); err != nil {
+		PutBuf(lenBuf)
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(lenBuf)
+	PutBuf(lenBuf)
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
+	body := GetBuf(int(n))[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
+		PutBuf(body)
 		return nil, fmt.Errorf("proto: short frame body: %w", err)
 	}
 	return body, nil
@@ -200,16 +216,33 @@ func readBody(r io.Reader) ([]byte, error) {
 // body's first byte distinguishes a v2 binary envelope from v1 JSON.
 // Readers therefore never depend on negotiation state, which keeps the
 // hello/welcome format switch race-free even with heartbeats in flight.
+//
+// The returned Message comes from the arena: its Data aliases a pooled
+// buffer the message owns. Receive loops should Release it once the
+// frame is consumed (after Detach when Data escapes); a message that is
+// never released is reclaimed by the GC instead of the pool.
 func ReadFrame(r io.Reader) (*Message, error) {
 	body, err := readBody(r)
 	if err != nil {
 		return nil, err
 	}
 	if len(body) > 0 && body[0] == binMagic {
-		return decodeBinaryBody(body)
+		m := GetMessage()
+		if err := decodeBinaryBodyInto(m, body); err != nil {
+			Release(m)
+			PutBuf(body)
+			return nil, err
+		}
+		m.adoptBuf(body)
+		return m, nil
 	}
-	m := new(Message)
-	if err := json.Unmarshal(body, m); err != nil {
+	m := GetMessage()
+	err = json.Unmarshal(body, m)
+	// v1 JSON decoding copies every field out of the body (base64 []byte
+	// included), so the read buffer recycles immediately.
+	PutBuf(body)
+	if err != nil {
+		Release(m)
 		return nil, fmt.Errorf("proto: unmarshal: %w", err)
 	}
 	return m, nil

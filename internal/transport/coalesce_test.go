@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pando/internal/netsim"
+	"pando/internal/proto"
+	"pando/internal/pullstream"
+)
+
+// TestSendBatchDeliversInOrder packs many frames into one vectored write
+// and checks the peer reads them back individually, in order, in both
+// wire formats.
+func TestSendBatchDeliversInOrder(t *testing.T) {
+	for _, wf := range []proto.WireFormat{proto.V1, proto.V2} {
+		t.Run(wf.Name(), func(t *testing.T) {
+			cfg := Config{HeartbeatInterval: -1}
+			p := netsim.NewPipe(netsim.Loopback)
+			defer p.Cut()
+			a := NewWSock(p.A, cfg)
+			b := NewWSock(p.B, cfg)
+			a.SetWire(wf)
+
+			const n = 50
+			ms := make([]*proto.Message, 0, n)
+			for i := 1; i <= n; i++ {
+				ms = append(ms, &proto.Message{
+					Type: proto.TypeInput,
+					Seq:  uint64(i),
+					Data: []byte(fmt.Sprintf(`"payload-%d"`, i)),
+				})
+			}
+			if err := a.SendBatch(ms); err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= n; i++ {
+				m, err := b.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Seq != uint64(i) {
+					t.Fatalf("frame %d: seq %d", i, m.Seq)
+				}
+				if want := fmt.Sprintf(`"payload-%d"`, i); string(m.Data) != want {
+					t.Fatalf("frame %d: data %q, want %q", i, m.Data, want)
+				}
+				proto.Release(m)
+			}
+		})
+	}
+}
+
+// TestSendBatchConcurrentWithSend checks batches stay atomic against
+// interleaved single sends: every frame must arrive intact, never torn.
+func TestSendBatchConcurrentWithSend(t *testing.T) {
+	cfg := Config{HeartbeatInterval: -1}
+	p := netsim.NewPipe(netsim.Loopback)
+	defer p.Cut()
+	a := NewWSock(p.A, cfg)
+	b := NewWSock(p.B, cfg)
+	a.SetWire(proto.V2)
+
+	const senders, per = 4, 25
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if s%2 == 0 {
+				ms := make([]*proto.Message, 0, per)
+				for i := 0; i < per; i++ {
+					ms = append(ms, &proto.Message{Type: proto.TypeInput, Seq: 1, Data: []byte("batched")})
+				}
+				if err := a.SendBatch(ms); err != nil {
+					t.Error(err)
+				}
+			} else {
+				for i := 0; i < per; i++ {
+					if err := a.Send(&proto.Message{Type: proto.TypeInput, Seq: 1, Data: []byte("singled")}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for i := 0; i < senders*per; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if s := string(m.Data); s != "batched" && s != "singled" {
+			t.Fatalf("frame %d corrupted: %q", i, s)
+		}
+		proto.Release(m)
+	}
+}
+
+// TestCoalescingMasterDuplexRoundTrip runs the coalescing data plane
+// against a plain WorkerServe — the wire-compatibility the design relies
+// on — and checks ordered exactly-once delivery.
+func TestCoalescingMasterDuplexRoundTrip(t *testing.T) {
+	cfg := Config{HeartbeatInterval: -1}
+	p := netsim.NewPipe(netsim.LAN)
+	defer p.Cut()
+	masterCh := NewWSock(p.A, cfg)
+	workerCh := NewWSock(p.B, cfg)
+
+	go func() {
+		err := WorkerServe[int, int](workerCh, JSONCodec[int]{}, JSONCodec[int]{}, func(v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+
+	d := CoalescingMasterDuplex[int, int](masterCh, JSONCodec[int]{}, JSONCodec[int]{})
+	go d.Sink(pullstream.Count(100))
+	got, err := pullstream.Collect(d.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != (i+1)*(i+1) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestCoalescingMasterDuplexRawCodec pushes []byte payloads through the
+// coalescing duplex with the aliasing codec on both ends, the pooled
+// worst case: results must come back intact even though every frame
+// buffer recycles through the arena.
+func TestCoalescingMasterDuplexRawCodec(t *testing.T) {
+	cfg := Config{HeartbeatInterval: -1}
+	p := netsim.NewPipe(netsim.Loopback)
+	defer p.Cut()
+	masterCh := NewWSock(p.A, cfg)
+	workerCh := NewWSock(p.B, cfg)
+	masterCh.SetWire(proto.V2)
+	workerCh.SetWire(proto.V2)
+
+	go WorkerServeGrouped[[]byte, []byte](workerCh, RawCodec{}, RawCodec{}, func(v []byte) ([]byte, error) {
+		return v, nil // identity: threads the input buffer through to the reply
+	})
+
+	const n = 200
+	inputs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		inputs = append(inputs, []byte(fmt.Sprintf("tile-%04d", i)))
+	}
+	d := CoalescingMasterDuplex[[]byte, []byte](masterCh, RawCodec{}, RawCodec{})
+	go d.Sink(pullstream.Values(inputs...))
+	got, err := pullstream.Collect(d.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if want := fmt.Sprintf("tile-%04d", i); string(v) != want {
+			t.Fatalf("got[%d] = %q, want %q", i, v, want)
+		}
+	}
+}
+
+// TestCoalescingMasterDuplexWorkerError checks application errors still
+// surface as WorkerError through the coalescing source.
+func TestCoalescingMasterDuplexWorkerError(t *testing.T) {
+	cfg := Config{HeartbeatInterval: -1}
+	p := netsim.NewPipe(netsim.Loopback)
+	defer p.Cut()
+	masterCh := NewWSock(p.A, cfg)
+	workerCh := NewWSock(p.B, cfg)
+
+	go WorkerServe[int, int](workerCh, JSONCodec[int]{}, JSONCodec[int]{}, func(v int) (int, error) {
+		if v == 3 {
+			return 0, errors.New("render failed")
+		}
+		return v, nil
+	})
+
+	d := CoalescingMasterDuplex[int, int](masterCh, JSONCodec[int]{}, JSONCodec[int]{})
+	go d.Sink(pullstream.Count(10))
+	got, err := pullstream.Collect(d.Source)
+	var werr *WorkerError
+	if !errors.As(err, &werr) {
+		t.Fatalf("err = %v, want WorkerError", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v, want 2 results before failure", got)
+	}
+}

@@ -20,7 +20,12 @@ func (RawCodec) Encode(b []byte) ([]byte, error) { return b, nil }
 // Decode returns data unchanged.
 func (RawCodec) Decode(data []byte) ([]byte, error) { return data, nil }
 
+// DecodeAliases reports true: the decoded value IS the frame payload, so
+// receive loops detach the frame buffer before recycling the envelope.
+func (RawCodec) DecodeAliases() bool { return true }
+
 var _ Codec[[]byte] = RawCodec{}
+var _ AliasingCodec = RawCodec{}
 
 // BinaryCodec encodes values through their own encoding.BinaryMarshaler /
 // BinaryUnmarshaler implementations. The second type parameter is the
@@ -43,3 +48,8 @@ func (BinaryCodec[T, PT]) Decode(data []byte) (T, error) {
 	}
 	return v, nil
 }
+
+// DecodeAliases reports true: an arbitrary UnmarshalBinary may keep
+// sub-slices of its input (the interface contract does not forbid it), so
+// the arena must assume the decoded value shares the frame.
+func (BinaryCodec[T, PT]) DecodeAliases() bool { return true }

@@ -28,6 +28,30 @@ func (JSONCodec[T]) Decode(data []byte) (T, error) {
 	return v, err
 }
 
+// DecodeAliases reports false: encoding/json copies every field out of
+// the input (including json.RawMessage, whose UnmarshalJSON appends into
+// its own backing array), so decoded values never reference the frame.
+func (JSONCodec[T]) DecodeAliases() bool { return false }
+
+// AliasingCodec is implemented by codecs that declare whether Decode's
+// result can alias the input buffer. Receive loops use it to decide the
+// fate of a pooled frame once its payload is decoded: a non-aliasing
+// codec's frame recycles into the arena immediately, while an aliasing
+// codec's frame must be detached first because the decoded value shares
+// its memory. Codecs that don't implement the interface are treated as
+// aliasing — the conservative choice, trading pool hits for safety.
+type AliasingCodec interface {
+	DecodeAliases() bool
+}
+
+// codecAliases resolves the aliasing contract of an arbitrary codec.
+func codecAliases(c any) bool {
+	if a, ok := c.(AliasingCodec); ok {
+		return a.DecodeAliases()
+	}
+	return true
+}
+
 // WorkerError wraps an application-level error reported by a worker's
 // processing function. The master treats it as a channel failure so the
 // input is re-lent to another device (a persistent f error should be
@@ -101,55 +125,83 @@ func MasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullstream.Du
 				}
 			}
 		},
-		Source: func(abort error, cb pullstream.Callback[O]) {
-			var zero O
-			if abort != nil {
-				ch.Close()
-				cb(abort, zero)
+		Source: masterSource(ch, out, &got),
+	}
+}
+
+// masterSource is the result side shared by MasterDuplex and
+// CoalescingMasterDuplex: a pull-stream source of decoded results with
+// Seq-contiguity enforcement and arena release discipline — every
+// received frame returns to the pool once its payload is decoded
+// (detached first when the codec aliases).
+func masterSource[O any](ch Channel, out Codec[O], got *uint64) pullstream.Source[O] {
+	aliases := codecAliases(out)
+	return func(abort error, cb pullstream.Callback[O]) {
+		var zero O
+		if abort != nil {
+			ch.Close()
+			cb(abort, zero)
+			return
+		}
+		for {
+			m, err := ch.Recv()
+			if err != nil {
+				cb(err, zero)
 				return
 			}
-			for {
-				m, err := ch.Recv()
-				if err != nil {
+			switch m.Type {
+			case proto.TypeResult:
+				if m.Err != "" {
+					err := &WorkerError{Seq: m.Seq, Msg: m.Err}
+					proto.Release(m)
+					ch.Close()
 					cb(err, zero)
 					return
 				}
-				switch m.Type {
-				case proto.TypeResult:
-					if m.Err != "" {
-						err := &WorkerError{Seq: m.Seq, Msg: m.Err}
-						ch.Close()
-						cb(err, zero)
-						return
-					}
-					if m.Seq != got+1 {
-						ch.Close()
-						cb(fmt.Errorf("transport: result seq %d, want %d (frame lost or reordered)", m.Seq, got+1), zero)
-						return
-					}
-					got = m.Seq
-					v, err := out.Decode(m.Data)
-					if err != nil {
-						ch.Close()
-						cb(fmt.Errorf("transport: decode result %d: %w", m.Seq, err), zero)
-						return
-					}
-					cb(nil, v)
+				if m.Seq != *got+1 {
+					err := fmt.Errorf("transport: result seq %d, want %d (frame lost or reordered)", m.Seq, *got+1)
+					proto.Release(m)
+					ch.Close()
+					cb(err, zero)
 					return
-				case proto.TypeGoodbye:
-					cb(pullstream.ErrDone, zero)
-					return
-				default:
-					// Ignore stray control messages.
 				}
+				*got = m.Seq
+				v, err := out.Decode(m.Data)
+				if err != nil {
+					err = fmt.Errorf("transport: decode result %d: %w", m.Seq, err)
+					proto.Release(m)
+					ch.Close()
+					cb(err, zero)
+					return
+				}
+				if aliases {
+					// The decoded value shares the frame buffer; its
+					// ownership moves to the value and only the envelope
+					// recycles.
+					m.Detach()
+				}
+				proto.Release(m)
+				cb(nil, v)
+				return
+			case proto.TypeGoodbye:
+				proto.Release(m)
+				cb(pullstream.ErrDone, zero)
+				return
+			default:
+				// Ignore stray control messages.
+				proto.Release(m)
 			}
-		},
+		}
 	}
 }
 
 // WorkerServe runs the volunteer side of a channel: it receives inputs,
 // applies f one value at a time (as a browser tab does), and sends results
 // back. It returns when the master says goodbye (nil) or the channel fails.
+//
+// Input frames recycle into the arena after the reply is written, so f
+// must not retain its (possibly frame-aliasing) argument past return —
+// the contract worker.Handler documents.
 func WorkerServe[I, O any](ch Channel, in Codec[I], out Codec[O], f func(I) (O, error)) error {
 	for {
 		m, err := ch.Recv()
@@ -158,30 +210,23 @@ func WorkerServe[I, O any](ch Channel, in Codec[I], out Codec[O], f func(I) (O, 
 		}
 		switch m.Type {
 		case proto.TypeInput:
-			v, err := in.Decode(m.Data)
+			reply := applyOne(m.Seq, m.Data, in, out, f)
+			// The reply may thread the input's bytes through (an identity
+			// handler under RawCodec), so the frame releases only after
+			// the reply is on the wire.
+			err := ch.Send(reply)
+			proto.Release(m)
 			if err != nil {
-				_ = ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Err: "decode: " + err.Error()})
-				continue
-			}
-			r, err := f(v)
-			if err != nil {
-				_ = ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Err: err.Error()})
-				continue
-			}
-			data, err := out.Encode(r)
-			if err != nil {
-				_ = ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Err: "encode: " + err.Error()})
-				continue
-			}
-			if err := ch.Send(&proto.Message{Type: proto.TypeResult, Seq: m.Seq, Data: data}); err != nil {
 				return err
 			}
 		case proto.TypeGoodbye:
+			proto.Release(m)
 			_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
 			ch.Close()
 			return nil
 		default:
 			// Ignore stray control messages.
+			proto.Release(m)
 		}
 	}
 }

@@ -83,21 +83,28 @@ func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullst
 				switch m.Type {
 				case proto.TypeResultBatch:
 					if m.Seq != got+1 {
+						err := fmt.Errorf("transport: result batch seq %d, want %d (frame lost or reordered)", m.Seq, got+1)
+						proto.Release(m)
 						ch.Close()
-						cb(fmt.Errorf("transport: result batch seq %d, want %d (frame lost or reordered)", m.Seq, got+1), nil)
+						cb(err, nil)
 						return
 					}
 					got = m.Seq
+					seq := m.Seq
+					// DecodeBatch copies every item out of the frame (one
+					// retained item must not pin a whole multi-item frame),
+					// so the frame recycles as soon as the batch is parsed.
 					items, err := proto.DecodeBatch(m.Data)
+					proto.Release(m)
 					if err != nil {
 						ch.Close()
-						cb(fmt.Errorf("transport: decode result batch %d: %w", m.Seq, err), nil)
+						cb(fmt.Errorf("transport: decode result batch %d: %w", seq, err), nil)
 						return
 					}
 					results := make([]O, 0, len(items))
 					for i, it := range items {
 						if it.E != "" {
-							err := &WorkerError{Seq: m.Seq, Msg: it.E}
+							err := &WorkerError{Seq: seq, Msg: it.E}
 							ch.Close()
 							cb(err, nil)
 							return
@@ -105,7 +112,7 @@ func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullst
 						v, err := out.Decode(it.D)
 						if err != nil {
 							ch.Close()
-							cb(fmt.Errorf("transport: decode result %d[%d]: %w", m.Seq, i, err), nil)
+							cb(fmt.Errorf("transport: decode result %d[%d]: %w", seq, i, err), nil)
 							return
 						}
 						results = append(results, v)
@@ -113,10 +120,12 @@ func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullst
 					cb(nil, results)
 					return
 				case proto.TypeGoodbye:
+					proto.Release(m)
 					cb(pullstream.ErrDone, nil)
 					return
 				default:
 					// Ignore stray control messages.
+					proto.Release(m)
 				}
 			}
 		},
@@ -136,47 +145,73 @@ func WorkerServeGrouped[I, O any](ch Channel, in Codec[I], out Codec[O], f func(
 // fleet moves the worker to another job. reassign resolves the named
 // function to a new processing function; the switch is acknowledged by
 // echoing the reassign frame AFTER the resolution, which is the drain
-// barrier the master waits on — the channel is ordered and this loop
-// serial, so every result of the previous job has already been written
-// when the echo goes out. A nil reassign keeps the pre-pool behavior
-// (reassign frames are ignored like any unknown control message).
+// barrier the master waits on — the ack rides the same ordered reply
+// queue as results, so every result of the previous job has already been
+// written when the echo goes out. A nil reassign keeps the pre-pool
+// behavior (reassign frames are ignored like any unknown control
+// message).
+//
+// Replies go out through a replyQueue: results that accumulate while the
+// previous write is in flight leave in one vectored write, the
+// worker-side half of the smart batching the coalescing master duplex
+// does. The queue depth is bounded by the master's credit window, since
+// every queued reply answers an input that crossed the credit gate.
 func WorkerServeReassignable[I, O any](ch Channel, in Codec[I], out Codec[O], f func(I) (O, error), reassign func(name string) (func(I) (O, error), error)) error {
+	q := newReplyQueue(ch)
 	for {
 		m, err := ch.Recv()
 		if err != nil {
+			if qerr := q.close(); qerr != nil {
+				return qerr
+			}
 			return err
 		}
 		switch m.Type {
 		case proto.TypeReassign, proto.TypeWelcome:
 			if m.Type == proto.TypeWelcome && m.Func == "" {
 				// Not a re-welcome; stray control frame.
+				proto.Release(m)
 				continue
 			}
 			if reassign == nil {
+				proto.Release(m)
 				continue
 			}
-			nf, err := reassign(m.Func)
+			fn := m.Func
+			proto.Release(m)
+			nf, err := reassign(fn)
 			if err != nil {
-				_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
+				q.enqueue(&proto.Message{Type: proto.TypeError, Err: err.Error()}, nil)
+				_ = q.close()
 				ch.Close()
 				return err
 			}
 			f = nf
-			if err := ch.Send(&proto.Message{Type: proto.TypeReassign, Func: m.Func}); err != nil {
-				return err
+			if !q.enqueue(&proto.Message{Type: proto.TypeReassign, Func: fn}, nil) {
+				return q.close()
 			}
 			continue
 		}
 		switch m.Type {
 		case proto.TypeInput:
 			reply := applyOne(m.Seq, m.Data, in, out, f)
-			if err := ch.Send(reply); err != nil {
-				return err
+			// The reply may thread the input's bytes through (an identity
+			// handler under RawCodec), so the frame releases only after
+			// the reply is on the wire — the queue owns it from here.
+			if !q.enqueue(reply, m) {
+				proto.Release(m)
+				return q.close()
 			}
 		case proto.TypeInputBatch:
-			items, err := proto.DecodeBatch(m.Data)
+			// The apply loop is strictly serial and the reply batch is
+			// re-encoded (copied) before the frame releases, so the
+			// aliasing batch decode is safe here and skips one copy of
+			// every item payload.
+			items, err := proto.DecodeBatchShared(m.Data)
 			if err != nil {
-				_ = ch.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Err: "decode batch: " + err.Error()})
+				seq := m.Seq
+				proto.Release(m)
+				q.enqueue(&proto.Message{Type: proto.TypeResultBatch, Seq: seq, Err: "decode batch: " + err.Error()}, nil)
 				continue
 			}
 			results := make([]proto.BatchItem, 0, len(items))
@@ -186,18 +221,25 @@ func WorkerServeReassignable[I, O any](ch Channel, in Codec[I], out Codec[O], f 
 			}
 			data, err := ch.Wire().EncodeBatch(results)
 			if err != nil {
-				_ = ch.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Err: "encode batch: " + err.Error()})
+				seq := m.Seq
+				proto.Release(m)
+				q.enqueue(&proto.Message{Type: proto.TypeResultBatch, Seq: seq, Err: "encode batch: " + err.Error()}, nil)
 				continue
 			}
-			if err := ch.Send(&proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Data: data}); err != nil {
-				return err
+			reply := &proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Data: data}
+			if !q.enqueue(reply, m) {
+				proto.Release(m)
+				return q.close()
 			}
 		case proto.TypeGoodbye:
-			_ = ch.Send(&proto.Message{Type: proto.TypeGoodbye})
+			proto.Release(m)
+			q.enqueue(&proto.Message{Type: proto.TypeGoodbye}, nil)
+			_ = q.close()
 			ch.Close()
 			return nil
 		default:
 			// Ignore stray control messages.
+			proto.Release(m)
 		}
 	}
 }

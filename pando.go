@@ -95,6 +95,8 @@ type options struct {
 	checkpoint  string
 	resume      bool
 	fsync       time.Duration
+	highWater   int
+	spillPath   string
 }
 
 // WithBatch sets how many values may be in flight per device (the Limiter
@@ -209,6 +211,32 @@ func WithResume() Option {
 // internal/bench journal experiment); negative syncs after every record.
 func WithFsyncInterval(d time.Duration) Option {
 	return func(o *options) { o.fsync = d }
+}
+
+// WithMemoryBound caps the master's buffered-result window at hw results
+// (groups, when WithGroup is set). Ordered output must buffer results
+// that arrive ahead of the emission cursor; unbounded, a slow output
+// consumer behind fast volunteers grows that buffer without limit. With
+// this bound the master instead pauses input reads once hw results are
+// buffered — output backpressure propagates all the way to the input
+// source — so a billion-item stream holds O(hw) master state. Pair with
+// WithSpill to absorb the overflow on disk instead of slowing the
+// volunteers down. hw <= 0 (the default) leaves the window unbounded.
+func WithMemoryBound(hw int) Option {
+	return func(o *options) { o.highWater = hw }
+}
+
+// WithSpill attaches an on-disk overflow segment at path for results past
+// the WithMemoryBound window: far-ahead results page out (CRC-checked,
+// journal record format) and page back exactly when the output reaches
+// their index, so volunteers keep running at full speed ahead of a slow
+// consumer while the master's heap stays at O(window). The file is
+// transient — truncated at open, removed at Close; nothing is recovered
+// from it across runs (that is WithCheckpoint's job). Without
+// WithMemoryBound the store is never used. Open failures are reported by
+// Process / ProcessSlice, not at New.
+func WithSpill(path string) Option {
+	return func(o *options) { o.spillPath = path }
 }
 
 // WithCodec replaces the JSON payload codecs. The type parameters must
@@ -456,7 +484,8 @@ type Pando[I, O any] struct {
 	ownsPool bool
 
 	journal *journal.Journal
-	initErr error // deferred WithCheckpoint failure, surfaced by Process
+	spill   *journal.SpillStore
+	initErr error // deferred WithCheckpoint/WithSpill failure, surfaced by Process
 
 	mu     sync.Mutex
 	locals []*worker.Volunteer
@@ -547,6 +576,18 @@ func Map[I, O any](pool *Pool, name string, f func(I) (O, error), opts ...Option
 		default:
 			p.journal = j
 			cfg.Journal = j
+		}
+	}
+	cfg.SpillHighWater = o.highWater
+	if o.spillPath != "" && o.highWater > 0 {
+		s, err := journal.OpenSpill(o.spillPath)
+		if err != nil {
+			if p.initErr == nil {
+				p.initErr = err
+			}
+		} else {
+			p.spill = s
+			cfg.Spill = s
 		}
 	}
 	p.m = master.NewJob[I, O](cfg, in, out)
@@ -761,5 +802,8 @@ func (p *Pando[I, O]) Close() {
 	}
 	if p.journal != nil {
 		_ = p.journal.Close()
+	}
+	if p.spill != nil {
+		_ = p.spill.Close()
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -302,5 +304,73 @@ func TestWithGroupCrashRecovery(t *testing.T) {
 		if v != i {
 			t.Fatalf("got[%d] = %d", i, v)
 		}
+	}
+}
+
+func TestMemoryBoundWithSpill(t *testing.T) {
+	// Bounded-memory streaming end to end: a tiny window plus a spill
+	// segment, fast local workers, a consumer that reads one result at a
+	// time. The output must be the exact ordered stream an unbounded run
+	// would produce, and the transient spill file must be gone after
+	// Close.
+	spillPath := filepath.Join(t.TempDir(), "job.spill")
+	p := New(uniqueName("bounded"), func(v int) (int, error) { return v * 2, nil },
+		WithMemoryBound(4), WithSpill(spillPath))
+	p.AddLocalWorkers(4)
+
+	const n = 500
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+	p.Close()
+	if _, err := os.Stat(spillPath); !os.IsNotExist(err) {
+		t.Fatalf("spill file still exists after Close: %v", err)
+	}
+}
+
+func TestMemoryBoundBackpressureOnly(t *testing.T) {
+	// The bound without a store: backpressure alone must still deliver
+	// the full ordered stream, just more slowly when the consumer lags.
+	p := New(uniqueName("gated"), func(v int) (int, error) { return v + 7, nil },
+		WithMemoryBound(3))
+	defer p.Close()
+	p.AddLocalWorkers(3)
+
+	in := make(chan int)
+	go func() {
+		for i := 0; i < 200; i++ {
+			in <- i
+		}
+		close(in)
+	}()
+	outc, errc := p.Process(context.Background(), in)
+	i := 0
+	for v := range outc {
+		if v != i+7 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+7)
+		}
+		i++
+		if i%10 == 0 {
+			time.Sleep(time.Millisecond) // lagging consumer
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if i != 200 {
+		t.Fatalf("got %d results, want 200", i)
 	}
 }
