@@ -24,6 +24,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -502,6 +503,246 @@ func runChaosStack(t *testing.T, seed int64) {
 	pool.Close()
 	cf.cutAll()
 	t.Logf("chaos: fired %d/%d events", len(sched.Fired()), sched.Len())
+	if err := guard.Check(10 * time.Second); err != nil {
+		t.Errorf("leak check: %v", err)
+	}
+}
+
+// TestChaosShardMigration drives a sharded deployment through seeded
+// worker churn while crash-stopping shard masters mid-stream at seeded
+// output offsets. Every kill must migrate the dead master's index range
+// to a fresh sibling with the output stream coming through exactly-once
+// and in order, and the union of the completion segments left on disk —
+// every shard, every epoch, including the killed masters' — must be
+// byte-identical to what an unfaulted run records.
+func TestChaosShardMigration(t *testing.T) {
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosShardMigration(t, seed)
+		})
+	}
+}
+
+func runChaosShardMigration(t *testing.T, seed int64) {
+	t.Logf("chaos: seed %d (reproduce: go test -run 'TestChaosShardMigration' -chaos.seed=%d)", seed, seed)
+	r := chaos.New(seed)
+	guard := chaos.Guard()
+	n := *chaosItems
+	if n < 40 {
+		// Kill offsets land in [n/8, n/2); a tiny replay value would park
+		// every kill on the same couple of outputs.
+		n = 40
+	}
+
+	f := func(v int) (int, error) { return v*v + 7, nil }
+	want := func(i int) int { return i*i + 7 }
+	name := integName("chaos-shard")
+	hb := pando.ChannelConfig{HeartbeatInterval: 20 * time.Millisecond}
+	segDir := t.TempDir()
+
+	pool := pando.NewPool(pando.WithChannelConfig(hb), pando.WithRebalanceInterval(25*time.Millisecond))
+	defer pool.Close()
+
+	handler := pando.Handler(f)
+	resolve := func(fn string) (worker.Handler, bool) {
+		if fn == name {
+			return handler, true
+		}
+		return nil, false
+	}
+	cf := &chaosFleet{}
+	defer cf.cutAll()
+	spawn := func(wname string, link netsim.Link, delay time.Duration) *netsim.Pipe {
+		v := &worker.Volunteer{
+			Name:       wname,
+			Channel:    hb,
+			Delay:      delay,
+			CrashAfter: -1,
+			Functions:  []string{"*"},
+			Resolve:    resolve,
+		}
+		pipe := netsim.NewPipe(link)
+		cf.add(pipe)
+		go func() { _ = v.JoinWS(pipe.A) }()
+		go func() { _ = pool.Fleet().Admit(transport.NewWSock(pipe.B, hb)) }()
+		return pipe
+	}
+
+	// --- Deployment shape, derived from the seed. ---
+	sr := r.Fork("shape")
+	nShards := 2 + sr.Intn(3) // 2..4 shard masters
+	p := pando.Map(pool, name, f,
+		pando.WithShards(nShards),
+		pando.WithShardWindow(32), // small window: reorder backpressure stays hot
+		pando.WithShardDir(segDir),
+		pando.WithChannelConfig(hb),
+		pando.WithoutRegistry())
+	defer p.Close()
+
+	// --- Fleet: enough devices to cover every shard, plus churn room. ---
+	wr := r.Fork("workers")
+	nWorkers := 2*nShards + wr.Intn(3)
+	workerPipes := make([]*netsim.Pipe, nWorkers)
+	workerLinks := make([]netsim.Link, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		link := netsim.Link{
+			Latency: wr.Duration(0, 3*time.Millisecond),
+			Jitter:  wr.Duration(0, 2*time.Millisecond),
+			Seed:    wr.Int63() | 1,
+		}
+		workerLinks[i] = link
+		workerPipes[i] = spawn(fmt.Sprintf("sw-%d", i+1), link, wr.Duration(2*time.Millisecond, 10*time.Millisecond))
+	}
+
+	// --- Seeded worker churn around the kills. Worker 0 is protected. ---
+	fr := r.Fork("faults")
+	sched := &chaos.Schedule{}
+	const horizon = 450 * time.Millisecond
+	for i := 1; i < nWorkers; i++ {
+		pipe := workerPipes[i]
+		wname := fmt.Sprintf("sw-%d", i+1)
+		at := fr.Duration(20*time.Millisecond, horizon-120*time.Millisecond)
+		switch fr.Intn(4) {
+		case 0: // churn: crash-stop, then the device rejoins
+			chaos.Cut(sched, wname, pipe, at)
+			rejoin := at + fr.Duration(40*time.Millisecond, 150*time.Millisecond)
+			link, delay := workerLinks[i], fr.Duration(2*time.Millisecond, 6*time.Millisecond)
+			sched.Add(rejoin, fmt.Sprintf("rejoin %s", wname), func() { spawn(wname, link, delay) })
+		case 1: // stalls straddling the heartbeat timeout
+			chaos.Flap(sched, fr.Fork("flap:"+wname), wname, pipe,
+				1+fr.Intn(2), at, 200*time.Millisecond, 10*time.Millisecond, 120*time.Millisecond)
+		case 2: // asymmetric congestion, then heal
+			chaos.Degrade(sched, wname, pipe, fr.Bool(0.5),
+				fr.Duration(20*time.Millisecond, 80*time.Millisecond),
+				at, fr.Duration(80*time.Millisecond, 250*time.Millisecond))
+		case 3: // permanent silent crash
+			chaos.Cut(sched, wname, pipe, at)
+		}
+	}
+	// Reinforcements: a fresh reliable device per shard near the horizon,
+	// so liveness holds no matter which devices the churn removed.
+	sched.Add(horizon, "reinforce fleet", func() {
+		for i := 0; i < nShards; i++ {
+			spawn(fmt.Sprintf("reinforce-%d", i+1), netsim.Loopback, 0)
+		}
+	})
+
+	// --- The shard kills: seeded (slot, output-offset) pairs, fired when
+	// the collector has read that many globally ordered results — so the
+	// crash always lands mid-stream, deterministically per seed. ---
+	kr := r.Fork("kills")
+	type shardKill struct{ at, slot int }
+	kills := make([]shardKill, 1+kr.Intn(nShards))
+	for i := range kills {
+		kills[i] = shardKill{at: n/8 + kr.Intn(n/2-n/8), slot: kr.Intn(nShards)}
+	}
+	sort.Slice(kills, func(i, j int) bool { return kills[i].at < kills[j].at })
+	for _, k := range kills {
+		t.Logf("chaos: will kill shard slot %d after output %d", k.slot, k.at)
+	}
+	t.Logf("chaos: %d shards, %d workers, %d scheduled events:\n%s",
+		nShards, nWorkers, sched.Len(), strings.Join(sched.Describe(), "\n"))
+
+	stopSched := make(chan struct{})
+	schedDone := make(chan struct{})
+	go func() { defer close(schedDone); sched.Play(stopSched) }()
+	var stopOnce sync.Once
+	stopPlay := func() { stopOnce.Do(func() { close(stopSched) }); <-schedDone }
+	defer stopPlay()
+
+	in := make(chan int)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- i
+		}
+	}()
+	out, errc := p.Process(context.Background(), in)
+
+	var got []int
+	timer := time.NewTimer(90 * time.Second)
+	defer timer.Stop()
+	next := 0
+collect:
+	for {
+		select {
+		case v, ok := <-out:
+			if !ok {
+				break collect
+			}
+			got = append(got, v)
+			for next < len(kills) && len(got) >= kills[next].at {
+				if err := p.FailShard(kills[next].slot); err != nil {
+					t.Fatalf("kill %d (slot %d): %v", next, kills[next].slot, err)
+				}
+				next++
+			}
+		case <-timer.C:
+			t.Fatalf("sharded stream wedged: %d/%d outputs (%d/%d kills fired)", len(got), n, next, len(kills))
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("sharded job failed: %v", err)
+	}
+	if next != len(kills) {
+		t.Fatalf("only %d/%d kills fired before the stream completed", next, len(kills))
+	}
+
+	// Invariant 1: exactly-once, in-order output across every migration.
+	if err := chaos.CheckExact(got, n, want); err != nil {
+		t.Errorf("sharded output: %v", err)
+	}
+
+	// Invariant 2: migration lineage — every kill produced a migrated row
+	// and a live adoptive successor.
+	stats := p.ShardStats()
+	migrated := 0
+	for _, s := range stats {
+		if s.Migrated {
+			migrated++
+		}
+	}
+	if migrated != len(kills) {
+		t.Errorf("%d migrated shard rows, want %d (stats: %+v)", migrated, len(kills), stats)
+	}
+	if len(stats) != nShards+len(kills) {
+		t.Errorf("%d shard rows, want %d members + %d migrations", len(stats), nShards, len(kills))
+	}
+
+	// Invariant 3: segment byte identity. Close flushes the segments;
+	// WithShardDir leaves them on disk. The union over all shards and
+	// epochs must record every index exactly as an unfaulted run would.
+	p.Close()
+	enc := transport.JSONCodec[int]{}
+	if err := chaos.VerifySegments(segDir, n, func(i int) []byte {
+		b, err := enc.Encode(want(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}); err != nil {
+		t.Errorf("segments: %v", err)
+	}
+
+	// Invariant 4: no stale fleet leases once the job has closed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stale := chaos.StaleLeases(pool.Workers(), func(string) bool { return false })
+		if len(stale) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("stale leases after close: %v", stale)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Invariant 5: everything unwinds.
+	stopPlay()
+	pool.Close()
+	cf.cutAll()
+	t.Logf("chaos: fired %d/%d events, %d shard kills", len(sched.Fired()), sched.Len(), len(kills))
 	if err := guard.Check(10 * time.Second); err != nil {
 		t.Errorf("leak check: %v", err)
 	}

@@ -47,6 +47,14 @@ func main() {
 		hotPay    = flag.Int("hotpath-payload", 16384, "payload bytes per item for -hotpath (default: one 128x128 grayscale imgproc tile)")
 		hotReps   = flag.Int("hotpath-reps", 3, "baseline/pooled pairs per -hotpath fleet cell (median-speedup pair is reported)")
 		hotOne    = flag.String("hotpath-one", "", "internal: run one fleet measurement (\"workers,items,payload,pooled\") and print items/sec")
+		shardExp  = flag.Bool("shard", false, "measure aggregate throughput of sharded masters against one master over the same modeled-uplink fleet")
+		shardOut  = flag.String("shard-out", "BENCH_shard.json", "where -shard persists its results")
+		shardCnts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard widths for -shard (the single-master baseline always runs)")
+		shardWrk  = flag.Int("shard-workers", 10000, "netsim volunteer count for -shard, split evenly across the shards")
+		shardPer  = flag.Int("shard-items", 2, "items per worker for each -shard cell")
+		shardPay  = flag.Int("shard-payload", 8192, "payload bytes per item for -shard")
+		shardUp   = flag.Int64("shard-uplink", int64(bench.DefaultShardUplink), "modeled per-master uplink in bytes/sec for -shard")
+		shardOne  = flag.String("shard-one", "", "internal: run one shard measurement (\"shards,workers,items,payload,uplink\") and print items/sec")
 		items     = flag.Int("items", 400, "work items per cell")
 		timeScale = flag.Float64("timescale", bench.DefaultTimeScale, "time compression factor")
 	)
@@ -73,6 +81,33 @@ func main() {
 			os.Exit(1)
 		}
 		rate, err := bench.RunHotpathProfile(w, it, pay, pooled)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%f\n", rate)
+		return
+	}
+
+	// Child mode for -shard, mirroring -hotpath-one: one cell per fresh
+	// process so a 10k-goroutine fleet cannot age the runtime under the
+	// cells after it.
+	if *shardOne != "" {
+		parts := strings.Split(*shardOne, ",")
+		if len(parts) != 5 {
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -shard-one %q\n", *shardOne)
+			os.Exit(1)
+		}
+		s, err1 := strconv.Atoi(parts[0])
+		w, err2 := strconv.Atoi(parts[1])
+		it, err3 := strconv.Atoi(parts[2])
+		pay, err4 := strconv.Atoi(parts[3])
+		up, err5 := strconv.ParseInt(parts[4], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -shard-one %q\n", *shardOne)
+			os.Exit(1)
+		}
+		rate, err := bench.RunShardProfile(s, w, it, pay, up)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pando-bench:", err)
 			os.Exit(1)
@@ -254,10 +289,61 @@ func main() {
 		fmt.Printf("results written to %s\n", *hotOut)
 	}
 
+	if *shardExp {
+		ran = true
+		var counts []int
+		for _, c := range strings.Split(*shardCnts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "pando-bench: bad -shard-counts entry %q\n", c)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+		cmp, err := bench.RunShardWith(counts, *shardWrk, *shardPer, *shardPay, *shardUp, freshShardRun)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		bench.RenderShard(os.Stdout, cmp)
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*shardOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *shardOut)
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// freshShardRun executes one -shard cell in a child process (this same
+// binary with -shard-one) and parses the rate it prints. Falls back to
+// an in-process run if the executable path is unavailable.
+func freshShardRun(shards, workers, items, payload int, uplink int64) (float64, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return bench.RunShardProfile(shards, workers, items, payload, uplink)
+	}
+	arg := fmt.Sprintf("%d,%d,%d,%d,%d", shards, workers, items, payload, uplink)
+	cmd := exec.Command(exe, "-shard-one", arg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("shard child %s: %w", arg, err)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(string(out)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("shard child %s: bad output %q", arg, out)
+	}
+	return rate, nil
 }
 
 // freshProcessRun executes one -hotpath fleet measurement in a child

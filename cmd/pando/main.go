@@ -21,11 +21,13 @@ import (
 	"time"
 
 	"pando/internal/apps"
+	"pando/internal/fleet"
 	"pando/internal/journal"
 	"pando/internal/master"
 	"pando/internal/netsim"
 	"pando/internal/pprofserve"
 	"pando/internal/pullstream"
+	"pando/internal/shard"
 	"pando/internal/transport"
 	"pando/internal/worker"
 )
@@ -52,6 +54,7 @@ func run() error {
 		fsync    = fs.Duration("fsync", 0, "checkpoint fsync batching interval (0: default 100ms; negative: every record)")
 		window   = fs.Int("window", 0, "bound buffered results to this many; past it input reads pause (or overflow spills, with -spill)")
 		spill    = fs.String("spill", "", "with -window: page far-ahead results to this transient file instead of pausing input reads")
+		shards   = fs.Int("shards", 1, "partition the input across this many cooperating master shards (ordered output, volunteer-pool leasing)")
 		pprofArg = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	fs.Usage = func() {
@@ -91,6 +94,9 @@ func run() error {
 		Batch:    *batch,
 		Ordered:  true,
 	}
+	if *shards > 1 && (*ckpt != "" || *spill != "") {
+		return fmt.Errorf("-shards cannot be combined with -checkpoint or -spill; each shard keeps its own completion segment")
+	}
 	if *ckpt != "" {
 		j, err := journal.Open(*ckpt, journal.Options{SyncInterval: *fsync})
 		if err != nil {
@@ -118,7 +124,48 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "pprof at http://%s/debug/pprof/\n", *pprofArg)
 	}
-	m := master.New[string, json.RawMessage](cfg, stringCodec{}, rawCodec{})
+	// Single master or a sharded group: either way the rest of the
+	// command talks to a front master (HTTP, reporter), a bind function
+	// and a volunteer entry point.
+	var (
+		front      *master.Master[string, json.RawMessage]
+		bind       func(pullstream.Source[string]) pullstream.Source[json.RawMessage]
+		serveWS    func(net.Listener)
+		serveRTC   func(*transport.RTCAnswerer)
+		admitLocal func()
+	)
+	if *shards > 1 {
+		dir, err := os.MkdirTemp("", "pando-shards-")
+		if err != nil {
+			return fmt.Errorf("shard segment dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		pool := fleet.NewPool(fleet.Config{})
+		defer pool.Close()
+		g, err := shard.New[string, json.RawMessage](pool, shard.Config{
+			Shards:    *shards,
+			Dir:       dir,
+			DeadAfter: 10 * time.Second,
+			Master:    cfg,
+		}, stringCodec{}, rawCodec{})
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		front = g.Front()
+		front.SetShardStats(g.Stats)
+		bind = g.Bind
+		serveWS = func(ln net.Listener) { go pool.ServeWS(ln) }
+		serveRTC = func(a *transport.RTCAnswerer) { go pool.ServeRTC(a) }
+		admitLocal = func() { addPoolWorker(pool, funcName) }
+	} else {
+		m := master.New[string, json.RawMessage](cfg, stringCodec{}, rawCodec{})
+		front = m
+		bind = m.Bind
+		serveWS = func(ln net.Listener) { go m.ServeWS(ln) }
+		serveRTC = func(a *transport.RTCAnswerer) { go m.ServeRTC(a) }
+		admitLocal = func() { addLocalWorker(m, funcName) }
+	}
 
 	// Data plane on :port+1, deployment URL on :port — the paper's
 	// "Serving volunteer code at http://10.10.14.119:5000" (Figure 3).
@@ -127,14 +174,14 @@ func run() error {
 		return fmt.Errorf("listen data: %w", err)
 	}
 	defer dataLn.Close()
-	go m.ServeWS(dataLn)
+	serveWS(dataLn)
 
 	httpLn, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
 	if err != nil {
 		return fmt.Errorf("listen http: %w", err)
 	}
 	defer httpLn.Close()
-	srv := m.ServeHTTPInfo(httpLn, master.Invitation{
+	srv := front.ServeHTTPInfo(httpLn, master.Invitation{
 		Transport: "ws",
 		DataAddr:  advertiseAddr(httpLn, *port+1),
 	})
@@ -164,17 +211,17 @@ func run() error {
 		defer directLn.Close()
 		answerer := transport.NewRTCAnswerer(signal, directLn, transport.Config{})
 		defer answerer.Close()
-		go m.ServeRTC(answerer)
+		serveRTC(answerer)
 		fmt.Fprintf(os.Stderr, "Registered on public server %s as %q\n", *public, *masterID)
 		fmt.Fprintf(os.Stderr, "Remote volunteers join with: volunteer --via %s --master %s\n", *public, *masterID)
 	}
 
 	for i := 0; i < *local; i++ {
-		addLocalWorker(m, funcName)
+		admitLocal()
 	}
 
 	if *report {
-		rep := m.StartReporter(os.Stderr, 2*time.Second, 10*time.Second)
+		rep := front.StartReporter(os.Stderr, 2*time.Second, 10*time.Second)
 		defer rep.Stop()
 	}
 
@@ -195,7 +242,7 @@ func run() error {
 		src = pullstream.Values(fs.Args()...)
 	}
 
-	out := m.Bind(src)
+	out := bind(src)
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	return pullstream.Drain(out, func(v json.RawMessage) error {
@@ -218,6 +265,16 @@ func addLocalWorker[I, O any](m *master.Master[I, O], funcName string) {
 	pipe := netsim.NewPipe(netsim.Loopback)
 	go v.JoinWS(pipe.A)
 	go m.Admit(transport.NewWSock(pipe.B, transport.Config{}))
+}
+
+// addPoolWorker attaches one in-process volunteer to the shared fleet, so
+// the pool may lease it to whichever shard master needs it.
+func addPoolWorker(p *fleet.Pool, funcName string) {
+	h, _ := worker.Lookup(funcName)
+	v := &worker.Volunteer{Name: "local", Handler: h, CrashAfter: -1, Functions: []string{funcName}}
+	pipe := netsim.NewPipe(netsim.Loopback)
+	go v.JoinWS(pipe.A)
+	go p.Admit(transport.NewWSock(pipe.B, transport.Config{}))
 }
 
 // advertiseAddr picks a non-loopback address to print, as the paper does.

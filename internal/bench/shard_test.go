@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// Small-scale smoke: the shard cells complete, produce positive rates,
+// and a 2-shard group over a bandwidth-bound fleet beats the single
+// master whose uplink it doubles.
+func TestRunShardSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke")
+	}
+	// 40 workers, 2 items each, 2 KB payloads, a deliberately narrow
+	// uplink (256 KB/s) so pacing — not CPU — is the bottleneck even at
+	// toy scale.
+	cmp, err := RunShardWith([]int{1, 2}, 40, 2, 2048, 256<<10,
+		func(shards, workers, items, payload int, uplink int64) (float64, error) {
+			return RunShardProfile(shards, workers, items, payload, uplink)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Profiles) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(cmp.Profiles))
+	}
+	for _, p := range cmp.Profiles {
+		if p.ItemsPerSec <= 0 {
+			t.Fatalf("cell %d shards: rate %f", p.Shards, p.ItemsPerSec)
+		}
+	}
+	base, two := cmp.Profiles[0].ItemsPerSec, cmp.Profiles[2].ItemsPerSec
+	if two < base*1.3 {
+		t.Errorf("2 shards = %.0f items/s, baseline = %.0f; expected a clear win on a bandwidth-bound fleet", two, base)
+	}
+}

@@ -39,6 +39,7 @@ type DistributedMap[I, O any] struct {
 	mu       sync.Mutex
 	closed   bool
 	attached int
+	live     int
 	observer func(Event)
 }
 
@@ -189,6 +190,7 @@ func (d *DistributedMap[I, O]) admit(name string) error {
 		return ErrEngineClosed
 	}
 	d.attached++
+	d.live++
 	observer := d.observer
 	d.mu.Unlock()
 	if observer != nil {
@@ -202,8 +204,16 @@ func (d *DistributedMap[I, O]) admit(name string) error {
 // processor's controller when the stream ends.
 func (d *DistributedMap[I, O]) watch(name string, sd pullstream.Duplex[O, I], results pullstream.Source[O], ctrl *sched.Controller) {
 	observer := d.observer
+	var gone sync.Once
 	watched := func(abort error, cb pullstream.Callback[O]) {
 		results(abort, func(end error, v O) {
+			if end != nil {
+				gone.Do(func() {
+					d.mu.Lock()
+					d.live--
+					d.mu.Unlock()
+				})
+			}
 			if end != nil && ctrl != nil {
 				d.s.Detach(ctrl)
 			}
@@ -230,6 +240,17 @@ func (d *DistributedMap[I, O]) Attached() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.attached
+}
+
+// Live returns how many attached processors are currently serving —
+// attachments whose result streams have not ended. A sharded master's
+// coordinator reads it (through the fleet's lease accounting) as the
+// liveness signal that decides when a shard lost its whole fleet and its
+// range should migrate.
+func (d *DistributedMap[I, O]) Live() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.live
 }
 
 // Stats exposes the coordination counters (values lent, failed queue
@@ -260,3 +281,9 @@ func (d *DistributedMap[I, O]) Close() {
 	d.mu.Unlock()
 	d.s.Stop()
 }
+
+// Abort fails the engine's merged output from the owner's side: the
+// parked output ask (and every future one) answers err immediately,
+// releasing a consumer whose remaining results can never arrive (see
+// Lender.Abort).
+func (d *DistributedMap[I, O]) Abort(err error) { d.l.Abort(err) }

@@ -114,6 +114,7 @@ type Pool struct {
 	sessions map[int]*session
 	nextID   int
 	nextName int
+	rrNext   int // rotation cursor for starved-fleet round-robin
 	closed   bool
 
 	done     chan struct{}
@@ -598,6 +599,26 @@ func (p *Pool) rebalanceOnce() {
 			total++
 		}
 	}
+	open := 0
+	for _, j := range p.jobs {
+		if j.Demand() > 0 {
+			open++
+		}
+	}
+	if total > 0 && total < open {
+		// More open jobs than leased workers: every fair-share target is
+		// sub-1, so the whole-worker deficit threshold below can never
+		// fire for a starved job — the fleet would freeze on whichever
+		// jobs happened to lease first. Degrade to round-robin
+		// time-sharing: each tick moves one worker from the job holding
+		// the most leases to the next lease-less open job in registration
+		// order, so every open job is served in turn regardless of how
+		// lopsided the demand weights are.
+		donor, receiver := p.roundRobinLocked(counts)
+		p.mu.Unlock()
+		p.moveLease(donor, receiver)
+		return
+	}
 	targets := p.targetsLocked(total)
 	if len(targets) == 0 {
 		p.mu.Unlock()
@@ -620,12 +641,47 @@ func (p *Pool) rebalanceOnce() {
 			receiver, deficit = j, -diff
 		}
 	}
+	p.mu.Unlock()
+	p.moveLease(donor, receiver)
+}
+
+// roundRobinLocked picks the starved-fleet move: the receiver is the
+// first open lease-less job at or after the rotation cursor (which then
+// advances past it, so successive ticks serve every open job in turn),
+// the donor the job currently holding the most leases. Either may be nil
+// — no starved job, or nobody holding a lease — making the tick a no-op.
+// Caller holds p.mu.
+func (p *Pool) roundRobinLocked(counts map[Job]int) (donor, receiver Job) {
+	n := len(p.jobs)
+	for k := 0; k < n; k++ {
+		j := p.jobs[(p.rrNext+k)%n]
+		if counts[j] == 0 && j.Demand() > 0 {
+			receiver = j
+			p.rrNext = (p.rrNext + k + 1) % n
+			break
+		}
+	}
+	if receiver == nil {
+		return nil, nil
+	}
+	best := 0
+	for _, j := range p.jobs {
+		if j != receiver && counts[j] > best {
+			donor, best = j, counts[j]
+		}
+	}
+	return donor, receiver
+}
+
+// moveLease reassigns one movable session — pool-aware, currently
+// leased to the donor, able to serve the receiver — from donor to
+// receiver. A nil donor or receiver, or no such session, makes the move
+// a no-op.
+func (p *Pool) moveLease(donor, receiver Job) {
 	if donor == nil || receiver == nil || donor == receiver {
-		p.mu.Unlock()
 		return
 	}
-	// Pick a movable (pool-aware, currently leased) session of the donor
-	// that can serve the receiver.
+	p.mu.Lock()
 	var victim *session
 	for _, s := range p.sessions {
 		if s.aware && s.currentJob() == donor && s.isLeased() && s.serves(receiver.Name()) {
@@ -639,5 +695,26 @@ func (p *Pool) rebalanceOnce() {
 	}
 	if victim.revoke(donor) {
 		victim.reassign(receiver)
+	}
+}
+
+// SeverJob crash-stops every session currently leased (or moving) to j
+// by closing its channel, as if the job's whole fleet vanished at once.
+// The sessions die through the normal channel-failure path: the job's
+// duplex fails and re-lends its in-flight values, pumps observe the
+// close and prune the sessions from the pool. A sharded master's Kill
+// uses it to make the loss of one shard total, so range migration — not
+// lingering half-dead leases — recovers the work.
+func (p *Pool) SeverJob(j Job) {
+	p.mu.Lock()
+	var held []*session
+	for _, s := range p.sessions {
+		if s.currentJob() == j {
+			held = append(held, s)
+		}
+	}
+	p.mu.Unlock()
+	for _, s := range held {
+		s.ch.Close()
 	}
 }

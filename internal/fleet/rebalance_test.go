@@ -108,6 +108,78 @@ func TestTargetsEdgeCases(t *testing.T) {
 	}
 }
 
+// TestRebalanceRoundRobinWhenJobsExceedWorkers: with more open jobs than
+// leased workers every fair-share target is sub-1, so the whole-worker
+// deficit threshold can never trigger and the proportional scan would
+// freeze the fleet on whichever jobs leased first — a demand-1000 job
+// could hold the only worker forever. The scan must degrade to
+// round-robin time-sharing: each tick hands the worker to the next
+// lease-less open job in registration order, skipping complete jobs, so
+// every open job is served in turn regardless of demand weights.
+func TestRebalanceRoundRobinWhenJobsExceedWorkers(t *testing.T) {
+	cases := []struct {
+		name    string
+		demands []int // one job per entry, named "a", "b", ...
+		// wantOrder is the expected sequence of reassign destinations
+		// over successive scan ticks; the single worker starts on the
+		// job admission routed it to (always "a" in these tables).
+		wantOrder []string
+	}{
+		{
+			// Four equal jobs, one worker: the rotation must visit every
+			// job and wrap around.
+			name:      "single worker cycles all open jobs",
+			demands:   []int{1, 1, 1, 1},
+			wantOrder: []string{"b", "c", "d", "a", "b"},
+		},
+		{
+			// A job with overwhelming demand weight must still yield the
+			// worker to its demand-1 siblings on every rotation turn.
+			name:      "heavy demand cannot hog the only worker",
+			demands:   []int{1000, 1, 1},
+			wantOrder: []string{"b", "c", "a", "b"},
+		},
+		{
+			// A complete job neither receives the worker nor stalls the
+			// rotation.
+			name:      "complete job skipped in rotation",
+			demands:   []int{1, 0, 1},
+			wantOrder: []string{"c", "a", "c"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPool(Config{Rebalance: -1})
+			defer p.Close()
+			jobs := make(map[string]*fakeJob, len(tc.demands))
+			for i, d := range tc.demands {
+				name := string(rune('a' + i))
+				jobs[name] = newFakeJob(name, d)
+				if err := p.Register(jobs[name]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ch := rawVolunteer(t, p, &proto.Message{Peer: "only", Functions: []string{"*"}})
+			recvType(t, ch, proto.TypeWelcome)
+			jobs["a"].waitLease(t)
+
+			for i, want := range tc.wantOrder {
+				p.rebalanceOnce()
+				re := recvType(t, ch, proto.TypeReassign)
+				if re.Func != want {
+					t.Fatalf("tick %d: reassigned to %q, want %q", i, re.Func, want)
+				}
+				// Complete the reassign barrier so the lease settles
+				// before the next tick.
+				if err := ch.Send(&proto.Message{Type: proto.TypeReassign, Func: re.Func}); err != nil {
+					t.Fatal(err)
+				}
+				jobs[want].waitLease(t)
+			}
+		})
+	}
+}
+
 // TestRebalanceAllDemandZeroIsQuiescent: with every job complete, a scan
 // tick must move nothing and leave lease state untouched.
 func TestRebalanceAllDemandZeroIsQuiescent(t *testing.T) {

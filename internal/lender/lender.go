@@ -293,6 +293,30 @@ func (l *Lender[I, O]) OnResult(fn func(idx int, v O)) {
 	l.mu.Unlock()
 }
 
+// Abort fails the merged output from the producer's side: the parked
+// output ask (and every future one) answers err immediately. The shard
+// layer uses it on a killed member — its fleet is severed, so the
+// results its output is waiting on will never arrive and the consumer's
+// pull would otherwise park forever.
+func (l *Lender[I, O]) Abort(err error) {
+	l.mu.Lock()
+	if l.aborted == nil {
+		l.aborted = err
+	}
+	l.outDone = true
+	var cbs []func()
+	if l.out != nil {
+		cb := l.out.cb
+		l.out = nil
+		cbs = append(cbs, func() {
+			var zero O
+			cb(err, zero)
+		})
+	}
+	l.mu.Unlock()
+	run(cbs)
+}
+
 // Bind attaches the input source and returns the merged output source,
 // mirroring pull(input, lender, output) in the paper's Figure 9.
 func (l *Lender[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {

@@ -1,0 +1,193 @@
+package lender
+
+// Range-restricted sources for sharded masters: a shard member's engine
+// does not bind the global input stream — it binds a RangeFeed, the
+// bounded queue of (global index, value) pairs a coordinator routes to
+// the shard's owned index ranges. The feed assigns engine-local indices
+// in arrival order and keeps the local→global translation in an
+// IndexMap, so the shard's ordered local output (and its completion
+// segment) can be mapped back onto the global index space by the merge
+// layer.
+
+import (
+	"errors"
+	"sync"
+
+	"pando/internal/pullstream"
+)
+
+// ErrFeedClosed reports a Push on a closed feed — the signal that the
+// feed's owner died or migrated and the value must be rerouted.
+var ErrFeedClosed = errors.New("lender: range feed closed")
+
+// IndexMap is an append-only, concurrency-safe local→global index
+// translation. A shard's source appends the global index of each value
+// as it yields it (the engine numbers inputs in exactly that order), and
+// the drain side looks locals up as ordered results emerge.
+type IndexMap struct {
+	mu      sync.Mutex
+	globals []int
+}
+
+// Append records the next local index's global counterpart and returns
+// the local index it was assigned.
+func (m *IndexMap) Append(global int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.globals = append(m.globals, global)
+	return len(m.globals) - 1
+}
+
+// Global translates a local index; ok is false for a local index that
+// has not been assigned.
+func (m *IndexMap) Global(local int) (global int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if local < 0 || local >= len(m.globals) {
+		return 0, false
+	}
+	return m.globals[local], true
+}
+
+// Len reports how many locals have been assigned.
+func (m *IndexMap) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.globals)
+}
+
+// FeedItem is one routed value awaiting a shard's engine.
+type FeedItem[I any] struct {
+	Global int
+	Value  I
+}
+
+// RangeFeed is a bounded FIFO of routed values feeding one shard
+// member's engine. Push blocks while the feed is full — the coordinator's
+// run-ahead per shard is O(capacity), and the bound propagates as
+// backpressure to the global input. Closing the feed ends the source
+// after (Close) or instead of (CloseDiscard) draining the buffer.
+type RangeFeed[I any] struct {
+	idx *IndexMap
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	buf         []FeedItem[I]
+	cap         int
+	preAssigned int // leading yields whose IndexMap entry Preload already made
+	closed      bool
+	end         error // terminal answer once drained; ErrDone when closed nil
+}
+
+// NewRangeFeed creates a feed of the given capacity whose source records
+// local→global assignments into idx.
+func NewRangeFeed[I any](capacity int, idx *IndexMap) *RangeFeed[I] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	f := &RangeFeed[I]{idx: idx, cap: capacity}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Preload seeds the feed ahead of its first pull, ignoring the capacity
+// bound: the values granted to an adopting shard in a range hand-off are
+// loaded in one piece so their engine-local order (and with it the local
+// indices of any restored entries) is fixed up front. The local→global
+// assignments are made here, not at yield time — the engine replays a
+// restored entry the moment its predecessors' results exist, which can
+// be before the source has yielded that position, and the drain side
+// must already be able to translate it.
+func (f *RangeFeed[I]) Preload(items []FeedItem[I]) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, it := range items {
+		f.idx.Append(it.Global)
+	}
+	f.preAssigned += len(items)
+	f.buf = append(f.buf, items...)
+	f.cond.Broadcast()
+}
+
+// Push appends one routed value, blocking while the feed is full. It
+// returns ErrFeedClosed once the feed closed — the value was not
+// enqueued and must be rerouted.
+func (f *RangeFeed[I]) Push(global int, v I) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for !f.closed && len(f.buf) >= f.cap {
+		f.cond.Wait()
+	}
+	if f.closed {
+		return ErrFeedClosed
+	}
+	f.buf = append(f.buf, FeedItem[I]{Global: global, Value: v})
+	f.cond.Broadcast()
+	return nil
+}
+
+// Close ends the feed: buffered values still drain, then the source
+// answers end (nil means a normal ErrDone). Idempotent.
+func (f *RangeFeed[I]) Close(end error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.end = end
+	f.cond.Broadcast()
+}
+
+// CloseDiscard ends the feed immediately, dropping buffered values — the
+// crash-stop of a killed shard, whose undelivered values are rerouted by
+// the coordinator's grant instead of drained here. Idempotent.
+func (f *RangeFeed[I]) CloseDiscard(end error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.end = end
+	f.buf = nil
+	f.cond.Broadcast()
+}
+
+// Source is the pull-stream view the shard's engine binds. Each yielded
+// value's global index is appended to the feed's IndexMap at yield time,
+// so local indices correspond to yield order by construction.
+func (f *RangeFeed[I]) Source() pullstream.Source[I] {
+	return func(abort error, cb pullstream.Callback[I]) {
+		var zero I
+		if abort != nil {
+			cb(abort, zero)
+			return
+		}
+		f.mu.Lock()
+		for len(f.buf) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if len(f.buf) == 0 {
+			end := f.end
+			f.mu.Unlock()
+			if end == nil {
+				end = pullstream.ErrDone
+			}
+			cb(end, zero)
+			return
+		}
+		it := f.buf[0]
+		f.buf = f.buf[1:]
+		assigned := f.preAssigned > 0
+		if assigned {
+			f.preAssigned--
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		if !assigned {
+			f.idx.Append(it.Global)
+		}
+		cb(nil, it.Value)
+	}
+}

@@ -76,6 +76,21 @@ type Config struct {
 	// speed ahead of a slow consumer. The caller owns the store's
 	// lifecycle (Close it after the master).
 	Spill *journal.SpillStore
+	// ResultHook, when non-nil, receives every newly accepted result as
+	// (index, encoded payload), after the journal write (if any) and
+	// before the result is emitted downstream. A sharded master records
+	// results into its shard's completion segment through it, so any
+	// result a consumer ever sees is already durable in some segment —
+	// the invariant that makes range migration exactly-once. The hook
+	// must not block.
+	ResultHook func(idx int, data []byte)
+	// RestoreEntries seeds the engine with completed results recovered
+	// from elsewhere than Config.Journal — e.g. the segment copy an
+	// adopting shard received in a range hand-off. Entries are decoded
+	// with the output codec; ones that no longer decode are skipped and
+	// recomputed. Applied after the Journal's own recovered set (later
+	// entries win on index collisions).
+	RestoreEntries []journal.Entry
 }
 
 // spillStore adapts the optional config store to the engine's interface
@@ -155,6 +170,60 @@ type WorkerStats struct {
 	history []time.Time
 }
 
+// ShardStats is one shard's row in a sharded master's accounting: which
+// contiguous chunks of the global index space it owns, how hungry it is,
+// and how deep the merge layer is buffering on its behalf. A shard.Group
+// installs a provider via SetShardStats; single-master deployments never
+// see this type.
+type ShardStats struct {
+	// Shard is the shard's id (its position in the coordinator's ring).
+	Shard int `json:"shard"`
+	// Epoch counts ownership hand-offs of this shard's range set; it
+	// starts at 0 and increments each time the range migrates.
+	Epoch int `json:"epoch"`
+	// Lo and Hi bound the global indices routed to this shard so far
+	// (inclusive/exclusive); both are 0 before its first value.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Outstanding and Failed mirror the shard engine's Backlog — the
+	// demand signal its fleet.Job presents to the shared pool.
+	Outstanding int `json:"outstanding"`
+	Failed      int `json:"failed"`
+	// MergeDepth is how many of this shard's results the merge layer is
+	// currently holding for global reordering.
+	MergeDepth int `json:"merge_depth"`
+	// LiveWorkers counts the shard's currently attached processors.
+	LiveWorkers int `json:"live_workers"`
+	// Items counts results the shard has accepted (including any it
+	// recovered from a migrated segment copy).
+	Items int `json:"items"`
+	// Migrated marks a shard whose range was handed to a sibling; Dead
+	// marks one the coordinator declared lost.
+	Migrated bool `json:"migrated"`
+	Dead     bool `json:"dead"`
+}
+
+// SetShardStats installs the per-shard stats provider. The master's
+// /stats endpoint and reporter include the provider's rows once set; fn
+// must be safe for concurrent use.
+func (m *Master[I, O]) SetShardStats(fn func() []ShardStats) {
+	m.mu.Lock()
+	m.shardStats = fn
+	m.mu.Unlock()
+}
+
+// ShardStats returns the per-shard rows, or nil when this master is not
+// the front of a sharded group.
+func (m *Master[I, O]) ShardStats() []ShardStats {
+	m.mu.Lock()
+	fn := m.shardStats
+	m.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
 // Throughput returns items per second over the device's active period.
 func (w WorkerStats) Throughput() float64 {
 	d := w.LastSeen.Sub(w.FirstSeen)
@@ -181,10 +250,11 @@ type Master[I, O any] struct {
 	// (NewJob) leasing from a shared pool.
 	pool *fleet.Pool
 
-	mu      sync.Mutex
-	workers map[string]*WorkerStats
-	closed  bool
-	jerr    error // first journal write failure, for diagnostics
+	mu         sync.Mutex
+	workers    map[string]*WorkerStats
+	closed     bool
+	jerr       error // first journal write failure, for diagnostics
+	shardStats func() []ShardStats
 }
 
 // engine abstracts the plain and grouped data planes.
@@ -194,7 +264,9 @@ type engine[I, O any] interface {
 	Stats() (lentNow, failedQueue, subStreams, ended int)
 	Backlog() (outstanding, failed int, complete bool)
 	Flows() []sched.WorkerFlow
+	Live() int
 	Close()
+	Abort(error)
 }
 
 // plainEngine lends individual values.
@@ -224,7 +296,11 @@ func (e *plainEngine[I, O]) Backlog() (int, int, bool) { return e.d.Backlog() }
 
 func (e *plainEngine[I, O]) Flows() []sched.WorkerFlow { return e.d.Flows() }
 
+func (e *plainEngine[I, O]) Live() int { return e.d.Live() }
+
 func (e *plainEngine[I, O]) Close() { e.d.Close() }
+
+func (e *plainEngine[I, O]) Abort(err error) { e.d.Abort(err) }
 
 // groupedEngine lends whole groups of values: inputs are grouped before
 // the StreamLender so the unit of lending, re-lending on crash, and
@@ -268,7 +344,11 @@ func (e *groupedEngine[I, O]) Flows() []sched.WorkerFlow {
 	return flows
 }
 
+func (e *groupedEngine[I, O]) Live() int { return e.d.Live() }
+
 func (e *groupedEngine[I, O]) Close() { e.d.Close() }
+
+func (e *groupedEngine[I, O]) Abort(err error) { e.d.Abort(err) }
 
 // New creates a classic single-deployment master: a typed job fused with
 // its own single-job fleet pool, so Admit/ServeWS/ServeRTC keep working
@@ -295,7 +375,7 @@ func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O])
 			opts = append(opts, core.WithUnordered())
 		}
 		d := core.New[[]I, []O](opts...)
-		if cfg.Journal != nil {
+		if cfg.Journal != nil || cfg.ResultHook != nil || len(cfg.RestoreEntries) > 0 {
 			d.Restore(m.groupedRestore())
 			d.OnResult(m.groupedRecord())
 		}
@@ -317,7 +397,7 @@ func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O])
 		opts = append(opts, core.WithUnordered())
 	}
 	d := core.New[I, O](opts...)
-	if cfg.Journal != nil {
+	if cfg.Journal != nil || cfg.ResultHook != nil || len(cfg.RestoreEntries) > 0 {
 		d.Restore(m.plainRestore())
 		d.OnResult(m.plainRecord())
 	}
@@ -328,13 +408,23 @@ func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O])
 	return m
 }
 
-// plainRestore decodes the journal's recovered entries into the lender's
-// completed set. An entry whose payload no longer decodes (e.g. the
-// deployment's output codec changed) is skipped — that index is simply
-// recomputed, so a stale journal degrades to extra work, never to a
-// failed restart.
+// restoreEntries lists every completed entry the config recovers from:
+// the journal's own recovered set first, then RestoreEntries (so a
+// hand-off copy wins index collisions).
+func (m *Master[I, O]) restoreEntries() []journal.Entry {
+	var entries []journal.Entry
+	if m.cfg.Journal != nil {
+		entries = m.cfg.Journal.Completed()
+	}
+	return append(entries, m.cfg.RestoreEntries...)
+}
+
+// plainRestore decodes the recovered entries into the lender's completed
+// set. An entry whose payload no longer decodes (e.g. the deployment's
+// output codec changed) is skipped — that index is simply recomputed, so
+// a stale journal degrades to extra work, never to a failed restart.
 func (m *Master[I, O]) plainRestore() map[int]O {
-	entries := m.cfg.Journal.Completed()
+	entries := m.restoreEntries()
 	restore := make(map[int]O, len(entries))
 	for _, e := range entries {
 		if v, err := m.out.Decode(e.Data); err == nil {
@@ -344,17 +434,25 @@ func (m *Master[I, O]) plainRestore() map[int]O {
 	return restore
 }
 
-// plainRecord journals one accepted result. Write failures are remembered
-// (JournalErr) but do not interrupt the stream: a deployment with a full
-// disk keeps computing, it just stops gaining durability.
+// plainRecord journals one accepted result and hands its encoding to the
+// ResultHook. Write failures are remembered (JournalErr) but do not
+// interrupt the stream: a deployment with a full disk keeps computing, it
+// just stops gaining durability.
 func (m *Master[I, O]) plainRecord() func(int, O) {
+	jnl, hook := m.cfg.Journal, m.cfg.ResultHook
 	return func(idx int, v O) {
 		data, err := m.out.Encode(v)
-		if err == nil {
-			err = m.cfg.Journal.Record(idx, data)
-		}
 		if err != nil {
 			m.noteJournalErr(err)
+			return
+		}
+		if jnl != nil {
+			if err := jnl.Record(idx, data); err != nil {
+				m.noteJournalErr(err)
+			}
+		}
+		if hook != nil {
+			hook(idx, data)
 		}
 	}
 }
@@ -363,7 +461,7 @@ func (m *Master[I, O]) plainRecord() func(int, O) {
 // the unit of journaling is the group (matching the unit of lending and
 // re-lending), framed as uvarint-length-prefixed encoded values.
 func (m *Master[I, O]) groupedRestore() map[int][]O {
-	entries := m.cfg.Journal.Completed()
+	entries := m.restoreEntries()
 	restore := make(map[int][]O, len(entries))
 	for _, e := range entries {
 		if vs, err := decodeGroup(m.out, e.Data); err == nil {
@@ -374,13 +472,20 @@ func (m *Master[I, O]) groupedRestore() map[int][]O {
 }
 
 func (m *Master[I, O]) groupedRecord() func(int, []O) {
+	jnl, hook := m.cfg.Journal, m.cfg.ResultHook
 	return func(idx int, vs []O) {
 		data, err := encodeGroup(m.out, vs)
-		if err == nil {
-			err = m.cfg.Journal.Record(idx, data)
-		}
 		if err != nil {
 			m.noteJournalErr(err)
+			return
+		}
+		if jnl != nil {
+			if err := jnl.Record(idx, data); err != nil {
+				m.noteJournalErr(err)
+			}
+		}
+		if hook != nil {
+			hook(idx, data)
 		}
 	}
 }
@@ -569,6 +674,11 @@ func (m *Master[I, O]) LenderStats() (lentNow, failedQueue, subStreams, ended in
 	return m.engine.Stats()
 }
 
+// LiveWorkers counts the currently attached processors — attachments
+// whose streams have not ended. A shard coordinator polls it as the
+// liveness signal behind range migration.
+func (m *Master[I, O]) LiveWorkers() int { return m.engine.Live() }
+
 // Close marks the master as shutting down; its own pool (if any) refuses
 // further admissions, in-flight Serve loops exit on their next accept
 // error and the engine's straggler scan stops.
@@ -581,6 +691,12 @@ func (m *Master[I, O]) Close() {
 	}
 	m.engine.Close()
 }
+
+// Abort fails the master's bound output stream immediately: the engine's
+// parked and future output asks answer err. The shard coordinator calls
+// it on a killed member — the severed fleet will never deliver the
+// results the output is parked on, and the drain must come home.
+func (m *Master[I, O]) Abort(err error) { m.engine.Abort(err) }
 
 func (m *Master[I, O]) isClosed() bool {
 	m.mu.Lock()

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"sync"
+
+	"pando/internal/pullstream"
+)
+
+// Merger restores global output order from the per-shard ordered
+// substreams with O(window) buffering. Each shard's drainer inserts
+// (global index, result) pairs in ascending global order (its engine is
+// ordered and its feed is routed in global arrival order); the merger
+// holds at most `window` results ahead of the emission cursor and blocks
+// any inserter that would exceed it — the backpressure that keeps an
+// arbitrarily long sharded stream in bounded master memory, riding the
+// same bound-and-block discipline as the lender's memory bound.
+//
+// Deadlock-freedom of the bound: the cursor's next value is always the
+// minimal uninserted global, and the shard owning it inserts its globals
+// ascending, so that shard's next insert IS the cursor value — which is
+// always admitted regardless of buffer depth. Every other blocked
+// inserter wakes as emissions advance the cursor.
+type Merger[O any] struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      map[int]O
+	cursor   int
+	window   int
+	total    int
+	totalSet bool
+	failed   error
+	onEmit   func(global int)
+	maxDepth int
+}
+
+// NewMerger creates a merger admitting at most window results ahead of
+// the cursor.
+func NewMerger[O any](window int) *Merger[O] {
+	if window < 1 {
+		window = 1
+	}
+	m := &Merger[O]{buf: make(map[int]O), window: window}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// OnEmit registers fn, invoked (outside the merger's lock) with each
+// global index as it is emitted; the coordinator prunes its retained
+// input there. Call before the first Insert.
+func (m *Merger[O]) OnEmit(fn func(global int)) { m.onEmit = fn }
+
+// SetTotal fixes the stream length: the source ends once the cursor
+// reaches it.
+func (m *Merger[O]) SetTotal(n int) {
+	m.mu.Lock()
+	m.total, m.totalSet = n, true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Fail poisons the merger: the source answers err and blocked inserters
+// return.
+func (m *Merger[O]) Fail(err error) {
+	if err == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Insert offers one result. It blocks while the buffer is full — unless
+// global IS the cursor, which is always admitted (see the deadlock note
+// above). A global below the cursor (already emitted: a migration replay
+// racing the original owner's drain) is dropped; re-inserting a buffered
+// global overwrites idempotently.
+func (m *Merger[O]) Insert(global int, v O) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.failed == nil && global > m.cursor {
+		if _, dup := m.buf[global]; dup {
+			break
+		}
+		if len(m.buf) < m.window {
+			break
+		}
+		m.cond.Wait()
+	}
+	if m.failed != nil || global < m.cursor {
+		return
+	}
+	m.buf[global] = v
+	if len(m.buf) > m.maxDepth {
+		m.maxDepth = len(m.buf)
+	}
+	m.cond.Broadcast()
+}
+
+// Depth reports how many results are buffered ahead of the cursor.
+func (m *Merger[O]) Depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}
+
+// MaxDepth reports the high-water buffer depth over the merger's life.
+func (m *Merger[O]) MaxDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxDepth
+}
+
+// Cursor reports the next global index to emit.
+func (m *Merger[O]) Cursor() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cursor
+}
+
+// Buffered snapshots the buffered global indices (unordered).
+func (m *Merger[O]) Buffered() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.buf))
+	for g := range m.buf {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Source is the globally ordered output stream. Requests block until the
+// cursor's value arrives; the stream ends when the cursor reaches the
+// total (SetTotal) or fails when the merger is poisoned. Aborting the
+// source poisons the merger so shard drainers unblock.
+func (m *Merger[O]) Source() pullstream.Source[O] {
+	return func(abort error, cb pullstream.Callback[O]) {
+		var zero O
+		if abort != nil {
+			m.Fail(abort)
+			cb(abort, zero)
+			return
+		}
+		m.mu.Lock()
+		for {
+			if m.failed != nil {
+				err := m.failed
+				m.mu.Unlock()
+				cb(err, zero)
+				return
+			}
+			if v, ok := m.buf[m.cursor]; ok {
+				g := m.cursor
+				delete(m.buf, g)
+				m.cursor++
+				m.cond.Broadcast()
+				onEmit := m.onEmit
+				m.mu.Unlock()
+				if onEmit != nil {
+					onEmit(g)
+				}
+				cb(nil, v)
+				return
+			}
+			if m.totalSet && m.cursor >= m.total {
+				m.mu.Unlock()
+				cb(pullstream.ErrDone, zero)
+				return
+			}
+			m.cond.Wait()
+		}
+	}
+}

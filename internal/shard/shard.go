@@ -1,0 +1,700 @@
+// Package shard partitions one input stream across N cooperating master
+// shards so coordination itself scales horizontally: each shard owns
+// contiguous index ranges (chunks) of the global stream, runs its own
+// DistributedMap engine (a master.Master), records completions in its
+// own journal segment, and leases workers independently from the shared
+// fleet pool as its own fleet.Job with Backlog-driven demand. A thin
+// coordinator routes input chunks to their owners, and a Merger restores
+// global output order from the per-shard ordered substreams with
+// O(window) buffering.
+//
+// Fault model: a shard master's death (every session severed, or zero
+// live workers for DeadAfter with work pending) is recovered by RANGE
+// MIGRATION, not whole-job restart. The dead shard's segment is copied
+// (valid prefix only) to a fresh epoch file; a sibling member adopts the
+// slot, is pre-fed every routed-but-unemitted value of the range in
+// ascending global order, and restores the copy's completed entries
+// through the lender — so finished work is replayed, unfinished work is
+// recomputed, and the segment's per-index dedup plus the merger's
+// emission cursor make the hand-off exactly-once end to end.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pando/internal/fleet"
+	"pando/internal/journal"
+	"pando/internal/lender"
+	"pando/internal/master"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+)
+
+// Defaults for unset Config fields.
+const (
+	DefaultChunk  = 64
+	DefaultWindow = 1024
+)
+
+// Config parameterizes a Group.
+type Config struct {
+	// Shards is the number of cooperating masters (N slots).
+	Shards int
+	// Chunk is the length of one contiguous index range: chunk b, the
+	// half-open range [b*Chunk, (b+1)*Chunk), is owned by slot b mod N.
+	Chunk int
+	// Window bounds the merger's reorder buffer (results held ahead of
+	// the global emission cursor).
+	Window int
+	// Dir is the directory holding the per-shard journal segments. It
+	// must exist; the group does not remove segments on Close.
+	Dir string
+	// Base names the segment files (Dir/Base.shardNN.eE.seg); defaults
+	// to Master.FuncName.
+	Base string
+	// DeadAfter, when > 0 with a pool attached, turns on the liveness
+	// watcher: a shard that has served workers before, has work pending,
+	// and holds zero live sessions for this long is declared dead and
+	// its range migrated.
+	DeadAfter time.Duration
+	// Master is the per-shard engine template. Ordered is forced on;
+	// Group, Journal, Spill, ResultHook and RestoreEntries must be
+	// unset (the group owns per-shard durability and ordering itself).
+	Master master.Config
+}
+
+// Group is one sharded deployment: N slots, their current owning
+// members, and the merge layer.
+type Group[I, O any] struct {
+	cfg    Config
+	pool   *fleet.Pool
+	in     transport.Codec[I]
+	out    transport.Codec[O]
+	merger *Merger[O]
+
+	mu        sync.Mutex
+	cond      *sync.Cond // owner changes and close, for rerouting waits
+	owners    []*member[I, O]
+	all       []*member[I, O]
+	pending   map[int]I    // routed, not yet emitted — the migration refeed set
+	granted   map[int]bool // pending values preloaded into an adopting member
+	nextG     int
+	inputDone bool
+	bound     bool
+	closed    bool
+
+	migMu       sync.Mutex // serializes migrations
+	watcherStop chan struct{}
+}
+
+// member is one shard master: an engine bound to its range feed, its
+// completion segment, and its local→global index map.
+type member[I, O any] struct {
+	g            *Group[I, O]
+	shard, epoch int
+	m            *master.Master[I, O]
+	job          fleet.Job
+	feed         *lender.RangeFeed[I]
+	idx          *lender.IndexMap
+	seg          *journal.Segment
+
+	mu        sync.Mutex
+	lo, hi    int // bounds of globals routed here (half-open; 0,0 before any)
+	routedAny bool
+	items     int
+	wasLive   bool // has ever held a live worker (arms the death watch)
+	dead      bool
+	migrated  bool
+	started   bool
+}
+
+// New creates a sharded group leasing workers from pool (nil for
+// direct-attachment use: Attach works, Kill/migration and the liveness
+// watcher need a pool).
+func New[I, O any](pool *fleet.Pool, cfg Config, in transport.Codec[I], out transport.Codec[O]) (*Group[I, O], error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards = %d, need >= 1", cfg.Shards)
+	}
+	if cfg.Master.Group > 1 {
+		return nil, errors.New("shard: grouped engines are not supported under sharding")
+	}
+	if cfg.Master.Journal != nil || cfg.Master.Spill != nil || cfg.Master.ResultHook != nil || len(cfg.Master.RestoreEntries) > 0 {
+		return nil, errors.New("shard: per-shard durability is owned by the group; clear Journal/Spill/ResultHook/RestoreEntries")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("shard: Config.Dir required (segment directory)")
+	}
+	cfg.Master.Ordered = true
+	if cfg.Chunk < 1 {
+		cfg.Chunk = DefaultChunk
+	}
+	if cfg.Window < 1 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Base == "" {
+		cfg.Base = cfg.Master.FuncName
+	}
+	g := &Group[I, O]{
+		cfg:     cfg,
+		pool:    pool,
+		in:      in,
+		out:     out,
+		merger:  NewMerger[O](cfg.Window),
+		owners:  make([]*member[I, O], cfg.Shards),
+		pending: make(map[int]I),
+		granted: make(map[int]bool),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	g.merger.OnEmit(func(global int) {
+		g.mu.Lock()
+		delete(g.pending, global)
+		delete(g.granted, global)
+		g.mu.Unlock()
+	})
+	for b := range g.owners {
+		mb, err := g.newMember(b, 0, nil, nil)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.owners[b] = mb
+	}
+	return g, nil
+}
+
+// newMember builds one shard master at the given slot and epoch,
+// optionally adopting a hand-off: preload is the granted refeed (in
+// ascending global order) and restore the copied segment's completed
+// entries mapped to the local indices the new engine will assign.
+func (g *Group[I, O]) newMember(shard, epoch int, restore []journal.Entry, preload []lender.FeedItem[I]) (*member[I, O], error) {
+	seg, err := journal.OpenSegment(journal.SegmentPath(g.cfg.Dir, g.cfg.Base, shard, epoch))
+	if err != nil {
+		return nil, err
+	}
+	mb := &member[I, O]{g: g, shard: shard, epoch: epoch, seg: seg, idx: &lender.IndexMap{}}
+	mb.feed = lender.NewRangeFeed[I](g.cfg.Chunk, mb.idx)
+	if len(preload) > 0 {
+		mb.feed.Preload(preload)
+		mb.lo, mb.hi = preload[0].Global, preload[len(preload)-1].Global+1
+		mb.routedAny = true
+	}
+	mcfg := g.cfg.Master
+	mcfg.RestoreEntries = restore
+	mcfg.ResultHook = mb.record
+	mb.m = master.NewJob[I, O](mcfg, g.in, g.out)
+	mb.job = mb.m.Job()
+	if g.pool != nil {
+		if err := g.pool.Register(mb.job); err != nil {
+			seg.Close()
+			return nil, err
+		}
+	}
+	g.mu.Lock()
+	g.all = append(g.all, mb)
+	bound := g.bound
+	g.mu.Unlock()
+	if bound {
+		mb.start()
+	}
+	return mb, nil
+}
+
+// record is the engine's ResultHook: translate the engine-local index to
+// its global one and append to the shard's segment. It fires before the
+// result can reach the merge layer, so every emitted result is already
+// durable in some shard's segment.
+func (mb *member[I, O]) record(local int, data []byte) {
+	if global, ok := mb.idx.Global(local); ok {
+		_ = mb.seg.Record(global, data)
+	}
+}
+
+// start binds the engine to its feed and launches the drainer. Idempotent.
+func (mb *member[I, O]) start() {
+	mb.mu.Lock()
+	if mb.started {
+		mb.mu.Unlock()
+		return
+	}
+	mb.started = true
+	mb.mu.Unlock()
+	out := mb.m.Bind(mb.feed.Source())
+	go mb.drain(out)
+}
+
+// errMigrated aborts a dead member's engine output: its fleet is
+// severed, so the results the output is parked on can never arrive.
+// errClosed does the same for every member at Group.Close.
+var (
+	errMigrated = errors.New("shard: member migrated")
+	errClosed   = errors.New("shard: group closed")
+)
+
+// drain pumps the shard's ordered local output into the merger,
+// translating local indices back to global ones. A migrated member's
+// engine output is aborted with errMigrated, which brings the drain
+// goroutine home instead of leaving it parked on results the severed
+// fleet will never deliver.
+func (mb *member[I, O]) drain(out pullstream.Source[O]) {
+	local := 0
+	err := pullstream.Drain(out, func(v O) error {
+		global, ok := mb.idx.Global(local)
+		if !ok {
+			return fmt.Errorf("shard %d.e%d: local result %d has no global index", mb.shard, mb.epoch, local)
+		}
+		local++
+		mb.g.merger.Insert(global, v)
+		mb.mu.Lock()
+		mb.items++
+		mb.mu.Unlock()
+		return nil
+	})
+	if err != nil && !mb.isGone() && !mb.g.isClosed() {
+		mb.g.merger.Fail(err)
+	}
+}
+
+func (g *Group[I, O]) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+func (mb *member[I, O]) isGone() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.dead || mb.migrated
+}
+
+func (mb *member[I, O]) noteRouted(global int) {
+	mb.mu.Lock()
+	if !mb.routedAny {
+		mb.lo, mb.routedAny = global, true
+	}
+	if global+1 > mb.hi {
+		mb.hi = global + 1
+	}
+	mb.mu.Unlock()
+}
+
+// slot maps a global index to its home slot: chunk b belongs to slot
+// b mod N, so each slot owns an infinite striped set of contiguous
+// ranges.
+func (g *Group[I, O]) slot(global int) int {
+	return (global / g.cfg.Chunk) % g.cfg.Shards
+}
+
+// Bind attaches the global input stream and returns the globally ordered
+// output stream. Call once.
+func (g *Group[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
+	g.mu.Lock()
+	g.bound = true
+	members := g.liveOwnersLocked()
+	startWatcher := g.cfg.DeadAfter > 0 && g.pool != nil && g.watcherStop == nil
+	if startWatcher {
+		g.watcherStop = make(chan struct{})
+	}
+	g.mu.Unlock()
+	for _, mb := range members {
+		mb.start()
+	}
+	if startWatcher {
+		go g.watch()
+	}
+	go g.route(src)
+	return g.merger.Source()
+}
+
+// liveOwnersLocked returns the distinct current owners. Caller holds g.mu.
+func (g *Group[I, O]) liveOwnersLocked() []*member[I, O] {
+	seen := make(map[*member[I, O]]bool, len(g.owners))
+	out := make([]*member[I, O], 0, len(g.owners))
+	for _, mb := range g.owners {
+		if mb != nil && !seen[mb] {
+			seen[mb] = true
+			out = append(out, mb)
+		}
+	}
+	return out
+}
+
+// route is the coordinator's splitter: it pulls the global input one
+// value at a time (laziness is preserved — run-ahead is bounded by the
+// feeds' capacity plus the merger window), retains each value for
+// possible migration refeed, and hands it to its slot's current owner.
+func (g *Group[I, O]) route(src pullstream.Source[I]) {
+	for {
+		v, end := pullOne(src)
+		if end != nil {
+			if pullstream.IsNormalEnd(end) {
+				g.finishInput()
+			} else {
+				g.merger.Fail(end)
+			}
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			return
+		}
+		global := g.nextG
+		g.nextG++
+		g.pending[global] = v
+		g.mu.Unlock()
+		g.deliver(global, v)
+	}
+}
+
+// pullOne issues one request against src and blocks for the answer.
+func pullOne[T any](src pullstream.Source[T]) (T, error) {
+	type answer struct {
+		v   T
+		end error
+	}
+	ch := make(chan answer, 1)
+	src(nil, func(end error, v T) { ch <- answer{v: v, end: end} })
+	a := <-ch
+	return a.v, a.end
+}
+
+// deliver routes one value to its slot's current owner, riding out
+// owner deaths: a Push refused by a closed feed waits for the migration
+// to install a successor (or to grant the value to the adopter's
+// preload) and retries.
+func (g *Group[I, O]) deliver(global int, v I) {
+	slot := g.slot(global)
+	for {
+		g.mu.Lock()
+		if g.closed || g.granted[global] {
+			g.mu.Unlock()
+			return
+		}
+		owner := g.owners[slot]
+		g.mu.Unlock()
+		if owner.feed.Push(global, v) == nil {
+			owner.noteRouted(global)
+			return
+		}
+		g.mu.Lock()
+		for !g.closed && g.owners[slot] == owner && !g.granted[global] {
+			g.cond.Wait()
+		}
+		g.mu.Unlock()
+	}
+}
+
+// finishInput marks the stream's end: feeds drain and close, and the
+// merger learns the total so the output can terminate.
+func (g *Group[I, O]) finishInput() {
+	g.mu.Lock()
+	g.inputDone = true
+	total := g.nextG
+	members := g.liveOwnersLocked()
+	g.mu.Unlock()
+	for _, mb := range members {
+		mb.feed.Close(nil)
+	}
+	g.merger.SetTotal(total)
+}
+
+// Attach wires an already-admitted channel straight into one slot's
+// current engine, bypassing the pool — the direct-attachment path used
+// by benchmarks and embedded tests.
+func (g *Group[I, O]) Attach(slot int, name string, ch transport.Channel) {
+	g.mu.Lock()
+	mb := g.owners[((slot%len(g.owners))+len(g.owners))%len(g.owners)]
+	g.mu.Unlock()
+	mb.m.Attach(name, ch)
+}
+
+// Kill crash-stops the current owner of slot — every session leased to
+// it is severed, as if the shard master's process died — and migrates
+// its ranges to an adopting sibling. It is the chaos entry point.
+func (g *Group[I, O]) Kill(slot int) error {
+	mb, err := g.ownerOf(slot)
+	if err != nil {
+		return err
+	}
+	if g.pool != nil {
+		g.pool.SeverJob(mb.job)
+	}
+	return g.migrate(mb, true)
+}
+
+// Migrate hands the ranges owned by slot's current member to a fresh
+// adopting member without severing workers first — the voluntary
+// overload hand-off. The old member's leases are reclaimed by the pool
+// as its job unregisters.
+func (g *Group[I, O]) Migrate(slot int) error {
+	mb, err := g.ownerOf(slot)
+	if err != nil {
+		return err
+	}
+	return g.migrate(mb, false)
+}
+
+func (g *Group[I, O]) ownerOf(slot int) (*member[I, O], error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if slot < 0 || slot >= len(g.owners) {
+		return nil, fmt.Errorf("shard: slot %d out of range [0,%d)", slot, len(g.owners))
+	}
+	return g.owners[slot], nil
+}
+
+// migrate is the range hand-off: stop the dead member, copy its
+// segment's valid prefix to the next epoch, grant every
+// routed-but-unemitted value of its slots to a fresh adopting member
+// (restoring the copy's completed entries through the lender), and
+// switch ownership. Serialized; a member already migrated is a no-op.
+func (g *Group[I, O]) migrate(dead *member[I, O], killed bool) error {
+	g.migMu.Lock()
+	defer g.migMu.Unlock()
+	g.mu.Lock()
+	if g.closed || dead.isGone() {
+		g.mu.Unlock()
+		return nil
+	}
+	g.mu.Unlock()
+	dead.mu.Lock()
+	dead.migrated = true
+	dead.dead = killed
+	dead.mu.Unlock()
+
+	// Stop the dead engine: its feed discards (undelivered values travel
+	// via the grant instead), its master refuses leases, and the pool
+	// forgets the job. A Kill severed the sessions already; a voluntary
+	// migration lets the pool reclaim and reroute them.
+	dead.feed.CloseDiscard(pullstream.ErrAborted)
+	dead.m.Close()
+	dead.m.Abort(errMigrated)
+	if g.pool != nil {
+		g.pool.SeverJob(dead.job)
+		g.pool.Unregister(dead.job)
+	}
+
+	// Durability barrier, then the hand-off copy: only the valid record
+	// prefix travels; a torn tail (the crash that triggered us) is
+	// dropped and its results recomputed.
+	_ = dead.seg.Close()
+	copyPath := journal.SegmentPath(g.cfg.Dir, g.cfg.Base, dead.shard, dead.epoch+1)
+	if _, err := journal.CopySegment(dead.seg.Path(), copyPath); err != nil {
+		return fmt.Errorf("shard: migrate shard %d: %w", dead.shard, err)
+	}
+	entries, err := journal.ReadSegment(copyPath)
+	if err != nil {
+		return fmt.Errorf("shard: migrate shard %d: %w", dead.shard, err)
+	}
+	completed := make(map[int][]byte, len(entries))
+	for _, e := range entries {
+		completed[e.Idx] = e.Data
+	}
+
+	// Grant: every routed-but-unemitted global of the dead member's
+	// slots, refed in ascending global order. The adopting engine
+	// assigns locals in exactly that order, which fixes the local
+	// indices of the restored (already-completed) entries up front.
+	g.mu.Lock()
+	var grant []int
+	for global := range g.pending {
+		if g.owners[g.slot(global)] == dead {
+			grant = append(grant, global)
+		}
+	}
+	sort.Ints(grant)
+	preload := make([]lender.FeedItem[I], len(grant))
+	for i, global := range grant {
+		preload[i] = lender.FeedItem[I]{Global: global, Value: g.pending[global]}
+		g.granted[global] = true
+	}
+	g.mu.Unlock()
+	var restore []journal.Entry
+	for pos, global := range grant {
+		if data, ok := completed[global]; ok {
+			restore = append(restore, journal.Entry{Idx: pos, Data: data})
+		}
+	}
+
+	adopted, err := g.newMember(dead.shard, dead.epoch+1, restore, preload)
+	if err != nil {
+		return fmt.Errorf("shard: migrate shard %d: %w", dead.shard, err)
+	}
+	g.mu.Lock()
+	for s, mb := range g.owners {
+		if mb == dead {
+			g.owners[s] = adopted
+		}
+	}
+	// Read inputDone only after the ownership switch: finishInput sets it
+	// and then closes the feeds of the owners it snapshots, so whichever
+	// side runs second sees the other's work and the adopted feed is
+	// closed on every interleaving (feed.Close is idempotent).
+	inputDone := g.inputDone
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	if inputDone {
+		adopted.feed.Close(nil)
+	}
+	return nil
+}
+
+// watch is the coordinator's death detector: a member that has held live
+// workers before, has work pending, and reads zero live sessions for
+// DeadAfter in a row is declared dead and migrated.
+func (g *Group[I, O]) watch() {
+	interval := g.cfg.DeadAfter / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	zeroSince := make(map[*member[I, O]]time.Time)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.watcherStop:
+			return
+		case <-t.C:
+		}
+		g.mu.Lock()
+		members := g.liveOwnersLocked()
+		g.mu.Unlock()
+		now := time.Now()
+		for _, mb := range members {
+			live := mb.m.LiveWorkers()
+			if live > 0 {
+				mb.mu.Lock()
+				mb.wasLive = true
+				mb.mu.Unlock()
+				delete(zeroSince, mb)
+				continue
+			}
+			mb.mu.Lock()
+			armed := mb.wasLive && !mb.dead && !mb.migrated
+			mb.mu.Unlock()
+			if !armed || mb.job.Demand() == 0 {
+				delete(zeroSince, mb)
+				continue
+			}
+			since, ok := zeroSince[mb]
+			if !ok {
+				zeroSince[mb] = now
+				continue
+			}
+			if now.Sub(since) >= g.cfg.DeadAfter {
+				delete(zeroSince, mb)
+				_ = g.migrate(mb, true)
+			}
+		}
+	}
+}
+
+// Stats snapshots every member's row — live owners and their migrated or
+// dead predecessors — for the front master's /stats aggregation and the
+// reporter.
+func (g *Group[I, O]) Stats() []master.ShardStats {
+	g.mu.Lock()
+	all := append([]*member[I, O](nil), g.all...)
+	owners := append([]*member[I, O](nil), g.owners...)
+	g.mu.Unlock()
+	// Per-member merge depth: buffered globals held on each owner's
+	// behalf.
+	depth := make(map[*member[I, O]]int)
+	for _, global := range g.merger.Buffered() {
+		if s := g.slot(global); s < len(owners) {
+			depth[owners[s]]++
+		}
+	}
+	out := make([]master.ShardStats, 0, len(all))
+	for _, mb := range all {
+		outstanding, failed, _, _ := mb.m.LenderStats()
+		mb.mu.Lock()
+		out = append(out, master.ShardStats{
+			Shard:       mb.shard,
+			Epoch:       mb.epoch,
+			Lo:          mb.lo,
+			Hi:          mb.hi,
+			Outstanding: outstanding,
+			Failed:      failed,
+			MergeDepth:  depth[mb],
+			LiveWorkers: mb.m.LiveWorkers(),
+			Items:       mb.items,
+			Migrated:    mb.migrated,
+			Dead:        mb.dead,
+		})
+		mb.mu.Unlock()
+	}
+	return out
+}
+
+// Front returns slot 0's current master — the group's face for HTTP
+// info/stats serving. Install the group's Stats provider on it with
+// Front().SetShardStats(g.Stats).
+func (g *Group[I, O]) Front() *master.Master[I, O] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.owners[0].m
+}
+
+// MergeDepth reports the merger's current reorder-buffer depth.
+func (g *Group[I, O]) MergeDepth() int { return g.merger.Depth() }
+
+// WorkerStats concatenates every member's per-device accounting — the
+// group-wide view a single master's Stats would give.
+func (g *Group[I, O]) WorkerStats() []master.WorkerStats {
+	g.mu.Lock()
+	all := append([]*member[I, O](nil), g.all...)
+	g.mu.Unlock()
+	var out []master.WorkerStats
+	for _, mb := range all {
+		out = append(out, mb.m.Stats()...)
+	}
+	return out
+}
+
+// TotalItems sums the results received from devices across every member,
+// including work a migration redid.
+func (g *Group[I, O]) TotalItems() int {
+	g.mu.Lock()
+	all := append([]*member[I, O](nil), g.all...)
+	g.mu.Unlock()
+	total := 0
+	for _, mb := range all {
+		total += mb.m.TotalItems()
+	}
+	return total
+}
+
+// Close shuts every member down. Segments stay on disk (they are the
+// run's durable record); remove Dir explicitly when no longer needed.
+func (g *Group[I, O]) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	all := append([]*member[I, O](nil), g.all...)
+	stop := g.watcherStop
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	if stop != nil {
+		close(stop)
+	}
+	for _, mb := range all {
+		mb.feed.CloseDiscard(pullstream.ErrAborted)
+		mb.m.Close()
+		// A member whose engine output is still parked on an in-flight
+		// result (its drain goroutine is mid-pull) would never see the
+		// discarded feed's end; fail the output so every drain comes home.
+		mb.m.Abort(errClosed)
+		if g.pool != nil {
+			g.pool.Unregister(mb.job)
+		}
+		_ = mb.seg.Close()
+	}
+}

@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"pando/internal/fleet"
+	"pando/internal/journal"
+	"pando/internal/master"
+	"pando/internal/netsim"
+	"pando/internal/pullstream"
+	"pando/internal/transport"
+	"pando/internal/worker"
+)
+
+func jsonSquare(b []byte) ([]byte, error) {
+	var v int
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v * v)
+}
+
+func newTestPool(t *testing.T) (*fleet.Pool, *netsim.Listener) {
+	t.Helper()
+	pool := fleet.NewPool(fleet.Config{
+		Channel:   transport.Config{HeartbeatInterval: 25 * time.Millisecond},
+		Rebalance: 10 * time.Millisecond,
+	})
+	ln := netsim.NewListener("pool", netsim.Loopback)
+	go pool.ServeWS(ln)
+	t.Cleanup(func() { ln.Close(); pool.Close() })
+	return pool, ln
+}
+
+func newTestGroup(t *testing.T, pool *fleet.Pool, shards, chunk, window int, deadAfter time.Duration) (*Group[int, int], string) {
+	t.Helper()
+	dir := t.TempDir()
+	g, err := New[int, int](pool, Config{
+		Shards:    shards,
+		Chunk:     chunk,
+		Window:    window,
+		Dir:       dir,
+		DeadAfter: deadAfter,
+		Master: master.Config{
+			FuncName: "square",
+			Batch:    2,
+			Channel:  transport.Config{HeartbeatInterval: 25 * time.Millisecond},
+		},
+	}, transport.JSONCodec[int]{}, transport.JSONCodec[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g, dir
+}
+
+func joinVolunteer(t *testing.T, ln *netsim.Listener, v *worker.Volunteer) *netsim.Pipe {
+	t.Helper()
+	conn, pipe, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Channel.HeartbeatInterval == 0 {
+		v.Channel.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if v.CrashAfter == 0 {
+		v.CrashAfter = -1
+	}
+	if v.Handler == nil {
+		v.Handler = jsonSquare
+	}
+	if len(v.Functions) == 0 {
+		v.Functions = []string{"*"}
+	}
+	go v.JoinWS(conn)
+	return pipe
+}
+
+func wantSquares(t *testing.T, got []int, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if want := (i + 1) * (i + 1); v != want {
+			t.Fatalf("result %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestShardOrderedOutputAcrossShards: the canonical sharded run — the
+// stream is striped across two shard masters leasing from one pool, and
+// the merged output is the globally ordered result, with every index
+// durable in exactly one shard's segment.
+func TestShardOrderedOutputAcrossShards(t *testing.T) {
+	pool, ln := newTestPool(t)
+	g, dir := newTestGroup(t, pool, 2, 4, 64, 0)
+
+	out := g.Bind(pullstream.Count(100))
+	for i := 0; i < 4; i++ {
+		joinVolunteer(t, ln, &worker.Volunteer{Name: fmt.Sprintf("w%d", i)})
+	}
+	got, err := pullstream.Collect(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSquares(t, got, 100)
+
+	stats := g.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("Stats rows = %d, want 2", len(stats))
+	}
+	items := 0
+	for _, s := range stats {
+		items += s.Items
+		if s.Migrated || s.Dead {
+			t.Fatalf("unexpected migrated/dead row: %+v", s)
+		}
+	}
+	if items != 100 {
+		t.Fatalf("summed shard items = %d, want 100", items)
+	}
+
+	g.Close() // flush the segments before reading them back
+
+	// Union of the per-shard segments covers the full index space with
+	// no overlap.
+	seen := make(map[int]bool)
+	for b := 0; b < 2; b++ {
+		entries, err := journal.ReadSegment(journal.SegmentPath(dir, "square", b, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if seen[e.Idx] {
+				t.Fatalf("index %d recorded in both segments", e.Idx)
+			}
+			seen[e.Idx] = true
+			if slot := (e.Idx / 4) % 2; slot != b {
+				t.Fatalf("index %d in segment %d, belongs to slot %d", e.Idx, b, slot)
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("segments hold %d indices, want 100", len(seen))
+	}
+}
+
+// TestShardKillMigratesRange: killing one shard master mid-stream (its
+// sessions severed, crash-stop) must not lose or duplicate anything —
+// the adopting member restores the segment copy, recomputes the rest,
+// and the merged output is still the exact ordered sequence.
+func TestShardKillMigratesRange(t *testing.T) {
+	pool, ln := newTestPool(t)
+	g, dir := newTestGroup(t, pool, 2, 4, 16, 0)
+
+	const n = 300
+	out := g.Bind(pullstream.Count(n))
+	for i := 0; i < 4; i++ {
+		joinVolunteer(t, ln, &worker.Volunteer{Name: fmt.Sprintf("w%d", i), Delay: time.Millisecond})
+	}
+
+	var got []int
+	killed := false
+	err := pullstream.Drain(out, func(v int) error {
+		got = append(got, v)
+		if len(got) == 50 && !killed {
+			killed = true
+			if err := g.Kill(1); err != nil {
+				return err
+			}
+			// Replacement capacity for the severed sessions.
+			joinVolunteer(t, ln, &worker.Volunteer{Name: "fresh-a", Delay: time.Millisecond})
+			joinVolunteer(t, ln, &worker.Volunteer{Name: "fresh-b", Delay: time.Millisecond})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSquares(t, got, n)
+
+	var sawMigrated, sawAdopted bool
+	for _, s := range g.Stats() {
+		if s.Shard == 1 && s.Migrated {
+			sawMigrated = true
+		}
+		if s.Shard == 1 && s.Epoch == 1 && !s.Migrated {
+			sawAdopted = true
+		}
+	}
+	if !sawMigrated || !sawAdopted {
+		t.Fatalf("stats missing migration lineage: %+v", g.Stats())
+	}
+	g.Close() // flush the adopted segment before reading it back
+	// The hand-off left both epochs' segments on disk; the adopted one
+	// carries the slot's full completion set.
+	entries, err := journal.ReadSegment(journal.SegmentPath(dir, "square", 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted := make(map[int]bool, len(entries))
+	for _, e := range entries {
+		adopted[e.Idx] = true
+	}
+	missing := 0
+	for idx := 0; idx < n; idx++ {
+		if (idx/4)%2 == 1 && !adopted[idx] {
+			missing++
+		}
+	}
+	// Indices emitted before the kill may predate the copy; everything
+	// granted after it must be present. Tolerate only the pre-kill
+	// window.
+	if missing > 50 {
+		t.Fatalf("adopted segment missing %d slot-1 indices", missing)
+	}
+}
+
+// TestShardDeathWatcherMigrates: when every worker of a shard dies and
+// none return, the coordinator's liveness watch must declare the shard
+// dead and migrate its range without an explicit Kill.
+func TestShardDeathWatcherMigrates(t *testing.T) {
+	pool, ln := newTestPool(t)
+	g, _ := newTestGroup(t, pool, 1, 4, 16, 60*time.Millisecond)
+
+	const n = 60
+	out := g.Bind(pullstream.Count(n))
+	// The only worker crash-stops after 20 items and never rejoins.
+	joinVolunteer(t, ln, &worker.Volunteer{Name: "doomed", CrashAfter: 20, Delay: 2 * time.Millisecond})
+
+	type result struct {
+		got []int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		got, err := pullstream.Collect(out)
+		done <- result{got, err}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		migrated := false
+		for _, s := range g.Stats() {
+			if s.Migrated {
+				migrated = true
+			}
+		}
+		if migrated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("death watcher never migrated: %+v", g.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	joinVolunteer(t, ln, &worker.Volunteer{Name: "relief-a"})
+	joinVolunteer(t, ln, &worker.Volunteer{Name: "relief-b"})
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		wantSquares(t, r.got, n)
+	case <-time.After(15 * time.Second):
+		t.Fatalf("stream never completed after migration: %+v", g.Stats())
+	}
+}
+
+// TestMergerOrderAndDedup drives the merge layer directly: out-of-order
+// inserts emit in global order, an index below the cursor is dropped
+// (exactly-once across migration replays), and the stream ends at the
+// total.
+func TestMergerOrderAndDedup(t *testing.T) {
+	m := NewMerger[int](4)
+	m.SetTotal(3)
+	src := m.Source()
+
+	m.Insert(0, 10)
+	if v, end := pullOne(src); end != nil || v != 10 {
+		t.Fatalf("emit 0 = (%d, %v)", v, end)
+	}
+	// Below the cursor now: a migration replay of an already-emitted
+	// result must vanish.
+	m.Insert(0, 999)
+	m.Insert(2, 30)
+	m.Insert(1, 20)
+	m.Insert(1, 20) // idempotent overwrite while buffered
+	if v, end := pullOne(src); end != nil || v != 20 {
+		t.Fatalf("emit 1 = (%d, %v)", v, end)
+	}
+	if v, end := pullOne(src); end != nil || v != 30 {
+		t.Fatalf("emit 2 = (%d, %v)", v, end)
+	}
+	if _, end := pullOne(src); end != pullstream.ErrDone {
+		t.Fatalf("end = %v, want ErrDone", end)
+	}
+	if m.Depth() != 0 {
+		t.Fatalf("Depth = %d after end", m.Depth())
+	}
+}
+
+// TestMergerWindowBackpressure: an insert past the window blocks until
+// the cursor advances — except the cursor value itself, which is always
+// admitted (the deadlock-freedom rule).
+func TestMergerWindowBackpressure(t *testing.T) {
+	m := NewMerger[int](2)
+	m.SetTotal(5)
+	src := m.Source()
+
+	m.Insert(1, 1)
+	m.Insert(2, 2) // buffer full (cursor 0 missing)
+	blocked := make(chan struct{})
+	go func() {
+		m.Insert(3, 3) // must block: beyond cursor, window full
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("insert past a full window did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Insert(0, 0) // cursor value: admitted despite the full window
+	for want := 0; want <= 3; want++ {
+		if v, end := pullOne(src); end != nil || v != want {
+			t.Fatalf("emit %d = (%d, %v)", want, v, end)
+		}
+	}
+	select {
+	case <-blocked:
+	case <-time.After(time.Second):
+		t.Fatal("blocked insert never admitted after cursor advanced")
+	}
+	m.Insert(4, 4)
+	if v, end := pullOne(src); end != nil || v != 4 {
+		t.Fatalf("emit 4 = (%d, %v)", v, end)
+	}
+	if _, end := pullOne(src); end != pullstream.ErrDone {
+		t.Fatalf("end = %v, want ErrDone", end)
+	}
+}

@@ -1,0 +1,93 @@
+package pando
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestWithShardsEndToEnd: the public sharded deployment — same
+// ProcessSlice contract as a single master, with the stream partitioned
+// across shard masters leasing from the deployment's own pool.
+func TestWithShardsEndToEnd(t *testing.T) {
+	p := New(uniqueName("square"), func(v int) (int, error) { return v * v, nil },
+		WithShards(3), WithShardWindow(64))
+	defer p.Close()
+	p.AddLocalWorkers(4)
+
+	inputs := make([]int, 120)
+	for i := range inputs {
+		inputs[i] = i + 1
+	}
+	got, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inputs) {
+		t.Fatalf("got %d results, want %d", len(got), len(inputs))
+	}
+	for i, v := range got {
+		if want := (i + 1) * (i + 1); v != want {
+			t.Fatalf("got[%d] = %d, want %d", i, v, want)
+		}
+	}
+	shards := p.ShardStats()
+	if len(shards) != 3 {
+		t.Fatalf("ShardStats rows = %d, want 3", len(shards))
+	}
+	items := 0
+	for _, s := range shards {
+		items += s.Items
+	}
+	if items != len(inputs) {
+		t.Fatalf("summed shard items = %d, want %d", items, len(inputs))
+	}
+	if p.TotalItems() < len(inputs) {
+		t.Fatalf("TotalItems = %d, want >= %d", p.TotalItems(), len(inputs))
+	}
+	if len(p.Stats()) == 0 {
+		t.Fatal("no worker stats from sharded deployment")
+	}
+}
+
+// TestWithShardsOptionConflicts: combinations that could never preserve
+// the sharded contract surface as errors on the first Process.
+func TestWithShardsOptionConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"unordered", []Option{WithShards(2), WithUnordered()}, "WithUnordered"},
+		{"checkpoint", []Option{WithShards(2), WithCheckpoint(t.TempDir() + "/j")}, "WithCheckpoint"},
+		{"spill", []Option{WithShards(2), WithMemoryBound(8), WithSpill(t.TempDir() + "/s")}, "WithSpill"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(uniqueName("square"), func(v int) (int, error) { return v * v, nil }, tc.opts...)
+			defer p.Close()
+			_, err := p.ProcessSlice(context.Background(), []int{1, 2, 3})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestWithShardsSingleIsClassic: WithShards(1) is the plain master — no
+// shard rows, unchanged behavior.
+func TestWithShardsSingleIsClassic(t *testing.T) {
+	p := New(uniqueName("square"), func(v int) (int, error) { return v * v, nil }, WithShards(1))
+	defer p.Close()
+	p.AddLocalWorkers(2)
+	got, err := p.ProcessSlice(context.Background(), []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if s := p.ShardStats(); s != nil {
+		t.Fatalf("ShardStats = %v for a single-master deployment", s)
+	}
+}
