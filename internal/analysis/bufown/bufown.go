@@ -1,0 +1,754 @@
+// Package bufown enforces the frame-arena ownership protocol of
+// internal/proto (see the "Ownership rules" comment in proto/pool.go):
+// every arena buffer acquired in a function — a []byte from
+// proto.GetBuf or a *proto.Message from proto.ReadFrame,
+// proto.GetMessage, or a Channel's Recv — must reach exactly one
+// consumption point on every path out of the acquiring scope:
+//
+//   - an explicit proto.PutBuf / proto.Release, or
+//   - an ownership transfer: returned to the caller, sent on a
+//     channel, stored into a field/element, captured by a closure, or
+//     passed as an argument to another function (SendAll, AppendFrame,
+//     a lease's deliver, a reply queue's enqueue, ...).
+//
+// After an explicit release the value must not be touched again, and a
+// second release on the same path is an error. The analysis is
+// function-local and deliberately may-miss: once ownership transfers
+// it stops tracking, so it never second-guesses a callee — but a value
+// that provably reaches a return, a loop iteration end, or a
+// re-acquisition while still owned is a leak back into the garbage
+// collector instead of the arena, the exact class the zero-alloc hot
+// path exists to eliminate.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pando/internal/analysis"
+)
+
+const protoPath = "pando/internal/proto"
+
+// Analyzer is the bufown analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc: "check that arena buffers (proto.GetBuf) and pooled frames (Recv/ReadFrame/GetMessage) " +
+		"are released exactly once on every path and never used after release",
+	Run: run,
+}
+
+type status int
+
+const (
+	owned status = iota
+	released
+	deferReleased // a defer releases it at every exit
+	transferred   // ownership left this function; stop tracking
+)
+
+type track struct {
+	status   status
+	kind     string // "buffer" or "frame"
+	loop     int    // loop depth at acquisition
+	acquired token.Pos
+	// errVar is the companion error variable when the acquisition had
+	// the `v, err := ch.Recv()` shape: on a branch where errVar != nil
+	// the value is nil by the (m, err) contract and stops being tracked.
+	errVar *types.Var
+}
+
+// state maps tracked variables to their ownership status along one
+// abstract path.
+type state map[*types.Var]*track
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for v, t := range s {
+		cp := *t
+		c[v] = &cp
+	}
+	return c
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	loop     int
+	results  map[*types.Var]bool // named result parameters of the function
+	reported map[token.Pos]bool  // one diagnostic per key, across all branch clones
+}
+
+// reportOnce emits one diagnostic per key; branches are analyzed as
+// independent paths, so the same defect would otherwise be reported once
+// per path that exhibits it.
+func (c *checker) reportOnce(key, pos token.Pos, format string, args ...any) {
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Type, fn.Body)
+		}
+		// Function literals — goroutine receive loops in particular — are
+		// functions in their own right: values acquired inside the body
+		// must be consumed inside it. The main walk never descends into a
+		// literal (captured values are treated as transferred), so each
+		// body is analyzed exactly once, with a clean slate.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, lit.Type, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, typ *ast.FuncType, body *ast.BlockStmt) {
+	c := &checker{pass: pass, info: pass.TypesInfo, results: map[*types.Var]bool{}, reported: map[token.Pos]bool{}}
+	if typ.Results != nil {
+		for _, field := range typ.Results.List {
+			for _, name := range field.Names {
+				if v, ok := c.info.Defs[name].(*types.Var); ok {
+					c.results[v] = true
+				}
+			}
+		}
+	}
+	st := state{}
+	if !c.stmts(body.List, st) {
+		c.checkExit(st, body.Rbrace, "function exit")
+	}
+}
+
+// acquisition reports what call expr acquires, unwrapping slice
+// expressions (GetBuf(4)[:4] is still the pooled buffer).
+func (c *checker) acquisition(e ast.Expr) (kind string, ok bool) {
+	e = ast.Unparen(e)
+	if sl, isSlice := e.(*ast.SliceExpr); isSlice {
+		return c.acquisition(sl.X)
+	}
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	if analysis.IsPkgFunc(c.info, call, protoPath, "GetBuf") {
+		return "buffer", true
+	}
+	if analysis.IsPkgFunc(c.info, call, protoPath, "ReadFrame") ||
+		analysis.IsPkgFunc(c.info, call, protoPath, "GetMessage") {
+		return "frame", true
+	}
+	// Any method named Recv returning (*proto.Message, error): the
+	// transport.Channel contract and every implementation of it.
+	if fn := analysis.CalleeFunc(c.info, call); fn != nil && fn.Name() == "Recv" {
+		sig := fn.Signature()
+		if sig.Recv() != nil && sig.Results().Len() == 2 &&
+			analysis.NamedTypeIs(sig.Results().At(0).Type(), protoPath, "Message") {
+			return "frame", true
+		}
+	}
+	return "", false
+}
+
+// releaseCall reports whether call is proto.Release / proto.PutBuf and
+// returns the released variable, if it is a plain identifier.
+func (c *checker) releaseCall(call *ast.CallExpr) (*types.Var, bool) {
+	if !analysis.IsPkgFunc(c.info, call, protoPath, "Release") &&
+		!analysis.IsPkgFunc(c.info, call, protoPath, "PutBuf") {
+		return nil, false
+	}
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	return analysis.ObjectOf(c.info, call.Args[0]), true
+}
+
+// checkExit reports every still-owned variable at a path exit.
+func (c *checker) checkExit(st state, pos token.Pos, where string) {
+	for v, t := range st {
+		if t.status == owned {
+			c.reportOnce(t.acquired, t.acquired, "arena %s %q is not released on every path (reaches %s unreleased; add proto.%s or transfer ownership)",
+				t.kind, v.Name(), where, releaseName(t.kind))
+		}
+	}
+}
+
+func releaseName(kind string) string {
+	if kind == "buffer" {
+		return "PutBuf"
+	}
+	return "Release"
+}
+
+// use handles one syntactic mention of a tracked variable.
+func (c *checker) use(st state, v *types.Var, pos token.Pos) {
+	t, ok := st[v]
+	if !ok {
+		return
+	}
+	if t.status == released {
+		c.reportOnce(pos, pos, "use of arena %s %q after release (the memory may back another frame)", t.kind, v.Name())
+	}
+}
+
+// transferIn marks every tracked variable mentioned inside e as
+// transferred (closures, composite literals, escaping stores).
+func (c *checker) transferIn(st state, e ast.Node) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := c.info.Uses[id].(*types.Var); ok {
+				if t, ok := st[v]; ok && t.status != released {
+					t.status = transferred
+				}
+			}
+		}
+		return true
+	})
+}
+
+// expr walks one expression: flags uses-after-release, applies call
+// consumption/transfer semantics, and treats closures capturing a
+// tracked value as transfers.
+func (c *checker) expr(st state, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The closure may run at any time; whatever it captures is
+			// no longer ours to track.
+			c.transferIn(st, n.Body)
+			return false
+		case *ast.CallExpr:
+			c.call(st, n)
+			return false
+		case *ast.Ident:
+			if v, ok := c.info.Uses[n].(*types.Var); ok {
+				c.use(st, v, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// call applies release/transfer semantics of one call expression.
+func (c *checker) call(st state, call *ast.CallExpr) {
+	// Walk nested calls in arguments first (inner-to-outer order).
+	for _, arg := range call.Args {
+		c.expr(st, arg)
+	}
+	c.expr(st, call.Fun)
+
+	if v, isRelease := c.releaseCall(call); isRelease {
+		if v != nil {
+			if t, ok := st[v]; ok {
+				switch t.status {
+				case owned, deferReleased:
+					t.status = released
+				case released:
+					c.reportOnce(call.Pos(), call.Pos(), "arena %s %q released twice on this path", t.kind, v.Name())
+				}
+			}
+		}
+		return
+	}
+	// Every tracked variable passed as an argument transfers ownership
+	// to the callee (SendAll, AppendFrame, deliver, enqueue, ...).
+	// Receiver-position mentions (m.Detach()) do not transfer.
+	for _, arg := range call.Args {
+		if v := analysis.ObjectOf(c.info, arg); v != nil {
+			if t, ok := st[v]; ok && t.status != released {
+				t.status = transferred
+			}
+		}
+	}
+}
+
+// assign handles one assignment statement.
+func (c *checker) assign(st state, a *ast.AssignStmt) {
+	// A call that takes a tracked var as an argument AND reassigns the
+	// same var from its results keeps ownership in the var (the
+	// buf, err = proto.AppendFrame(buf, ...) pattern).
+	keepOwned := map[*types.Var]bool{}
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			for _, arg := range call.Args {
+				v := analysis.ObjectOf(c.info, arg)
+				if v == nil {
+					continue
+				}
+				if t, ok := st[v]; ok && t.status == owned {
+					for _, lhs := range a.Lhs {
+						if analysis.ObjectOf(c.info, lhs) == v {
+							keepOwned[v] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	snapshot := map[*types.Var]status{}
+	for v := range keepOwned {
+		snapshot[v] = st[v].status
+	}
+	for _, rhs := range a.Rhs {
+		c.expr(st, rhs)
+	}
+	for v := range keepOwned {
+		st[v].status = snapshot[v]
+	}
+
+	// Storing a tracked value into anything that is not a plain local
+	// (a field, an element, a dereference) transfers it; copying it to
+	// another local aliases it — stop tracking the original too.
+	for _, rhs := range a.Rhs {
+		if v := analysis.ObjectOf(c.info, rhs); v != nil {
+			if t, ok := st[v]; ok && t.status == owned {
+				t.status = transferred
+			}
+		}
+	}
+
+	// Acquisitions bind to plain identifier targets. A blank target can
+	// never be released: the value is lost to the GC the moment it is
+	// acquired.
+	if len(a.Rhs) == 1 {
+		if kind, ok := c.acquisition(a.Rhs[0]); ok {
+			if isBlank(a.Lhs[0]) {
+				c.reportOnce(a.Rhs[0].Pos(), a.Rhs[0].Pos(),
+					"arena %s is discarded (assigned to _): bind it and call proto.%s", kind, releaseName(kind))
+				return
+			}
+			if v := analysis.ObjectOf(c.info, a.Lhs[0]); v != nil && !c.results[v] {
+				if t, exists := st[v]; exists && t.status == owned {
+					c.reportOnce(t.acquired, a.Pos(), "arena %s %q reacquired while still owned (previous acquisition leaks)", t.kind, v.Name())
+				}
+				// This statement redefines every LHS var; stale error links
+				// into them no longer describe the new values.
+				c.clearErrLinks(st, a.Lhs)
+				tr := &track{status: owned, kind: kind, loop: c.loop, acquired: a.Rhs[0].Pos()}
+				if len(a.Lhs) == 2 {
+					tr.errVar = analysis.ObjectOf(c.info, a.Lhs[1])
+				}
+				st[v] = tr
+			}
+			return
+		}
+	}
+	// Non-acquisition writes to a tracked var end its tracking (it now
+	// holds something else; the old value's fate was decided above).
+	c.clearErrLinks(st, a.Lhs)
+	for _, lhs := range a.Lhs {
+		if v := analysis.ObjectOf(c.info, lhs); v != nil {
+			if t, ok := st[v]; ok && !keepOwned[v] {
+				if a.Tok == token.ASSIGN || a.Tok == token.DEFINE {
+					if t.status == released {
+						delete(st, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// clearErrLinks severs errVar links into variables the statement writes:
+// after `err = f()` a nil-check on err says nothing about an earlier
+// (m, err) acquisition.
+func (c *checker) clearErrLinks(st state, lhs []ast.Expr) {
+	for _, l := range lhs {
+		v := analysis.ObjectOf(c.info, l)
+		if v == nil {
+			continue
+		}
+		for _, t := range st {
+			if t.errVar == v {
+				t.errVar = nil
+			}
+		}
+	}
+}
+
+// merge combines branch states: owned on any live branch wins (a leak
+// on one path is a leak), then released, then transferred.
+func merge(states []state) state {
+	if len(states) == 0 {
+		return state{}
+	}
+	out := states[0].clone()
+	for _, s := range states[1:] {
+		for v, t := range s {
+			cur, ok := out[v]
+			if !ok {
+				cp := *t
+				out[v] = &cp
+				continue
+			}
+			if rank(t.status) < rank(cur.status) {
+				cur.status = t.status
+			}
+		}
+	}
+	return out
+}
+
+func rank(s status) int {
+	switch s {
+	case owned:
+		return 0
+	case released:
+		return 1
+	case deferReleased:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// stmts walks a statement list, returning true when every path through
+// it terminates (return/panic), so the caller skips its exit check.
+func (c *checker) stmts(list []ast.Stmt, st state) bool {
+	for _, s := range list {
+		if c.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) stmt(s ast.Stmt, st state) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(st, s)
+	case *ast.ExprStmt:
+		c.expr(st, s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					c.expr(st, val)
+				}
+				if len(vs.Values) == 1 && len(vs.Names) >= 1 {
+					if kind, ok := c.acquisition(vs.Values[0]); ok {
+						if v, ok := c.info.Defs[vs.Names[0]].(*types.Var); ok {
+							st[v] = &track{status: owned, kind: kind, loop: c.loop, acquired: vs.Values[0].Pos()}
+						}
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if v := analysis.ObjectOf(c.info, r); v != nil {
+				if t, ok := st[v]; ok && t.status != released {
+					t.status = transferred
+					continue
+				}
+			}
+			c.expr(st, r)
+		}
+		c.checkExit(st, s.Pos(), "this return")
+		return true
+	case *ast.DeferStmt:
+		if v, isRelease := c.releaseCall(s.Call); isRelease && v != nil {
+			if t, ok := st[v]; ok && t.status == owned {
+				t.status = deferReleased
+			}
+			return false
+		}
+		c.expr(st, s.Call.Fun)
+		for _, a := range s.Call.Args {
+			c.expr(st, a)
+		}
+		for _, a := range s.Call.Args {
+			if v := analysis.ObjectOf(c.info, a); v != nil {
+				if t, ok := st[v]; ok && t.status == owned {
+					t.status = transferred
+				}
+			}
+		}
+	case *ast.GoStmt:
+		c.transferIn(st, s.Call)
+	case *ast.SendStmt:
+		c.expr(st, s.Chan)
+		if v := analysis.ObjectOf(c.info, s.Value); v != nil {
+			if t, ok := st[v]; ok {
+				c.use(st, v, s.Value.Pos())
+				if t.status == owned {
+					t.status = transferred
+				}
+				return false
+			}
+		}
+		c.expr(st, s.Value)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.expr(st, s.Cond)
+		thenSt := st.clone()
+		elseSt := st.clone()
+		// Error-branch awareness: after `m, err := ch.Recv()`, the branch
+		// where err != nil has m == nil by the (m, err) contract — there
+		// is nothing to release on that path.
+		if errv, isNeq := errNilCond(c.info, s.Cond); errv != nil {
+			if isNeq {
+				dropErrTracked(thenSt, errv)
+			} else {
+				dropErrTracked(elseSt, errv)
+			}
+		}
+		thenDone := c.stmts(s.Body.List, thenSt)
+		elseDone := false
+		if s.Else != nil {
+			elseDone = c.stmt(s.Else, elseSt)
+		}
+		var live []state
+		if !thenDone {
+			live = append(live, thenSt)
+		}
+		if !elseDone {
+			live = append(live, elseSt)
+		}
+		if len(live) == 0 {
+			return true
+		}
+		replace(st, merge(live))
+	case *ast.BlockStmt:
+		return c.stmts(s.List, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Expr
+		var body *ast.BlockStmt
+		hasDefault := false
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			init, tag, body = sw.Init, sw.Tag, sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			init, body = ts.Init, ts.Body
+			if as, ok := ts.Assign.(*ast.AssignStmt); ok {
+				c.expr(st, as.Rhs[0])
+			} else if es, ok := ts.Assign.(*ast.ExprStmt); ok {
+				c.expr(st, es.X)
+			}
+		}
+		if init != nil {
+			c.stmt(init, st)
+		}
+		if tag != nil {
+			c.expr(st, tag)
+		}
+		var live []state
+		for _, cl := range body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			branch := st.clone()
+			for _, e := range cc.List {
+				c.expr(branch, e)
+			}
+			if !c.stmts(cc.Body, branch) {
+				live = append(live, branch)
+			}
+		}
+		if !hasDefault {
+			live = append(live, st.clone())
+		}
+		if len(live) == 0 {
+			return true
+		}
+		replace(st, merge(live))
+	case *ast.SelectStmt:
+		var live []state
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			branch := st.clone()
+			if cc.Comm != nil {
+				c.stmt(cc.Comm, branch)
+			}
+			if !c.stmts(cc.Body, branch) {
+				live = append(live, branch)
+			}
+		}
+		if len(live) == 0 {
+			return true
+		}
+		replace(st, merge(live))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.expr(st, s.Cond)
+		}
+		c.loopBody(s.Body, s.Post, st)
+		if s.Cond == nil && !hasBreak(s.Body) {
+			return true // for{} with no break: nothing falls through
+		}
+	case *ast.RangeStmt:
+		c.expr(st, s.X)
+		c.loopBody(s.Body, nil, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			c.checkLoopVars(st, s.Pos())
+		}
+		// break/continue/goto end this path locally; state rejoins via
+		// the conservative after-loop handling in loopBody.
+		return true
+	}
+	return false
+}
+
+// replace overwrites dst's contents with src's.
+func replace(dst, src state) {
+	for v := range dst {
+		delete(dst, v)
+	}
+	for v, t := range src {
+		dst[v] = t
+	}
+}
+
+// loopBody analyzes one loop body: values acquired inside the body must
+// be consumed by the end of each iteration, and outer values the body
+// may consume stop being tracked afterwards (path explosion is not
+// worth the precision).
+func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, st state) {
+	c.loop++
+	inner := st.clone()
+	terminated := c.stmts(body.List, inner)
+	if post != nil {
+		c.stmt(post, inner)
+	}
+	if !terminated {
+		c.checkLoopVars(inner, body.Rbrace)
+	}
+	c.loop--
+	// After the loop: forget body-acquired vars; demote outer vars the
+	// body touched (released or transferred on some iteration) so later
+	// checks cannot double-report or false-positive on them.
+	for v, t := range inner {
+		cur, ok := st[v]
+		if !ok || t.loop > c.loop {
+			continue
+		}
+		if t.status != cur.status {
+			cur.status = transferred
+		}
+	}
+}
+
+// checkLoopVars flags still-owned values acquired in the current loop
+// iteration (the next iteration or the loop exit orphans them).
+func (c *checker) checkLoopVars(st state, pos token.Pos) {
+	for v, t := range st {
+		if t.status == owned && t.loop >= c.loop && c.loop > 0 {
+			c.reportOnce(t.acquired, t.acquired, "arena %s %q is not released before the next loop iteration", t.kind, v.Name())
+		}
+	}
+}
+
+// errNilCond matches `err != nil` / `err == nil` (either operand order),
+// returning the error variable and whether the operator was !=.
+func errNilCond(info *types.Info, cond ast.Expr) (*types.Var, bool) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
+		return nil, false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v, b.Op == token.NEQ
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// dropErrTracked forgets every still-owned value whose companion error
+// variable is errv: on this branch the acquisition failed and the value
+// is nil.
+func dropErrTracked(st state, errv *types.Var) {
+	for v, t := range st {
+		if t.errVar == errv && t.status == owned {
+			delete(st, v)
+		}
+	}
+}
+
+// hasBreak reports whether the loop body contains a break that exits
+// the loop the body belongs to (unlabeled at depth zero, or any
+// labeled break — conservatively assumed to target our loop).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil || found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && (n.Label != nil || depth == 0) {
+				found = true
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			depth++
+		case *ast.FuncLit:
+			return
+		}
+		d := depth
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return m == n
+			}
+			walk(m, d)
+			return false
+		})
+	}
+	for _, s := range body.List {
+		walk(s, 0)
+	}
+	return found
+}

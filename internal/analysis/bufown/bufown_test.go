@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"pando/internal/analysis/analysistest"
+	"pando/internal/analysis/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	analysistest.Run(t, bufown.Analyzer, "bufowntest")
+}

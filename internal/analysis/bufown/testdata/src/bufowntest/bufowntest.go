@@ -1,0 +1,128 @@
+// Package bufowntest seeds arena-ownership violations (and their
+// legitimate twins) for the bufown analyzer suite.
+package bufowntest
+
+import (
+	"errors"
+
+	"pando/internal/proto"
+)
+
+type conn struct{}
+
+func (c *conn) Recv() (*proto.Message, error) { return nil, nil }
+func (c *conn) Send(m *proto.Message) error   { return nil }
+func deliver(m *proto.Message)                {}
+
+// leakOnError drops the frame on the bad branch.
+func leakOnError(c *conn, bad bool) error {
+	m, err := c.Recv() // want `arena frame "m" is not released on every path`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("bad")
+	}
+	proto.Release(m)
+	return nil
+}
+
+// useAfterRelease reads a field of a frame already back in the arena.
+func useAfterRelease(c *conn) string {
+	m, _ := c.Recv()
+	proto.Release(m)
+	return m.Peer // want `use of arena frame "m" after release`
+}
+
+// doubleRelease returns the same buffer twice.
+func doubleRelease() {
+	b := proto.GetBuf(64)
+	proto.PutBuf(b)
+	proto.PutBuf(b) // want `use of arena buffer "b" after release` `arena buffer "b" released twice on this path`
+}
+
+// discard loses the buffer to the garbage collector at acquisition.
+func discard() {
+	_ = proto.GetBuf(16) // want `arena buffer is discarded`
+}
+
+// loopLeak acquires a fresh frame every iteration and releases none.
+func loopLeak(c *conn, n int) {
+	for i := 0; i < n; i++ {
+		m, err := c.Recv() // want `arena frame "m" is not released before the next loop iteration`
+		if err != nil {
+			return
+		}
+		m.Seq++
+	}
+}
+
+// goroutineLeak: function literals are functions in their own right.
+func goroutineLeak(c *conn) {
+	go func() {
+		m, err := c.Recv() // want `arena frame "m" is not released on every path`
+		if err != nil {
+			return
+		}
+		m.Seq++
+	}()
+}
+
+// clean is the canonical correct shape: the err branch owns nothing (m
+// is nil by the contract), the happy path copies then releases.
+func clean(c *conn) (string, error) {
+	m, err := c.Recv()
+	if err != nil {
+		return "", err
+	}
+	peer := m.Peer
+	proto.Release(m)
+	return peer, nil
+}
+
+// deferred release covers every exit.
+func deferred(c *conn) string {
+	m, _ := c.Recv()
+	defer proto.Release(m)
+	return m.Peer
+}
+
+// handoff transfers ownership over a channel; the receiver releases.
+func handoff(c *conn, out chan<- *proto.Message) error {
+	m, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	out <- m
+	return nil
+}
+
+// passed transfers ownership to a callee.
+func passed(c *conn) error {
+	m, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	deliver(m)
+	return nil
+}
+
+// appendLoop keeps ownership across buf, err = AppendFrame(buf, ...).
+func appendLoop(ms []*proto.Message) {
+	buf := proto.GetBuf(0)
+	var err error
+	for _, m := range ms {
+		buf, err = proto.AppendFrame(buf, m)
+		if err != nil {
+			break
+		}
+	}
+	proto.PutBuf(buf)
+}
+
+// allowed leaks deliberately, with the mandatory reason on record.
+func allowed(c *conn) {
+	//pando:allow bufown fixture pins the frame for the process lifetime
+	m, _ := c.Recv()
+	m.Seq++
+}

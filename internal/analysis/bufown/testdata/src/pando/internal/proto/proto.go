@@ -1,0 +1,41 @@
+// Package proto is a typecheck-only stub of the real frame arena: it
+// shadows pando/internal/proto inside the analysistest import tree so
+// ownership fixtures compile without the codec. Only the names and
+// shapes bufown keys on exist; every body is inert.
+package proto
+
+import "io"
+
+// Message mirrors the envelope fields the fixtures touch.
+type Message struct {
+	Type, Peer, Err string
+	Seq             uint64
+	Data            []byte
+
+	buf []byte
+}
+
+// Detach mirrors the ownership-escape hatch.
+func (m *Message) Detach() []byte {
+	b := m.buf
+	m.buf = nil
+	return b
+}
+
+// GetBuf mirrors the arena buffer acquisition.
+func GetBuf(n int) []byte { return make([]byte, n) }
+
+// PutBuf mirrors the arena buffer release.
+func PutBuf(b []byte) {}
+
+// GetMessage mirrors the pooled envelope acquisition.
+func GetMessage() *Message { return &Message{} }
+
+// ReadFrame mirrors the decode-side acquisition.
+func ReadFrame(r io.Reader) (*Message, error) { return &Message{}, nil }
+
+// Release mirrors the pooled envelope release.
+func Release(m *Message) {}
+
+// AppendFrame mirrors the encode-into-owned-buffer call.
+func AppendFrame(dst []byte, m *Message) ([]byte, error) { return dst, nil }

@@ -1,0 +1,263 @@
+// Package ctxguard enforces the goroutine-leak discipline from the
+// PR 1 Process fix: a goroutine spawned where a context.Context is in
+// scope must remain cancellable on every blocking path. A goroutine
+// that parks forever on a channel operation outlives the context it
+// was spawned to serve — the leak class the chaos LeakGuard catches
+// dynamically, checked here at build time.
+//
+// For each `go func() { ... }()` literal whose enclosing scope (or
+// parameter list) carries a context.Context, every blocking channel
+// operation in the body must be escapable:
+//
+//   - a select with a default case, or with a case receiving from
+//     ctx.Done() or any cancellation-shaped channel (chan struct{}) is
+//     fine;
+//   - a naked receive from a cancellation-shaped channel is fine (it
+//     is itself a wait-for-cancel);
+//   - a naked send, or a naked receive from a data channel, or a
+//     select whose every case can block on data, is flagged;
+//   - a naked send to a channel made in the same file with a constant
+//     non-zero capacity (`done := make(chan error, 1)`) is allowed: the
+//     single-send result-handoff idiom never blocks. (Deliberately
+//     may-miss: a second send to a full buffer would still block.)
+//
+// Goroutines spawned through a named function call are not analyzed
+// (the callee is its own function, checked in its own right).
+// Deliberate exceptions carry //pando:allow ctxguard <reason>.
+package ctxguard
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"pando/internal/analysis"
+)
+
+// Analyzer is the ctxguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxguard",
+	Doc: "check that goroutines spawned with a context.Context in scope select on " +
+		"ctx.Done() (or a done-channel) on every blocking path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		buffered := bufferedChans(info, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hasCtx := funcHasContext(info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if !hasCtx && !litHasContext(info, lit) {
+					return true
+				}
+				checkBody(pass, lit.Body, buffered)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// bufferedChans collects variables bound (by := or var) to
+// make(chan T, n) with a constant n >= 1 anywhere in the file. Sends to
+// them are treated as non-blocking result handoffs.
+func bufferedChans(info *types.Info, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(name *ast.Ident, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return
+		}
+		if t := info.TypeOf(call); t == nil {
+			return
+		} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		tv, ok := info.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return
+		}
+		if n, exact := constant.Int64Val(constant.ToInt(tv.Value)); !exact || n < 1 {
+			return
+		}
+		if obj := info.Defs[name]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcHasContext reports whether the function declares a
+// context.Context parameter.
+func funcHasContext(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// litHasContext reports whether the literal mentions any
+// context.Context-typed value (a captured ctx or its own parameter).
+func litHasContext(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := info.ObjectOf(id); obj != nil {
+				if v, ok := obj.(*types.Var); ok && isContext(v.Type()) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	return analysis.NamedTypeIs(t, "context", "Context")
+}
+
+// checkBody flags unescapable blocking channel operations in a
+// goroutine body. Nested literals are included (they run under the
+// same lifetime obligation); nested go statements are skipped — each
+// spawned body is judged on its own.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, buffered map[types.Object]bool) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if !selectEscapable(info, n) {
+				pass.Reportf(n.Pos(), "select in context-scoped goroutine has no default and no ctx.Done()/done-channel case: blocks past cancellation")
+			}
+			return true
+		case *ast.SendStmt:
+			if !insideSelect(body, n.Pos()) && !sendsToBuffered(info, n, buffered) {
+				pass.Reportf(n.Arrow, "naked channel send in context-scoped goroutine: blocks past cancellation (select on ctx.Done() too)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && !insideSelect(body, n.Pos()) && !isCancellationChan(info, n.X) {
+				pass.Reportf(n.OpPos, "naked receive from a data channel in context-scoped goroutine: blocks past cancellation (select on ctx.Done() too)")
+			}
+		}
+		return true
+	})
+}
+
+// selectEscapable reports whether the select has a default case or a
+// receive from a cancellation-shaped channel (incl. ctx.Done()).
+func selectEscapable(info *types.Info, s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = comm.X
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				recv = comm.Rhs[0]
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if u, ok := ast.Unparen(recv).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			if isCancellationChan(info, u.X) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sendsToBuffered reports whether the send targets a known
+// constant-capacity buffered channel (see bufferedChans).
+func sendsToBuffered(info *types.Info, s *ast.SendStmt, buffered map[types.Object]bool) bool {
+	id, ok := ast.Unparen(s.Chan).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	return obj != nil && buffered[obj]
+}
+
+// isCancellationChan reports whether e has type chan struct{} (or
+// <-chan struct{}), the done-channel shape ctx.Done() shares.
+func isCancellationChan(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// insideSelect reports whether pos falls inside any select statement's
+// comm clauses within body (comm-clause operations are judged by the
+// select rule, not the naked-op rule).
+func insideSelect(body *ast.BlockStmt, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range s.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm != nil && cc.Comm.Pos() <= pos && pos <= cc.Comm.End() {
+					inside = true
+				}
+			}
+		}
+		return !inside
+	})
+	return inside
+}

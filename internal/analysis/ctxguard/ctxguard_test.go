@@ -1,0 +1,12 @@
+package ctxguard_test
+
+import (
+	"testing"
+
+	"pando/internal/analysis/analysistest"
+	"pando/internal/analysis/ctxguard"
+)
+
+func TestCtxguard(t *testing.T) {
+	analysistest.Run(t, ctxguard.Analyzer, "ctxguardtest")
+}

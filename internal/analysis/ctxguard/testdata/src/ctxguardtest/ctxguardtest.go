@@ -1,0 +1,81 @@
+// Package ctxguardtest seeds goroutine-cancellation violations (and
+// their legitimate twins) for the ctxguard analyzer suite.
+package ctxguardtest
+
+import "context"
+
+func work(ctx context.Context) error { return nil }
+
+// nakedSend parks forever on a data channel after ctx is cancelled.
+func nakedSend(ctx context.Context, out chan int) {
+	go func() {
+		out <- 1 // want `naked channel send in context-scoped goroutine`
+	}()
+}
+
+// nakedRecv parks forever waiting for data nobody will send.
+func nakedRecv(ctx context.Context, in chan int) {
+	go func() {
+		v := <-in // want `naked receive from a data channel in context-scoped goroutine`
+		_ = v
+	}()
+}
+
+// selectNoEscape can only leave when data arrives.
+func selectNoEscape(ctx context.Context, in chan int) {
+	go func() {
+		select { // want `select in context-scoped goroutine has no default and no ctx.Done\(\)/done-channel case`
+		case v := <-in:
+			_ = v
+		}
+	}()
+}
+
+// guarded is the canonical shape: every blocking wait also watches
+// ctx.Done().
+func guarded(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// buffered sends the single result into a capacity-1 channel: the
+// handoff can never block.
+func buffered(ctx context.Context) chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- work(ctx)
+	}()
+	return done
+}
+
+// waitDone blocks on a cancellation-shaped channel, which is itself a
+// wait-for-cancel.
+func waitDone(ctx context.Context, done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// noCtx has no context in scope; the goroutine's lifetime is the
+// caller's problem by construction.
+func noCtx(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}
+
+// allowed documents a deliberate unguarded send with its reason.
+func allowed(ctx context.Context, out chan int) {
+	go func() {
+		//pando:allow ctxguard parent always drains one value before honoring cancellation
+		out <- 1
+	}()
+}

@@ -1,0 +1,103 @@
+// Package detrand enforces the chaos-determinism protocol from PR 5:
+// code on a deterministic path — chaos schedule construction, netsim
+// pipe jitter, anything a seed must fully determine — may not consult
+// wall clocks (time.Now/Since/Until), draw from the global math/rand
+// generator (whose state is shared and seed-uncontrolled), or iterate
+// a map to drive ordering (map order is randomized per run).
+//
+// Functions opt in with a //pando:deterministic mark on their doc
+// comment; the mark covers the whole body including nested function
+// literals. A violation that is genuinely intended — Schedule.Play
+// mapping deterministic offsets onto real time, for instance — is
+// suppressed with //pando:nondeterministic <reason> on (or above) the
+// offending line, and the reason is mandatory, so every wall-clock
+// touch on a deterministic path is visible and justified at the site.
+//
+// Seeded generators (methods on a *math/rand.Rand value) are fine:
+// determinism comes from the seed, which is exactly the chaos.Rand
+// discipline.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pando/internal/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "check that //pando:deterministic functions avoid wall clocks, " +
+		"global math/rand, and map-order iteration",
+	Run: run,
+}
+
+// wallClock lists the time package functions that read the wall clock.
+// Timer/ticker constructors are deliberately absent: they map already-
+// deterministic durations onto real time, which is what a deterministic
+// schedule player must eventually do.
+var wallClock = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pass.FuncMarked(fn, "deterministic") {
+				continue
+			}
+			check(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClock[fn.Name()] {
+					pass.Reportf(n.Pos(), "wall clock read (time.%s) in deterministic function: seeded replays would drift", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors (rand.New, rand.NewSource, rand.NewPCG, ...)
+				// build the seeded generators the discipline asks for; only
+				// draws from the package-global generator are violations.
+				if len(fn.Name()) >= 3 && fn.Name()[:3] == "New" {
+					return true
+				}
+				pass.Reportf(n.Pos(), "global %s.%s in deterministic function: draw from the seeded chaos.Rand instead", lastSegment(fn.Pkg().Path()), fn.Name())
+			}
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration in deterministic function: runtime map order is randomized; sort the keys first")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func lastSegment(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"pando/internal/analysis/analysistest"
+	"pando/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "detrandtest")
+}

@@ -1,0 +1,50 @@
+// Package detrandtest seeds chaos-determinism violations (and their
+// legitimate twins) for the detrand analyzer suite.
+package detrandtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+//pando:deterministic
+func clock() time.Duration {
+	now := time.Now()      // want `wall clock read \(time.Now\) in deterministic function`
+	return time.Since(now) // want `wall clock read \(time.Since\) in deterministic function`
+}
+
+//pando:deterministic
+func globalDraw() int {
+	return rand.Int() // want `global rand.Int in deterministic function`
+}
+
+//pando:deterministic
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors build the seeded generator: fine
+	return r.Int()
+}
+
+//pando:deterministic
+func iterate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration in deterministic function`
+		total += v
+	}
+	return total
+}
+
+//pando:deterministic
+func annotated() time.Time {
+	//pando:nondeterministic anchoring the deterministic offsets to real time is this helper's whole purpose
+	return time.Now()
+}
+
+//pando:deterministic
+func missingReason() time.Time {
+	// want `suppression of detrand without a reason`
+	//pando:nondeterministic
+	return time.Now()
+}
+
+// unmarked functions are outside the deterministic domain.
+func unmarked() time.Time { return time.Now() }

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file loads type-checked packages without golang.org/x/tools:
+// target packages are parsed and type-checked from source, while their
+// dependencies (standard library and module siblings alike) are
+// imported from compiler export data that `go list -export` produces.
+// That keeps the whole pipeline on the standard library and the go
+// toolchain already in the build image.
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader resolves import paths to export data via the go command and
+// type-checks requested packages from source.
+type Loader struct {
+	// Dir is the directory go list runs in (the module root).
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	gcImp   types.Importer
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.gcImp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs go list with the given flags, decoding the JSON stream.
+func (l *Loader) goList(args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Dir,Export,GoFiles,Error"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// harvest records export data locations from a go list run.
+func (l *Loader) harvest(pkgs []listedPkg) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// lookup feeds export data files to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		// Lazy miss: resolve just this path (plus its deps, harvested
+		// for later) — hit by analysistest packages whose stdlib import
+		// sets the main Load run did not need.
+		pkgs, err := l.goList("-export", "-deps", path)
+		if err != nil {
+			return nil, err
+		}
+		l.harvest(pkgs)
+		f, ok = l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+// Import implements types.Importer over the export data table.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.gcImp.Import(path)
+}
+
+// Load type-checks the packages matched by patterns from source,
+// resolving every dependency through export data. Packages with no Go
+// files (or only test files) are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps -export pass primes the export table for everything the
+	// targets (and their dependencies) import.
+	deps, err := l.goList(append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l.harvest(deps)
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil && len(t.GoFiles) == 0 {
+			continue
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one package from its source files.
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	tpkg, err := conf.Check(path, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,403 @@
+// Package locksend enforces the lock discipline behind the fleet
+// session-pump and lender drain fixes: a function must not perform a
+// potentially-blocking handoff while holding a sync.Mutex or
+// sync.RWMutex it locked itself. The classic deadlock: goroutine A
+// holds mu and blocks sending on a channel whose consumer needs mu.
+//
+// Flagged while a lock is held in the same function:
+//
+//   - a naked channel send statement (ch <- v outside select);
+//   - a select containing send cases with no default and no
+//     cancellation-shaped receive (a receive of a chan struct{} — the
+//     done-channel idiom — makes the select escapable);
+//   - a call through a func-typed variable, parameter, or field — the
+//     lender/pool callback class, whose implementation is outside this
+//     function's control and may itself need the lock. A local bound
+//     directly to a function literal (`serves := func(...) ...`) is
+//     exempt: its body is visible right there and is analyzed in its
+//     own right.
+//
+// Deliberate exceptions (a send known to target a buffered channel
+// drained independently of the lock) are annotated at the site with
+// //pando:allow locksend <reason>.
+//
+// The analysis is syntactic and function-local: a deferred unlock
+// keeps the lock held to the end of the function; a branch that
+// unlocks and returns does not poison the code after the branch.
+package locksend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pando/internal/analysis"
+)
+
+// Analyzer is the locksend analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksend",
+	Doc: "check that no blocking channel send or func-valued callback happens " +
+		"while a sync.Mutex/RWMutex locked in the same function is held",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		closures := closureVars(pass.TypesInfo, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, info: pass.TypesInfo, closures: closures}
+			c.block(fn.Body.List, map[string]bool{})
+		}
+		// Function literals run later (goroutines, callbacks) in their
+		// own lock scope; walk each one independently with a clean slate.
+		// The statement walker never descends into literals, so no body
+		// is analyzed twice.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c := &checker{pass: pass, info: pass.TypesInfo, closures: closures}
+				c.block(lit.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// closureVars collects variables bound (by := or var) directly to a
+// function literal anywhere in the file.
+func closureVars(info *types.Info, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(name *ast.Ident, rhs ast.Expr) {
+		if _, ok := ast.Unparen(rhs).(*ast.FuncLit); !ok {
+			return
+		}
+		if obj := info.Defs[name]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	closures map[types.Object]bool // locals bound directly to a FuncLit
+}
+
+// mutexCall matches x.Lock / x.RLock / x.Unlock / x.RUnlock where x is
+// a sync.Mutex or sync.RWMutex (possibly behind a pointer), returning a
+// stable key for the lock expression.
+func (c *checker) mutexCall(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := c.info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if !analysis.NamedTypeIs(t, "sync", "Mutex") && !analysis.NamedTypeIs(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), method, true
+}
+
+// block walks one statement list with the set of held locks. held is
+// mutated in place; branches get copies.
+func (c *checker) block(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func clone(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *checker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, method, ok := c.mutexCall(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		c.expr(s.X, held)
+	case *ast.DeferStmt:
+		if key, method, ok := c.mutexCall(s.Call); ok {
+			_ = key
+			_ = method
+			// defer mu.Unlock(): the lock stays held to function end;
+			// nothing to do (we never clear it).
+			return
+		}
+		c.expr(s.Call, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.pass.Reportf(s.Arrow, "blocking channel send while %s is held (consumer may need the lock: deadlock)", anyLock(held))
+		}
+		c.expr(s.Chan, held)
+		c.expr(s.Value, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && selectCanBlockSending(c.info, s) {
+			c.pass.Reportf(s.Pos(), "select with send cases and no default/cancellation case while %s is held: deadlock risk", anyLock(held))
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			branch := clone(held)
+			if cc.Comm != nil {
+				// Comm clauses themselves were judged above; don't
+				// re-report the send.
+				switch comm := cc.Comm.(type) {
+				case *ast.AssignStmt:
+					for _, r := range comm.Rhs {
+						c.expr(r, branch)
+					}
+				case *ast.ExprStmt:
+					c.expr(comm.X, branch)
+				}
+			}
+			c.block(cc.Body, branch)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.expr(r, held)
+		}
+		for _, l := range s.Lhs {
+			c.expr(l, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		thenHeld := clone(held)
+		c.block(s.Body.List, thenHeld)
+		if s.Else != nil {
+			c.stmt(s.Else, clone(held))
+		}
+		// If the then-branch falls through after changing lock state
+		// (the `if cond { mu.Unlock(); ... }` shape), be conservative
+		// only about locks still held on the fallthrough path.
+		if !terminates(s.Body.List) {
+			for k := range held {
+				if !thenHeld[k] {
+					delete(held, k)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		c.block(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, held)
+		}
+		body := clone(held)
+		c.block(s.Body.List, body)
+		if s.Post != nil {
+			c.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X, held)
+		c.block(s.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			c.block(cl.(*ast.CaseClause).Body, clone(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		for _, cl := range s.Body.List {
+			c.block(cl.(*ast.CaseClause).Body, clone(held))
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine does not inherit our lock state; its literal is
+		// walked separately with a clean slate.
+		for _, a := range s.Call.Args {
+			c.expr(a, held)
+		}
+	}
+}
+
+// expr flags callback invocations under a held lock. Function literals
+// are skipped: they execute later, in their own lock context.
+func (c *checker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if len(held) > 0 && c.isFuncValueCall(n) {
+				c.pass.Reportf(n.Pos(), "func-valued callback invoked while %s is held (callee may block or need the lock)", anyLock(held))
+			}
+		}
+		return true
+	})
+}
+
+// isFuncValueCall reports whether the call goes through a func-typed
+// variable, parameter, or struct field rather than a declared function
+// or method.
+func (c *checker) isFuncValueCall(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	t := c.info.TypeOf(fun)
+	if t == nil {
+		return false
+	}
+	if _, isSig := t.Underlying().(*types.Signature); !isSig {
+		return false // conversion or builtin
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj := c.info.ObjectOf(fun)
+		if _, isVar := obj.(*types.Var); !isVar {
+			return false
+		}
+		return !c.closures[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[fun]; ok {
+			return sel.Kind() == types.FieldVal
+		}
+		// Qualified name pkg.F or method value: not a field.
+		return false
+	}
+	return false
+}
+
+// terminates reports whether the statement list obviously ends the
+// enclosing path (return, branch, or panic as its last statement).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// selectCanBlockSending reports whether the select both contains a send
+// case and lacks every escape hatch (default, or a receive from a
+// cancellation-shaped chan struct{}).
+func selectCanBlockSending(info *types.Info, s *ast.SelectStmt) bool {
+	hasSend := false
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		if cc.Comm == nil {
+			return false // default: never blocks
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			hasSend = true
+		case *ast.ExprStmt:
+			if recvIsCancellation(info, comm.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 && recvIsCancellation(info, comm.Rhs[0]) {
+				return false
+			}
+		}
+	}
+	return hasSend
+}
+
+// recvIsCancellation reports whether e is `<-ch` with ch a chan struct{}
+// (the done-channel idiom) — an escape that eventually fires.
+func recvIsCancellation(info *types.Info, e ast.Expr) bool {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "<-" {
+		return false
+	}
+	t := info.TypeOf(u.X)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// anyLock names one held lock for the diagnostic, smallest key first so
+// the message is stable across runs.
+func anyLock(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	if best == "" {
+		return "a mutex"
+	}
+	return best
+}

@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"pando/internal/analysis/analysistest"
+	"pando/internal/analysis/locksend"
+)
+
+func TestLocksend(t *testing.T) {
+	analysistest.Run(t, locksend.Analyzer, "locksendtest")
+}

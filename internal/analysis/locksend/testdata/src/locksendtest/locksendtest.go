@@ -1,0 +1,88 @@
+// Package locksendtest seeds lock-discipline violations (and their
+// legitimate twins) for the locksend analyzer suite.
+package locksendtest
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex
+	out  chan int
+	emit func(int)
+}
+
+// nakedSend blocks on a channel while holding the lock its consumer
+// may need.
+func (h *hub) nakedSend(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.out <- v // want `blocking channel send while h.mu is held`
+}
+
+// callback invokes a field-held func value under the lock.
+func (h *hub) callback(v int) {
+	h.mu.Lock()
+	h.emit(v) // want `func-valued callback invoked while h.mu is held`
+	h.mu.Unlock()
+}
+
+// selectNoEscape has a send case and no way out.
+func (h *hub) selectNoEscape(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `select with send cases and no default/cancellation case while h.mu is held`
+	case h.out <- v:
+	}
+}
+
+// afterUnlock hands off only once the lock is dropped.
+func (h *hub) afterUnlock(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.out <- v
+}
+
+// selectDefault never blocks: the default case is the escape.
+func (h *hub) selectDefault(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.out <- v:
+	default:
+	}
+}
+
+// selectDone escapes through the cancellation-shaped receive.
+func (h *hub) selectDone(v int, done chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.out <- v:
+	case <-done:
+	}
+}
+
+// localClosure calls a func local bound directly to a literal: its body
+// is visible right here and analyzed in its own right.
+func (h *hub) localClosure(v int) int {
+	double := func(x int) int { return 2 * x }
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return double(v)
+}
+
+// spawned goroutines do not inherit this function's lock state.
+func (h *hub) spawn(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		h.out <- v
+	}()
+}
+
+// allowed documents a deliberate send-under-lock with its reason.
+func (h *hub) allowed(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//pando:allow locksend out is buffered to the worker count and drained without the lock
+	h.out <- v
+}

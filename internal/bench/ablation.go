@@ -48,12 +48,14 @@ func RunFailureDetection(intervals []time.Duration) ([]DetectionPoint, error) {
 				if err != nil {
 					return
 				}
+				isPing := m.Type == proto.TypePing
+				proto.Release(m)
 				select {
 				case <-silent:
 					continue // frozen: reads but never answers
 				default:
 				}
-				if m.Type == proto.TypePing {
+				if isPing {
 					if err := proto.WriteFrame(p.B, &proto.Message{Type: proto.TypePong}); err != nil {
 						return
 					}
@@ -65,9 +67,10 @@ func RunFailureDetection(intervals []time.Duration) ([]DetectionPoint, error) {
 		time.Sleep(3 * iv)
 		start := time.Now()
 		close(silent)
-		_, err := a.Recv()
+		m, err := a.Recv()
 		detection := time.Since(start)
 		if err == nil {
+			proto.Release(m)
 			p.Cut()
 			return nil, fmt.Errorf("bench: silent crash not detected at interval %v", iv)
 		}

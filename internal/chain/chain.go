@@ -247,6 +247,7 @@ func (m *Monitor) NextAttempt() (Attempt, bool) {
 	if m.Done() {
 		return Attempt{}, false
 	}
+	//pando:allow locksend dataFor is the caller-supplied payload generator, documented non-blocking; Monitor.mu is the miner's only lock so it cannot be re-entered
 	tpl := m.chain.NextTemplate(m.dataFor(m.chain.Height()))
 	a := Attempt{Block: tpl, Start: m.nextStart, End: m.nextStart + m.rangeSize}
 	m.nextStart += m.rangeSize

@@ -77,6 +77,7 @@ func (r *Retargeter) Bits() int {
 func (r *Retargeter) BlockFound() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//pando:allow locksend r.now is an injected clock (time.Now or a test stub); clocks read state, they never take locks or block
 	now := r.now()
 	if r.inWindow == 0 {
 		r.windowStart = now

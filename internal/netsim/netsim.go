@@ -125,6 +125,8 @@ const relayBufSize = 32 * 1024
 // pipe's jitter generator is seeded from l.Seed (zero selects a fixed
 // default of 1, so unseeded pipes stay deterministic); Listener.Dial
 // threads a distinct per-connection seed through here.
+//
+//pando:deterministic
 func NewPipe(l Link) *Pipe {
 	aUser, aInner := net.Pipe()
 	bUser, bInner := net.Pipe()
@@ -145,6 +147,8 @@ func NewPipe(l Link) *Pipe {
 }
 
 // jitter draws one delay in [0, j) from the pipe's locked generator.
+//
+//pando:deterministic
 func (p *Pipe) jitter(j time.Duration) time.Duration {
 	if j <= 0 {
 		return 0
@@ -250,6 +254,11 @@ func (p *Pipe) Cut() {
 
 // relay moves chunks from src to dst applying the link delay model and
 // the direction's fault state. The gate blocks while the link is paused.
+// The delay/loss/jitter decisions are seed-determined; only the mapping
+// of those decisions onto delivery instants touches the wall clock (each
+// touch annotated below).
+//
+//pando:deterministic
 func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 	closed := p.closed
 	// The in-flight queue bounds how much data the link buffers beyond
@@ -266,6 +275,7 @@ func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 	go func() {
 		defer wg.Done()
 		for c := range inFlight {
+			//pando:nondeterministic waits out a delivery instant already stamped from the seeded delay model
 			d := time.Until(c.deliverAt)
 			if d > 0 {
 				timer := time.NewTimer(d)
@@ -299,6 +309,7 @@ func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 		bp := chunkPool.Get().(*[]byte)
 		n, err := src.Read(*bp)
 		if n > 0 {
+			//pando:nondeterministic stamping delivery instants: the delay amounts are seeded, only their anchor is the wall clock
 			now := time.Now()
 			start := now
 			if busyUntil.After(now) {

@@ -152,10 +152,17 @@ func (n *Node) Run(parent transport.Channel) error {
 			}
 			switch m.Type {
 			case proto.TypeInput:
+				// The payload escapes into the lender; the frame buffer's
+				// ownership moves with it and only the envelope recycles.
+				m.Detach()
 				in <- payload{seq: m.Seq, data: m.Data}
+				proto.Release(m)
 			case proto.TypeGoodbye:
+				proto.Release(m)
 				close(in)
 				return
+			default:
+				proto.Release(m)
 			}
 		}
 	}()
@@ -344,8 +351,10 @@ func childDuplex(ch transport.Channel) pullstream.Duplex[payload, payload] {
 				switch m.Type {
 				case proto.TypeResult:
 					if m.Err != "" {
+						werr := &transport.WorkerError{Seq: m.Seq, Msg: m.Err}
+						proto.Release(m)
 						ch.Close()
-						cb(&transport.WorkerError{Seq: m.Seq, Msg: m.Err}, zero)
+						cb(werr, zero)
 						return
 					}
 					seqMu.Lock()
@@ -355,15 +364,25 @@ func childDuplex(ch transport.Channel) pullstream.Duplex[payload, payload] {
 					}
 					seqMu.Unlock()
 					if !ok {
+						rerr := fmt.Errorf("overlay: result seq %d out of order (frame lost or reordered)", m.Seq)
+						proto.Release(m)
 						ch.Close()
-						cb(fmt.Errorf("overlay: result seq %d out of order (frame lost or reordered)", m.Seq), zero)
+						cb(rerr, zero)
 						return
 					}
-					cb(nil, payload{seq: m.Seq, data: m.Data})
+					// The result payload escapes to the parent's sender;
+					// detach it so only the envelope recycles.
+					m.Detach()
+					p := payload{seq: m.Seq, data: m.Data}
+					proto.Release(m)
+					cb(nil, p)
 					return
 				case proto.TypeGoodbye:
+					proto.Release(m)
 					cb(pullstream.ErrDone, zero)
 					return
+				default:
+					proto.Release(m)
 				}
 			}
 		},

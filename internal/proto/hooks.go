@@ -1,0 +1,40 @@
+package proto
+
+import "sync/atomic"
+
+// Test hooks for the arena, exported so packages layered above proto can
+// pin their ownership obligations in regression tests without reaching
+// into unexported state. The hooks are process-global; they load and
+// store atomically so toggling them races with nothing, but a restored
+// observer may still see stragglers from a channel that has not fully
+// wound down yet.
+
+// SetPoisonPut toggles the corrupt-after-release canary: while enabled,
+// every buffer returned to the arena is scribbled with 0xDB first, so a
+// caller that kept reading decoded state it should have copied before
+// Release sees garbage instead of a silent heisenbug. Returns the
+// previous setting, for deferred restore.
+func SetPoisonPut(on bool) (prev bool) {
+	return poisonPut.Swap(on)
+}
+
+// releaseObserver, when set by tests, sees every released envelope just
+// before it is reset — the hook release-discipline regression tests use
+// to prove a frame actually went back to the arena.
+var releaseObserver atomic.Pointer[func(*Message)]
+
+// SetReleaseObserver installs f to be called at the start of every
+// Release, with the envelope still intact (nil releases are not
+// reported). Passing nil clears the hook. Returns the previous observer,
+// for deferred restore.
+func SetReleaseObserver(f func(*Message)) (prev func(*Message)) {
+	var p *func(*Message)
+	if f != nil {
+		p = &f
+	}
+	old := releaseObserver.Swap(p)
+	if old == nil {
+		return nil
+	}
+	return *old
+}

@@ -1,6 +1,9 @@
 package proto
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file is the buffer arena of the zero-alloc hot path: a
 // sync.Pool-backed store of frame buffers and Message envelopes that the
@@ -48,10 +51,11 @@ var bufPools = [3]sync.Pool{
 	{New: func() any { b := make([]byte, 0, bufClassLarge); return &b }},
 }
 
-// poisonPut, when set by tests, scribbles over every buffer returned to
-// the arena so any use-after-release surfaces as corrupted data instead
-// of a silent heisenbug (the corrupt-after-release canary).
-var poisonPut bool
+// poisonPut, when set by tests (SetPoisonPut), scribbles over every
+// buffer returned to the arena so any use-after-release surfaces as
+// corrupted data instead of a silent heisenbug (the corrupt-after-release
+// canary).
+var poisonPut atomic.Bool
 
 // classFor returns the pool index whose buffers hold n bytes, or -1 when
 // n exceeds the largest pooled class.
@@ -96,7 +100,7 @@ func PutBuf(b []byte) {
 	if c < 0 {
 		return // oversized: let the GC have it
 	}
-	if poisonPut {
+	if poisonPut.Load() {
 		b = b[:cap(b)]
 		for i := range b {
 			b[i] = 0xDB
@@ -130,6 +134,9 @@ func GetMessage() *Message {
 func Release(m *Message) {
 	if m == nil {
 		return
+	}
+	if obs := releaseObserver.Load(); obs != nil {
+		(*obs)(m)
 	}
 	buf := m.buf
 	*m = Message{}

@@ -68,8 +68,8 @@ func TestCodecReadZeroAlloc(t *testing.T) {
 // scribbled, so any use-after-release in the stack fails loudly in tests
 // instead of silently corrupting a stream.
 func TestReleaseCanary(t *testing.T) {
-	poisonPut = true
-	defer func() { poisonPut = false }()
+	poisonPut.Store(true)
+	defer poisonPut.Store(false)
 
 	var buf bytes.Buffer
 	payload := bytes.Repeat([]byte{0x11}, 256)
@@ -98,8 +98,8 @@ func TestReleaseCanary(t *testing.T) {
 // Detach transfers buffer ownership to the escaping Data reference, so a
 // later Release must leave the bytes intact even with poisoning on.
 func TestDetachPreservesData(t *testing.T) {
-	poisonPut = true
-	defer func() { poisonPut = false }()
+	poisonPut.Store(true)
+	defer poisonPut.Store(false)
 
 	var buf bytes.Buffer
 	payload := bytes.Repeat([]byte{0x22}, 256)
@@ -271,8 +271,8 @@ func FuzzFrameReuse(f *testing.F) {
 	f.Add([]byte{}, bytes.Repeat([]byte{0x7F}, 5000))
 	f.Add(bytes.Repeat([]byte{0xB2}, 70000), []byte{0x00})
 	f.Fuzz(func(t *testing.T, a, b []byte) {
-		poisonPut = true
-		defer func() { poisonPut = false }()
+		poisonPut.Store(true)
+		defer poisonPut.Store(false)
 
 		var buf bytes.Buffer
 		if err := V2.WriteFrame(&buf, &Message{Type: TypeInput, Seq: 1, Data: a}); err != nil {

@@ -61,13 +61,19 @@ func Hello(ch Channel, hello *proto.Message) (*proto.Message, error) {
 		ch.Close()
 		return nil, err
 	}
+	// Error paths release the welcome frame back to the arena; its string
+	// fields are decode-time copies, so errors built from them stay valid.
 	if welcome.Type == proto.TypeError {
+		rerr := fmt.Errorf("transport: rejected: %s", welcome.Err)
+		proto.Release(welcome)
 		ch.Close()
-		return nil, fmt.Errorf("transport: rejected: %s", welcome.Err)
+		return nil, rerr
 	}
 	if welcome.Type != proto.TypeWelcome {
+		rerr := fmt.Errorf("transport: unexpected handshake reply %q", welcome.Type)
+		proto.Release(welcome)
 		ch.Close()
-		return nil, fmt.Errorf("transport: unexpected handshake reply %q", welcome.Type)
+		return nil, rerr
 	}
 	// An empty Wire means a pre-negotiation master, which always speaks
 	// v1. Either way the selection must be something this peer advertised.
@@ -77,8 +83,10 @@ func Hello(ch Channel, hello *proto.Message) (*proto.Message, error) {
 	}
 	wf, ok := proto.LookupFormat(chosen)
 	if !ok || !slices.Contains(hello.Formats, chosen) {
+		rerr := fmt.Errorf("transport: master selected unsupported wire format %q (supported: %v)", chosen, hello.Formats)
+		proto.Release(welcome)
 		ch.Close()
-		return nil, fmt.Errorf("transport: master selected unsupported wire format %q (supported: %v)", chosen, hello.Formats)
+		return nil, rerr
 	}
 	ch.SetWire(wf)
 	return welcome, nil
@@ -97,12 +105,14 @@ func RecvHello(ch Channel, allowed []string) (*proto.Message, proto.WireFormat, 
 		return nil, nil, err
 	}
 	if err := proto.CheckHello(hello); err != nil {
+		proto.Release(hello)
 		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
 		ch.Close()
 		return nil, nil, err
 	}
 	wire, err := proto.NegotiateStrict(allowed, hello.Formats)
 	if err != nil {
+		proto.Release(hello)
 		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: err.Error()})
 		ch.Close()
 		return nil, nil, err

@@ -151,10 +151,15 @@ func (s *SignalServer) handle(ch Channel) {
 		return
 	}
 	if m.Type != proto.TypeJoin || m.Peer == "" {
+		proto.Release(m)
 		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: "expected join with peer id"})
 		return
 	}
+	// Everything the registration needs is decode-time-copied; the frame
+	// itself goes back to the arena before the relay loop starts.
 	id := m.Peer
+	functions := m.Functions
+	proto.Release(m)
 
 	s.mu.Lock()
 	if _, taken := s.peers[id]; taken {
@@ -163,8 +168,8 @@ func (s *SignalServer) handle(ch Channel) {
 		return
 	}
 	s.peers[id] = ch
-	if len(m.Functions) > 0 {
-		s.masters[id] = m.Functions
+	if len(functions) > 0 {
+		s.masters[id] = functions
 	}
 	s.mu.Unlock()
 
@@ -204,6 +209,7 @@ func (s *SignalServer) handle(ch Channel) {
 				// Pool mode: "any master that can use me".
 				assigned, ok := s.pickMaster(m.Functions)
 				if !ok {
+					proto.Release(m)
 					_ = ch.Send(&proto.Message{
 						Type: proto.TypeError,
 						Err:  "no master registered for pool assignment",
@@ -216,6 +222,7 @@ func (s *SignalServer) handle(ch Channel) {
 			dst, ok := s.peers[to]
 			s.mu.Unlock()
 			if !ok {
+				proto.Release(m)
 				_ = ch.Send(&proto.Message{
 					Type: proto.TypeError,
 					To:   to,
@@ -223,9 +230,14 @@ func (s *SignalServer) handle(ch Channel) {
 				})
 				continue
 			}
+			// The forwarded copy keeps the decoded payload alive past this
+			// iteration, so the frame buffer's ownership moves with it and
+			// only the envelope is recycled.
 			fwd := *m
 			fwd.Peer = id // authoritative sender
 			fwd.To = to
+			m.Detach()
+			proto.Release(m)
 			if err := dst.Send(&fwd); err != nil {
 				_ = ch.Send(&proto.Message{
 					Type: proto.TypeError,
@@ -234,8 +246,10 @@ func (s *SignalServer) handle(ch Channel) {
 				})
 			}
 		case proto.TypeGoodbye:
+			proto.Release(m)
 			return
 		default:
+			proto.Release(m)
 			_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: "unsupported signalling message"})
 		}
 	}
@@ -258,6 +272,7 @@ func JoinSignalServing(ch Channel, peerID string, functions []string) error {
 	if err != nil {
 		return err
 	}
+	defer proto.Release(m)
 	if m.Type == proto.TypeError {
 		return fmt.Errorf("transport: join rejected: %s", m.Err)
 	}

@@ -86,8 +86,11 @@ func (a *RTCAnswerer) signalLoop() {
 			return
 		}
 		if m.Type != proto.TypeOffer {
+			proto.Release(m)
 			continue
 		}
+		peer := m.Peer
+		proto.Release(m)
 		nonce := newNonce()
 		ch := make(chan Channel, 1)
 		a.mu.Lock()
@@ -96,7 +99,7 @@ func (a *RTCAnswerer) signalLoop() {
 		// Answer with our host candidate and the session nonce.
 		_ = a.signal.Send(&proto.Message{
 			Type:  proto.TypeAnswer,
-			To:    m.Peer,
+			To:    peer,
 			Addr:  a.acc.Addr().String(),
 			Token: nonce,
 		})
@@ -119,12 +122,15 @@ func (a *RTCAnswerer) acceptLoop() {
 				return
 			}
 			if m.Type != proto.TypeCandidate || m.Token == "" {
+				proto.Release(m)
 				ch.Close()
 				return
 			}
+			token := m.Token
+			proto.Release(m)
 			a.mu.Lock()
-			deliver, ok := a.pending[m.Token]
-			delete(a.pending, m.Token)
+			deliver, ok := a.pending[token]
+			delete(a.pending, token)
 			a.mu.Unlock()
 			if !ok {
 				ch.Close()
@@ -167,27 +173,33 @@ func RTCOfferServing(signal Channel, selfID, remoteID string, functions []string
 	if err := signal.Send(&proto.Message{Type: proto.TypeOffer, To: remoteID, Peer: selfID, Functions: functions}); err != nil {
 		return nil, fmt.Errorf("transport: send offer: %w", err)
 	}
-	var answer *proto.Message
+	var addr, nonce string
 	for {
 		m, err := signal.Recv()
 		if err != nil {
 			return nil, fmt.Errorf("transport: awaiting answer: %w", err)
 		}
 		if m.Type == proto.TypeError {
-			return nil, fmt.Errorf("transport: signalling error: %s", m.Err)
+			rerr := fmt.Errorf("transport: signalling error: %s", m.Err)
+			proto.Release(m)
+			return nil, rerr
 		}
 		if m.Type == proto.TypeAnswer && (remoteID == "" || m.Peer == remoteID) {
-			answer = m
+			addr, nonce = m.Addr, m.Token
+			proto.Release(m)
 			break
 		}
+		// Unrelated signalling traffic (stale answers, candidates for
+		// other sessions): drop the frame and keep waiting.
+		proto.Release(m)
 	}
 
-	conn, err := dial(answer.Addr)
+	conn, err := dial(addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial candidate %q: %w", answer.Addr, err)
+		return nil, fmt.Errorf("transport: dial candidate %q: %w", addr, err)
 	}
 	ch := NewWSock(conn, cfg)
-	if err := ch.Send(&proto.Message{Type: proto.TypeCandidate, Token: answer.Token, Peer: selfID}); err != nil {
+	if err := ch.Send(&proto.Message{Type: proto.TypeCandidate, Token: nonce, Peer: selfID}); err != nil {
 		ch.Close()
 		return nil, err
 	}
@@ -197,9 +209,12 @@ func RTCOfferServing(signal Channel, selfID, remoteID string, functions []string
 		return nil, fmt.Errorf("transport: establishment: %w", err)
 	}
 	if m.Type != proto.TypeWelcome {
+		rerr := fmt.Errorf("transport: unexpected establishment reply %q", m.Type)
+		proto.Release(m)
 		ch.Close()
-		return nil, fmt.Errorf("transport: unexpected establishment reply %q", m.Type)
+		return nil, rerr
 	}
+	proto.Release(m)
 	// Direct connection established: the signalling connection closes.
 	signal.Close()
 	return ch, nil

@@ -235,6 +235,9 @@ func (w *WSock) readLoop() {
 			select {
 			case w.recvq <- m:
 			case <-w.done:
+				// Shutdown won the race: the frame never reaches a
+				// consumer, so it goes back to the arena here.
+				proto.Release(m)
 				return
 			}
 		}
