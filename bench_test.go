@@ -306,7 +306,7 @@ func BenchmarkWireSmallCollatz(b *testing.B) {
 		}
 		return r.Steps, nil
 	}
-	for _, wire := range []string{pando.WireV1, pando.WireV2} {
+	for _, wire := range []string{pando.WireV1, pando.WireV2, pando.WireV3} {
 		b.Run(wire, func(b *testing.B) {
 			benchWireDeployment(b, wire, "bench-collatz", f, inputs)
 		})
@@ -319,7 +319,7 @@ func BenchmarkWireSmallCollatz(b *testing.B) {
 func BenchmarkWireLargeImgproc(b *testing.B) {
 	tiles := bench.ImgprocWirePayloads(16, 128).Items           // 16 tiles of 16 KiB
 	f := func(tile []byte) ([]byte, error) { return tile, nil } // transfer-bound
-	for _, wire := range []string{pando.WireV1, pando.WireV2} {
+	for _, wire := range []string{pando.WireV1, pando.WireV2, pando.WireV3} {
 		b.Run(wire, func(b *testing.B) {
 			benchWireDeployment(b, wire, "bench-imgproc", f, tiles,
 				pando.WithCodec[[]byte, []byte](pando.RawCodec{}, pando.RawCodec{}))

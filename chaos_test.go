@@ -748,6 +748,229 @@ collect:
 	}
 }
 
+// TestChaosDataPlane drives the '/pando/2.2.0' bandwidth-aware data
+// plane — negotiated frame compression plus content-addressed payload
+// dedup — through seeded blob-cache poisoning, compressed-frame wire
+// corruption, and ordinary worker churn, all on one fleet. A poisoned
+// cache entry must surface as a digest mismatch on its next reference
+// and a corrupted compressed frame as a CRC or DEFLATE failure; both
+// must degrade to crash-stop (the device is re-lent, never believed),
+// so the output stays exactly-once and in order.
+func TestChaosDataPlane(t *testing.T) {
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosDataPlane(t, seed)
+		})
+	}
+}
+
+func runChaosDataPlane(t *testing.T, seed int64) {
+	t.Logf("chaos: seed %d (reproduce: go test -run 'TestChaosDataPlane' -chaos.seed=%d)", seed, seed)
+	r := chaos.New(seed)
+	guard := chaos.Guard()
+	n := *chaosItems
+	if n < 40 {
+		// The schedule poisons and corrupts mid-stream; a tiny replay
+		// value would end the stream before any fault lands on traffic.
+		n = 40
+	}
+
+	// The workload is shaped for the dedup plane: most inputs repeat one
+	// large compressible tile, so once a channel has transmitted the
+	// bytes every further send is a digest-only blob reference — exactly
+	// the frames poisoning attacks. Every 4th input is a small unique
+	// marker (below the dedup threshold) that pins global ordering: a
+	// swap between identical tile outputs would be invisible to
+	// CheckExact, a displaced marker is not.
+	const tileBytes = 4096
+	tile := make([]byte, tileBytes)
+	for i := range tile {
+		tile[i] = byte(i*31 + 7)
+	}
+	input := func(i int) []byte {
+		if i%4 == 0 {
+			return []byte(fmt.Sprintf("marker-%06d", i))
+		}
+		return tile
+	}
+	digest := func(b []byte) (string, error) {
+		var sum uint64
+		for _, c := range b {
+			sum = sum*131 + uint64(c)
+		}
+		return fmt.Sprintf("%d:%016x", len(b), sum), nil
+	}
+	want := func(i int) string { s, _ := digest(input(i)); return s }
+
+	name := integName("chaos-blob")
+	hb := pando.ChannelConfig{HeartbeatInterval: 20 * time.Millisecond}
+	pool := pando.NewPool(pando.WithChannelConfig(hb), pando.WithRebalanceInterval(25*time.Millisecond))
+	defer pool.Close()
+
+	handler := pando.Handler(digest)
+	resolve := func(fn string) (worker.Handler, bool) {
+		if fn == name {
+			return handler, true
+		}
+		return nil, false
+	}
+	cf := &chaosFleet{}
+	defer cf.cutAll()
+	spawn := func(wname string, link netsim.Link, delay time.Duration, cacheBytes int64) (*worker.Volunteer, *netsim.Pipe) {
+		v := &worker.Volunteer{
+			Name:           wname,
+			Channel:        hb,
+			Delay:          delay,
+			CrashAfter:     -1,
+			Functions:      []string{"*"},
+			Resolve:        resolve,
+			BlobCacheBytes: cacheBytes,
+		}
+		pipe := netsim.NewPipe(link)
+		cf.add(pipe)
+		go func() { _ = v.JoinWS(pipe.A) }()
+		go func() { _ = pool.Fleet().Admit(transport.NewWSock(pipe.B, hb)) }()
+		return v, pipe
+	}
+
+	job := pando.Map(pool, name, digest,
+		pando.WithAdaptiveLimit(1, 8),
+		pando.WithChannelConfig(hb),
+		pando.WithoutRegistry())
+	defer job.Close()
+
+	// --- Fleet, derived from the seed. One seeded device runs with a
+	// degenerate single-entry cache, so blobmiss fetch exchanges happen
+	// under fire too, not only cache hits. ---
+	wr := r.Fork("workers")
+	nWorkers := 4 + wr.Intn(3)
+	tinyCache := 1 + wr.Intn(nWorkers-1) // never worker 0, the liveness anchor
+	vols := make([]*worker.Volunteer, nWorkers)
+	pipes := make([]*netsim.Pipe, nWorkers)
+	links := make([]netsim.Link, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		link := netsim.Link{
+			Latency: wr.Duration(0, 3*time.Millisecond),
+			Jitter:  wr.Duration(0, 2*time.Millisecond),
+			Seed:    wr.Int63() | 1,
+		}
+		var cache int64
+		if i == tinyCache {
+			cache = -1
+		}
+		links[i] = link
+		vols[i], pipes[i] = spawn(fmt.Sprintf("bw-%d", i+1), link, wr.Duration(2*time.Millisecond, 8*time.Millisecond), cache)
+	}
+
+	// --- Fault schedule. Worker 0 is protected (liveness anchor);
+	// worker 1 always takes a cache poisoning and worker 2 always takes
+	// wire corruption, so every seed exercises both data-plane faults;
+	// the rest draw from the combined menu. ---
+	fr := r.Fork("faults")
+	sched := &chaos.Schedule{}
+	const horizon = 450 * time.Millisecond
+	for i := 1; i < nWorkers; i++ {
+		pipe := pipes[i]
+		wname := fmt.Sprintf("bw-%d", i+1)
+		at := fr.Duration(30*time.Millisecond, horizon-120*time.Millisecond)
+		pick := fr.Intn(4)
+		switch {
+		case i == 1 || (i > 2 && pick == 0):
+			// Seeded poisonings: one or two byte flips in the device's
+			// newest cached blob, spread over the stream.
+			for p, count := 0, 1+fr.Intn(2); p < count; p++ {
+				chaos.Poison(sched, wname, vols[i], at+fr.Duration(0, 100*time.Millisecond))
+			}
+		case i == 2 || (i > 2 && pick == 1):
+			// Byte flips on the wire: with '/pando/2.2.0' negotiated the
+			// scrambled frames are compressed ones, so the CRC over the
+			// compressed body (or DEFLATE itself) must catch them.
+			chaos.Corrupt(sched, fr, wname, pipe, fr.Bool(0.5), at)
+		case pick == 2:
+			chaos.Cut(sched, wname, pipe, at)
+			rejoin := at + fr.Duration(40*time.Millisecond, 150*time.Millisecond)
+			link, delay := links[i], fr.Duration(2*time.Millisecond, 6*time.Millisecond)
+			sched.Add(rejoin, fmt.Sprintf("rejoin %s", wname), func() { spawn(wname, link, delay, 0) })
+		default:
+			chaos.Flap(sched, fr.Fork("flap:"+wname), wname, pipe,
+				1+fr.Intn(2), at, 200*time.Millisecond, 10*time.Millisecond, 120*time.Millisecond)
+		}
+	}
+	// Reinforcements: fresh reliable devices near the horizon guarantee
+	// liveness no matter which devices the faults removed.
+	sched.Add(horizon, "reinforce fleet", func() {
+		spawn("reinforce-1", netsim.Loopback, 0, 0)
+		spawn("reinforce-2", netsim.Loopback, 0, 0)
+	})
+	t.Logf("chaos: %d workers (tiny cache: bw-%d), %d scheduled events:\n%s",
+		nWorkers, tinyCache+1, sched.Len(), strings.Join(sched.Describe(), "\n"))
+
+	stopSched := make(chan struct{})
+	schedDone := make(chan struct{})
+	go func() { defer close(schedDone); sched.Play(stopSched) }()
+	var stopOnce sync.Once
+	stopPlay := func() { stopOnce.Do(func() { close(stopSched) }); <-schedDone }
+	defer stopPlay()
+
+	in := make(chan []byte)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- input(i)
+		}
+	}()
+	out, errc := job.Process(context.Background(), in)
+	got := collectClosed(t, out, n, 90*time.Second, "data-plane job")
+	if err := <-errc; err != nil {
+		t.Fatalf("data-plane job failed: %v", err)
+	}
+
+	// Invariant 1: exactly-once, in-order output — poisoned caches and
+	// corrupted frames crash-stopped their channels instead of leaking
+	// wrong bytes into results.
+	if err := chaos.CheckExact(got, n, want); err != nil {
+		t.Errorf("data-plane output: %v", err)
+	}
+
+	// Invariant 2: the dedup plane was actually in the path — the tile
+	// repeats across a fleet whose caps exceed one tile, so at least one
+	// channel must have collapsed a repeat into a blob reference.
+	hits, misses, evicts := int64(0), int64(0), int64(0)
+	for _, w := range job.Stats() {
+		hits += w.BlobHits
+		misses += w.BlobMisses
+		evicts += w.BlobEvicts
+	}
+	t.Logf("chaos: blob refs on the faulted run: %d hits, %d misses, %d evicts", hits, misses, evicts)
+	if hits == 0 {
+		t.Error("no blob-reference hits: the dedup plane never engaged under the scenario")
+	}
+	job.Close()
+
+	// Invariant 3: no stale fleet leases once the job has closed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stale := chaos.StaleLeases(pool.Workers(), func(string) bool { return false })
+		if len(stale) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("stale leases after close: %v", stale)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Invariant 4: everything unwinds.
+	stopPlay()
+	pool.Close()
+	cf.cutAll()
+	t.Logf("chaos: fired %d/%d events", len(sched.Fired()), sched.Len())
+	if err := guard.Check(10 * time.Second); err != nil {
+		t.Errorf("leak check: %v", err)
+	}
+}
+
 // TestChaosSignalFlap drives the WebRTC-like bootstrap through a flapping
 // public signalling relay: a reconnecting volunteer keeps re-running the
 // bootstrap while its signalling and direct connections are paused and

@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -55,64 +54,61 @@ func main() {
 		shardPay  = flag.Int("shard-payload", 8192, "payload bytes per item for -shard")
 		shardUp   = flag.Int64("shard-uplink", int64(bench.DefaultShardUplink), "modeled per-master uplink in bytes/sec for -shard")
 		shardOne  = flag.String("shard-one", "", "internal: run one shard measurement (\"shards,workers,items,payload,uplink\") and print items/sec")
+		compExp   = flag.Bool("compress", false, "measure the bandwidth-aware wire (adaptive compression + payload dedup) against the plain binary wire")
+		compOut   = flag.String("compress-out", "BENCH_compress.json", "where -compress persists its results")
+		compWrk   = flag.Int("compress-workers", 10000, "netsim volunteer count for -compress")
+		compPer   = flag.Int("compress-items", 2, "items per worker for each -compress cell")
+		compPay   = flag.Int("compress-payload", 16384, "payload bytes per item for -compress (default: one 128x128 grayscale imgproc tile)")
+		compUp    = flag.Int64("compress-uplink", int64(bench.DefaultCompressUplink), "modeled master uplink in bytes/sec shared by the -compress fleet")
+		compReps  = flag.Int("compress-reps", 1, "baseline/v3 pairs per -compress workload (median-speedup pair is reported; bandwidth-paced cells vary little between reps)")
+		compOne   = flag.String("compress-one", "", "internal: run one compress measurement (\"workload,v3,workers,items,payload,uplink\") and print items/sec and wire bytes")
 		items     = flag.Int("items", 400, "work items per cell")
 		timeScale = flag.Float64("timescale", bench.DefaultTimeScale, "time compression factor")
 	)
 	flag.Parse()
 	opt := bench.Options{Items: *items, TimeScale: *timeScale}
 
-	// Child mode for -hotpath: run exactly one fleet measurement and
-	// print the rate. The parent re-executes itself per measurement so
-	// every run starts from a pristine runtime — a fleet leaves tens of
-	// thousands of dead goroutine stacks and an inflated heap target
-	// behind, which would otherwise bleed into the next measurement.
+	// Child modes: run exactly one cell and print its values. The parent
+	// re-executes itself per measurement so every run starts from a
+	// pristine runtime — a fleet leaves tens of thousands of dead
+	// goroutine stacks and an inflated heap target behind, which would
+	// otherwise bleed into the next measurement (see bench.ChildCell).
 	if *hotOne != "" {
-		parts := strings.Split(*hotOne, ",")
-		if len(parts) != 4 {
-			fmt.Fprintf(os.Stderr, "pando-bench: bad -hotpath-one %q\n", *hotOne)
-			os.Exit(1)
-		}
-		w, err1 := strconv.Atoi(parts[0])
-		it, err2 := strconv.Atoi(parts[1])
-		pay, err3 := strconv.Atoi(parts[2])
-		pooled, err4 := strconv.ParseBool(parts[3])
-		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-			fmt.Fprintf(os.Stderr, "pando-bench: bad -hotpath-one %q\n", *hotOne)
-			os.Exit(1)
-		}
-		rate, err := bench.RunHotpathProfile(w, it, pay, pooled)
+		f, err := bench.ParseChildSpec(*hotOne, 4)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -hotpath-one %q: %v\n", *hotOne, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%f\n", rate)
+		bench.ChildCell(func() ([]float64, error) {
+			rate, err := bench.RunHotpathProfile(int(f[0]), int(f[1]), int(f[2]), f[3] != 0)
+			return []float64{rate}, err
+		})
 		return
 	}
 
-	// Child mode for -shard, mirroring -hotpath-one: one cell per fresh
-	// process so a 10k-goroutine fleet cannot age the runtime under the
-	// cells after it.
 	if *shardOne != "" {
-		parts := strings.Split(*shardOne, ",")
-		if len(parts) != 5 {
-			fmt.Fprintf(os.Stderr, "pando-bench: bad -shard-one %q\n", *shardOne)
-			os.Exit(1)
-		}
-		s, err1 := strconv.Atoi(parts[0])
-		w, err2 := strconv.Atoi(parts[1])
-		it, err3 := strconv.Atoi(parts[2])
-		pay, err4 := strconv.Atoi(parts[3])
-		up, err5 := strconv.ParseInt(parts[4], 10, 64)
-		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
-			fmt.Fprintf(os.Stderr, "pando-bench: bad -shard-one %q\n", *shardOne)
-			os.Exit(1)
-		}
-		rate, err := bench.RunShardProfile(s, w, it, pay, up)
+		f, err := bench.ParseChildSpec(*shardOne, 5)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -shard-one %q: %v\n", *shardOne, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%f\n", rate)
+		bench.ChildCell(func() ([]float64, error) {
+			rate, err := bench.RunShardProfile(int(f[0]), int(f[1]), int(f[2]), int(f[3]), f[4])
+			return []float64{rate}, err
+		})
+		return
+	}
+
+	if *compOne != "" {
+		f, err := bench.ParseChildSpec(*compOne, 6)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -compress-one %q: %v\n", *compOne, err)
+			os.Exit(1)
+		}
+		bench.ChildCell(func() ([]float64, error) {
+			rate, wireBytes, err := bench.RunCompressProfile(int(f[0]), f[1] != 0, int(f[2]), int(f[3]), int(f[4]), f[5])
+			return []float64{rate, float64(wireBytes)}, err
+		})
 		return
 	}
 
@@ -318,53 +314,85 @@ func main() {
 		fmt.Printf("results written to %s\n", *shardOut)
 	}
 
+	if *compExp {
+		ran = true
+		if *compReps > 0 {
+			bench.CompressReps = *compReps
+		}
+		cmp, err := bench.RunCompressWith(*compWrk, *compPer, *compPay, *compUp, freshCompressRun)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		bench.RenderCompress(os.Stdout, cmp)
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*compOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *compOut)
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
+func boolField(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // freshShardRun executes one -shard cell in a child process (this same
-// binary with -shard-one) and parses the rate it prints. Falls back to
-// an in-process run if the executable path is unavailable.
+// binary with -shard-one) and parses the rate it prints.
 func freshShardRun(shards, workers, items, payload int, uplink int64) (float64, error) {
-	exe, err := os.Executable()
+	spec := bench.ChildSpec(int64(shards), int64(workers), int64(items), int64(payload), uplink)
+	vals, err := bench.FreshProcessRun("-shard-one", spec, func() ([]float64, error) {
+		rate, err := bench.RunShardProfile(shards, workers, items, payload, uplink)
+		return []float64{rate}, err
+	})
 	if err != nil {
-		return bench.RunShardProfile(shards, workers, items, payload, uplink)
+		return 0, err
 	}
-	arg := fmt.Sprintf("%d,%d,%d,%d,%d", shards, workers, items, payload, uplink)
-	cmd := exec.Command(exe, "-shard-one", arg)
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
-	if err != nil {
-		return 0, fmt.Errorf("shard child %s: %w", arg, err)
-	}
-	rate, err := strconv.ParseFloat(strings.TrimSpace(string(out)), 64)
-	if err != nil {
-		return 0, fmt.Errorf("shard child %s: bad output %q", arg, out)
-	}
-	return rate, nil
+	return vals[0], nil
 }
 
 // freshProcessRun executes one -hotpath fleet measurement in a child
 // process (this same binary with -hotpath-one) and parses the rate it
-// prints. Falls back to an in-process run if the executable path is
-// unavailable.
+// prints.
 func freshProcessRun(workers, items, payload int, pooled bool) (float64, error) {
-	exe, err := os.Executable()
+	spec := bench.ChildSpec(int64(workers), int64(items), int64(payload), boolField(pooled))
+	vals, err := bench.FreshProcessRun("-hotpath-one", spec, func() ([]float64, error) {
+		rate, err := bench.RunHotpathProfile(workers, items, payload, pooled)
+		return []float64{rate}, err
+	})
 	if err != nil {
-		return bench.RunHotpathProfile(workers, items, payload, pooled)
+		return 0, err
 	}
-	arg := fmt.Sprintf("%d,%d,%d,%t", workers, items, payload, pooled)
-	cmd := exec.Command(exe, "-hotpath-one", arg)
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
+	return vals[0], nil
+}
+
+// freshCompressRun executes one -compress cell in a child process (this
+// same binary with -compress-one) and parses the rate and wire-byte
+// count it prints.
+func freshCompressRun(workload int, v3 bool, workers, items, payload int, uplink int64) (float64, int64, error) {
+	spec := bench.ChildSpec(int64(workload), boolField(v3), int64(workers), int64(items), int64(payload), uplink)
+	vals, err := bench.FreshProcessRun("-compress-one", spec, func() ([]float64, error) {
+		rate, wireBytes, err := bench.RunCompressProfile(workload, v3, workers, items, payload, uplink)
+		return []float64{rate, float64(wireBytes)}, err
+	})
 	if err != nil {
-		return 0, fmt.Errorf("hotpath child %s: %w", arg, err)
+		return 0, 0, err
 	}
-	rate, err := strconv.ParseFloat(strings.TrimSpace(string(out)), 64)
-	if err != nil {
-		return 0, fmt.Errorf("hotpath child %s: bad output %q", arg, out)
+	if len(vals) < 2 {
+		return 0, 0, fmt.Errorf("compress child %s: want 2 values, got %d", spec, len(vals))
 	}
-	return rate, nil
+	return vals[0], int64(vals[1]), nil
 }

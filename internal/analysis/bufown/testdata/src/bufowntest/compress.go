@@ -1,0 +1,100 @@
+// Compression-path fixtures: the '/pando/2.2.0' codec moves every frame
+// through arena buffers — a scratch v2 encoding that is compressed then
+// recycled, a fresh buffer the inflater fills, a grow-in-place deflate
+// sink — and each shape has a leak twin the analyzer must catch.
+package bufowntest
+
+import (
+	"errors"
+	"io"
+
+	"pando/internal/proto"
+)
+
+var errShort = errors.New("short body")
+
+// deflateInto mirrors the pooled deflate helper: it appends to dst and
+// returns the grown buffer, so ownership stays with the caller.
+func deflateInto(dst, src []byte) ([]byte, error) { return dst, nil }
+
+// decodeLeakOnShortBody drops the freshly acquired inflate target when
+// the body fails validation before the copy.
+func decodeLeakOnShortBody(body []byte) ([]byte, error) {
+	raw := proto.GetBuf(len(body)) // want `arena buffer "raw" is not released on every path`
+	if len(body) < 5 {
+		return nil, errShort
+	}
+	copy(raw, body)
+	return raw, nil
+}
+
+// decodeCleanOnShortBody is the correct twin: the validation branch
+// returns the buffer to the arena before bailing, the happy path
+// transfers it to the caller.
+func decodeCleanOnShortBody(body []byte) ([]byte, error) {
+	raw := proto.GetBuf(len(body))
+	if len(body) < 5 {
+		proto.PutBuf(raw)
+		return nil, errShort
+	}
+	copy(raw, body)
+	return raw, nil
+}
+
+// deflateLeakOnSkip grows the sink through the reassignment pattern —
+// which keeps ownership in b — then forgets it on the bail-out branch.
+func deflateLeakOnSkip(src []byte, skip bool) {
+	b := proto.GetBuf(0) // want `arena buffer "b" is not released on every path`
+	var err error
+	b, err = deflateInto(b, src)
+	if err != nil || skip {
+		return
+	}
+	proto.PutBuf(b)
+}
+
+// deflateClean is the correct twin: every path out of the function
+// returns the grown sink to the arena.
+func deflateClean(src []byte) {
+	b := proto.GetBuf(0)
+	var err error
+	b, err = deflateInto(b, src)
+	if err != nil {
+		proto.PutBuf(b)
+		return
+	}
+	proto.PutBuf(b)
+}
+
+// scratchUseAfterRecycle touches the scratch encoding after it went back
+// to the arena — the bytes may already back another frame.
+func scratchUseAfterRecycle() []byte {
+	scratch := proto.GetBuf(16)
+	proto.PutBuf(scratch)
+	return append([]byte(nil), scratch...) // want `use of arena buffer "scratch" after release`
+}
+
+// writeFrameLeakOnOversize mirrors a buggy WriteFrame: the encoded frame
+// leaks when the size cap rejects it before the write.
+func writeFrameLeakOnOversize(w io.Writer, m *proto.Message, oversize bool) error {
+	frame := proto.GetBuf(32) // want `arena buffer "frame" is not released on every path`
+	if oversize {
+		return errShort
+	}
+	_, err := w.Write(frame)
+	proto.PutBuf(frame)
+	return err
+}
+
+// writeFrameClean is the correct twin: the rejection branch recycles the
+// frame before returning the error.
+func writeFrameClean(w io.Writer, m *proto.Message, oversize bool) error {
+	frame := proto.GetBuf(32)
+	if oversize {
+		proto.PutBuf(frame)
+		return errShort
+	}
+	_, err := w.Write(frame)
+	proto.PutBuf(frame)
+	return err
+}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -276,8 +275,7 @@ func measureHotpathCell(workers, items, payload int, run HotpathRunner) (Hotpath
 }
 
 func settledHotpathRun(workers, items, payload int, pooled bool) (float64, error) {
-	runtime.GC()
-	time.Sleep(200 * time.Millisecond) // let the previous fleet's goroutines exit
+	settle()
 	return RunHotpathProfile(workers, items, payload, pooled)
 }
 

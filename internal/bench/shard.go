@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"time"
 
 	"pando/internal/master"
@@ -207,8 +206,7 @@ func RunShardWith(shardCounts []int, workers, itemsPerWorker, payload int, uplin
 }
 
 func settledShardRun(shards, workers, items, payload int, uplink int64) (float64, error) {
-	runtime.GC()
-	time.Sleep(200 * time.Millisecond) // let the previous fleet's goroutines exit
+	settle()
 	return RunShardProfile(shards, workers, items, payload, uplink)
 }
 

@@ -74,6 +74,22 @@ func Degrade(s *Schedule, name string, p *netsim.Pipe, aToB bool, extra, at, hol
 	})
 }
 
+// BlobPoisoner corrupts one entry of a content-addressed payload cache
+// (worker.Volunteer satisfies it).
+type BlobPoisoner interface {
+	PoisonBlobCache() bool
+}
+
+// Poison schedules a blob-cache poisoning of b at the given offset: a
+// byte of the newest cached payload flips, so the next digest-only
+// reference resolving to that entry must surface blob.ErrDigestMismatch
+// and crash-stop the channel — corrupt bytes must never reach the
+// processing function. Firing against a still-empty cache is a no-op;
+// the scenario's invariants hold either way.
+func Poison(s *Schedule, name string, b BlobPoisoner, at time.Duration) {
+	s.Add(at, fmt.Sprintf("poison blob cache of %s", name), func() { b.PoisonBlobCache() })
+}
+
 // Scramble returns a FaultFunc that corrupts a chunk with probability
 // pCorrupt and drops it with probability pDrop, drawing from r. On the
 // reliable stream transport either is connection-lethal: the receiver's

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"pando/internal/blob"
 	"pando/internal/core"
 	"pando/internal/fleet"
 	"pando/internal/journal"
@@ -84,6 +85,13 @@ type Config struct {
 	// the invariant that makes range migration exactly-once. The hook
 	// must not block.
 	ResultHook func(idx int, data []byte)
+	// BlobCacheBytes caps the content-addressed intern table backing
+	// payload dedup on '/pando/2.2.0' channels: payload blocks the job
+	// has transmitted stay interned (LRU) so repeats travel as SHA-256
+	// references and worker cache misses can be served. Zero means
+	// blob.DefaultInternBytes; negative disables dedup entirely (every
+	// payload travels in full, compression still applies).
+	BlobCacheBytes int64
 	// RestoreEntries seeds the engine with completed results recovered
 	// from elsewhere than Config.Journal — e.g. the segment copy an
 	// adopting shard received in a range hand-off. Entries are decoded
@@ -148,9 +156,19 @@ type WorkerStats struct {
 	FirstSeen time.Time
 	LastSeen  time.Time
 	Alive     bool
-	// Wire is the wire format negotiated at admission ("/pando/1.0.0" or
-	// "/pando/2.1.0"); empty for devices attached without a handshake.
+	// Wire is the wire format negotiated at admission ("/pando/1.0.0",
+	// "/pando/2.1.0" or "/pando/2.2.0"); empty for devices attached
+	// without a handshake.
 	Wire string
+
+	// Blob dedup counters ('/pando/2.2.0' channels only, summed over the
+	// device's attachments): inputs that travelled as digest-only
+	// references (BlobHits), reference fetches served because the
+	// device's cache missed (BlobMisses), and reference-tracker evictions
+	// that forced later repeats back to full transmission (BlobEvicts).
+	BlobHits   int64
+	BlobMisses int64
+	BlobEvicts int64
 
 	// InFlight is how many values the device currently holds (summed
 	// over its attachments — one per contributed core).
@@ -255,6 +273,15 @@ type Master[I, O any] struct {
 	closed     bool
 	jerr       error // first journal write failure, for diagnostics
 	shardStats func() []ShardStats
+
+	// Bandwidth-aware data plane state: the job-wide intern table behind
+	// payload dedup, per-worker dedup counters, and the registry of
+	// '/pando/2.2.0' channels the rate hinter feeds the scheduler's EWMA
+	// throughput into (all guarded by mu; see wrapChannel).
+	intern    *blob.Intern
+	blobStats map[string]*blob.FlowStats
+	hintChans map[string][]transport.Channel
+	hintStop  chan struct{}
 }
 
 // engine abstracts the plain and grouped data planes.
@@ -271,9 +298,10 @@ type engine[I, O any] interface {
 
 // plainEngine lends individual values.
 type plainEngine[I, O any] struct {
-	d   *core.DistributedMap[I, O]
-	in  transport.Codec[I]
-	out transport.Codec[O]
+	d    *core.DistributedMap[I, O]
+	in   transport.Codec[I]
+	out  transport.Codec[O]
+	wrap func(name string, ch transport.Channel) transport.Channel
 }
 
 func (e *plainEngine[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
@@ -287,6 +315,9 @@ func (e *plainEngine[I, O]) AttachChannel(name string, ch transport.Channel) err
 	// precedes every pull — so a wide window coalesces aggressively and a
 	// clamped one degenerates to frame-per-value, with no extra latency
 	// in either case (an idle sender flushes a lone value immediately).
+	if e.wrap != nil {
+		ch = e.wrap(name, ch)
+	}
 	return e.d.Attach(name, transport.CoalescingMasterDuplex(ch, e.in, e.out))
 }
 
@@ -312,6 +343,7 @@ type groupedEngine[I, O any] struct {
 	d     *core.DistributedMap[[]I, []O]
 	in    transport.Codec[I]
 	out   transport.Codec[O]
+	wrap  func(name string, ch transport.Channel) transport.Channel
 }
 
 func (e *groupedEngine[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O] {
@@ -320,6 +352,9 @@ func (e *groupedEngine[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[O
 }
 
 func (e *groupedEngine[I, O]) AttachChannel(name string, ch transport.Channel) error {
+	if e.wrap != nil {
+		ch = e.wrap(name, ch)
+	}
 	return e.d.Attach(name, transport.GroupedMasterDuplex(ch, e.in, e.out))
 }
 
@@ -389,6 +424,7 @@ func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O])
 			d:     d,
 			in:    in,
 			out:   out,
+			wrap:  m.wrapChannel,
 		}
 		return m
 	}
@@ -404,8 +440,80 @@ func NewJob[I, O any](cfg Config, in transport.Codec[I], out transport.Codec[O])
 	if cfg.SpillHighWater > 0 {
 		d.BoundMemory(cfg.SpillHighWater, cfg.spillStore(), out.Encode, out.Decode)
 	}
-	m.engine = &plainEngine[I, O]{d: d, in: in, out: out}
+	m.engine = &plainEngine[I, O]{d: d, in: in, out: out, wrap: m.wrapChannel}
 	return m
+}
+
+// wrapChannel prepares one leased channel for the bandwidth-aware data
+// plane before the duplex is built around it: '/pando/2.2.0' channels are
+// registered with the rate hinter (the compression policy backs off on
+// links the scheduler's EWMA says are not bandwidth-bound) and, unless
+// dedup is disabled, wrapped with the master-side dedup half that
+// rewrites repeated payloads into digest references. Other formats pass
+// through untouched.
+func (m *Master[I, O]) wrapChannel(name string, ch transport.Channel) transport.Channel {
+	if ch.Wire() == nil || ch.Wire().Name() != proto.Version3 {
+		return ch
+	}
+	m.mu.Lock()
+	if m.hintChans == nil {
+		m.hintChans = make(map[string][]transport.Channel)
+	}
+	m.hintChans[name] = append(m.hintChans[name], ch)
+	if m.hintStop == nil && !m.closed {
+		m.hintStop = make(chan struct{})
+		go m.hintLoop(m.hintStop)
+	}
+	if m.cfg.BlobCacheBytes < 0 {
+		m.mu.Unlock()
+		return ch
+	}
+	if m.intern == nil {
+		m.intern = blob.NewIntern(m.cfg.BlobCacheBytes)
+	}
+	if m.blobStats == nil {
+		m.blobStats = make(map[string]*blob.FlowStats)
+	}
+	stats, ok := m.blobStats[name]
+	if !ok {
+		stats = &blob.FlowStats{}
+		m.blobStats[name] = stats
+	}
+	intern := m.intern
+	m.mu.Unlock()
+	return transport.DedupMasterChannel(ch, intern, stats)
+}
+
+// hintRateInterval paces the rate hinter: fast enough that the
+// compression policy tracks a device's regime changes, slow enough that
+// a large fleet's Flows() snapshot stays negligible.
+const hintRateInterval = 250 * time.Millisecond
+
+// hintLoop periodically feeds the scheduler's per-worker EWMA throughput
+// to the registered '/pando/2.2.0' channels. It is started on the first
+// registration and stopped by Close.
+func (m *Master[I, O]) hintLoop(stop chan struct{}) {
+	t := time.NewTicker(hintRateInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		rates := make(map[string]float64)
+		for _, f := range m.engine.Flows() {
+			rates[f.Name] += f.Rate
+		}
+		m.mu.Lock()
+		for name, chans := range m.hintChans {
+			rate := rates[name]
+			for _, ch := range chans {
+				transport.HintRate(ch, rate)
+			}
+		}
+		m.mu.Unlock()
+	}
 }
 
 // restoreEntries lists every completed entry the config recovers from:
@@ -523,6 +631,9 @@ func (m *Master[I, O]) observe(ev core.Event) {
 		stats.recordItem(time.Now())
 	case "detach":
 		stats.Alive = false
+		// The device's channels are gone; drop them from the rate-hint
+		// registry (a re-attach registers the new ones).
+		delete(m.hintChans, ev.Processor)
 	}
 }
 
@@ -653,6 +764,11 @@ func (m *Master[I, O]) Stats() []WorkerStats {
 			row.EWMARate = f.Rate
 			row.Speculated = f.Speculated
 		}
+		if bs, ok := m.blobStats[w.Name]; ok {
+			row.BlobHits = bs.Hits.Load()
+			row.BlobMisses = bs.Misses.Load()
+			row.BlobEvicts = bs.Evicts.Load()
+		}
 		out = append(out, row)
 	}
 	return out
@@ -685,6 +801,10 @@ func (m *Master[I, O]) LiveWorkers() int { return m.engine.Live() }
 func (m *Master[I, O]) Close() {
 	m.mu.Lock()
 	m.closed = true
+	if m.hintStop != nil {
+		close(m.hintStop)
+		m.hintStop = nil
+	}
 	m.mu.Unlock()
 	if m.pool != nil {
 		m.pool.Close()

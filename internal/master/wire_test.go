@@ -30,8 +30,8 @@ func workerWire(t *testing.T, m *Master[int, int], name string) string {
 }
 
 // TestAdmitNegotiatesBinaryWire: a format-advertising worker and an
-// unrestricted master settle on '/pando/2.1.0' and complete a
-// computation over it.
+// unrestricted master settle on the newest binary format
+// ('/pando/2.2.0') and complete a computation over it.
 func TestAdmitNegotiatesBinaryWire(t *testing.T) {
 	m := newTestMaster(t, Config{})
 	ln := netsim.NewListener("master", netsim.LAN)
@@ -47,6 +47,25 @@ func TestAdmitNegotiatesBinaryWire(t *testing.T) {
 	}
 	if len(got) != 10 {
 		t.Fatalf("got %d results, want 10", len(got))
+	}
+	if wire := workerWire(t, m, "modern"); wire != proto.Version3 {
+		t.Fatalf("negotiated %q, want %q", wire, proto.Version3)
+	}
+}
+
+// TestAdmitMasterPinnedToV2 keeps a deployment on '/pando/2.1.0' — no
+// compression, no dedup — even for v3-capable workers.
+func TestAdmitMasterPinnedToV2(t *testing.T) {
+	m := newTestMaster(t, Config{Formats: []string{proto.Version2, proto.Version}})
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go m.ServeWS(ln)
+
+	out := m.Bind(pullstream.Count(10))
+	startVolunteer(t, ln, &worker.Volunteer{Name: "modern", Handler: jsonSquare, CrashAfter: -1})
+
+	if _, err := pullstream.Collect(out); err != nil {
+		t.Fatal(err)
 	}
 	if wire := workerWire(t, m, "modern"); wire != proto.Version2 {
 		t.Fatalf("negotiated %q, want %q", wire, proto.Version2)

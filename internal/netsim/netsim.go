@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -97,6 +98,11 @@ type Pipe struct {
 	faultMu sync.Mutex
 	fault   [2]FaultFunc
 	extra   [2]time.Duration
+
+	// Bytes carried per direction, counted as chunks enter the link —
+	// what a bandwidth meter on the wire would see. The compression
+	// bench reads these to compare bytes-on-wire across formats.
+	bytes [2]atomic.Int64
 }
 
 // chunk is a unit of data in flight on the link.
@@ -309,6 +315,7 @@ func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 		bp := chunkPool.Get().(*[]byte)
 		n, err := src.Read(*bp)
 		if n > 0 {
+			p.bytes[dir].Add(int64(n))
 			//pando:nondeterministic stamping delivery instants: the delay amounts are seeded, only their anchor is the wall clock
 			now := time.Now()
 			start := now
@@ -351,6 +358,13 @@ func (p *Pipe) relay(src, dst net.Conn, l Link, dir int) {
 			return
 		}
 	}
+}
+
+// Bytes reports how many bytes have entered the link in each direction
+// (A→B, B→A) since the pipe was created. Dropped chunks still count:
+// they burned the simulated bandwidth.
+func (p *Pipe) Bytes() (aToB, bToA int64) {
+	return p.bytes[dirAtoB].Load(), p.bytes[dirBtoA].Load()
 }
 
 // Listener is an in-memory listener whose accepted connections go through
@@ -430,3 +444,18 @@ func (ln *Listener) Close() error {
 
 // Addr returns the listener's simulated address.
 func (ln *Listener) Addr() net.Addr { return ln.addr }
+
+// Bytes sums the per-direction byte counters of every connection this
+// listener has created: dialer→acceptor and acceptor→dialer totals. For
+// a master listener this is the fleet's aggregate uplink and downlink
+// bytes-on-wire.
+func (ln *Listener) Bytes() (in, out int64) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	for _, p := range ln.pipes {
+		a, b := p.Bytes()
+		in += a
+		out += b
+	}
+	return in, out
+}

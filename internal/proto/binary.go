@@ -62,6 +62,7 @@ const (
 	tagFormat  = 0x8A // repeated, one per supported format
 	tagWire    = 0x8B
 	tagFunc2   = 0x8C // repeated, one per registered function (hello)
+	tagDigest  = 0x8D // SHA-256 content address (dedup extension)
 )
 
 // typeCodes maps every known message type to a one-byte code; codeTypes
@@ -74,6 +75,7 @@ var typeCodes = map[Type]uint64{
 	TypeGoodbye: 9,
 	TypeJoin:    10, TypeOffer: 11, TypeAnswer: 12, TypeCandidate: 13,
 	TypeError: 14, TypeReassign: 15,
+	TypeBlobMiss: 16, TypeBlob: 17,
 }
 
 var codeTypes = func() map[uint64]Type {
@@ -119,7 +121,8 @@ func appendString(b []byte, tag byte, v string) []byte {
 // included), for sizing the pooled encode buffer without regrowth.
 func binaryFrameSize(m *Message) int {
 	n := 4 + len(m.Data) + len(m.Err) + len(m.Version) + len(m.Func) +
-		len(m.Token) + len(m.Peer) + len(m.To) + len(m.Addr) + len(m.Wire) + 64
+		len(m.Token) + len(m.Peer) + len(m.To) + len(m.Addr) + len(m.Wire) +
+		len(m.Digest) + 64
 	for _, f := range m.Formats {
 		n += len(f) + 11
 	}
@@ -153,6 +156,7 @@ func appendBinaryFrame(b []byte, m *Message) []byte {
 	b = appendUint(b, tagCores, uint64(m.Cores))
 	b = appendUint(b, tagBatch, uint64(m.Batch))
 	b = appendBytes(b, tagData, m.Data)
+	b = appendBytes(b, tagDigest, m.Digest)
 	b = appendString(b, tagErr, m.Err)
 	b = appendString(b, tagVersion, m.Version)
 	b = appendString(b, tagFunc, m.Func)
@@ -250,6 +254,9 @@ func decodeBinaryBodyInto(m *Message, body []byte) error {
 			// buffer's ownership follows the message (adoptBuf) or the
 			// caller keeps it alive — see the arena rules in pool.go.
 			m.Data = val
+		case tagDigest:
+			// Aliases the body like Data; retainers copy.
+			m.Digest = val
 		case tagErr:
 			m.Err = string(val)
 		case tagVersion:
@@ -323,6 +330,17 @@ func AppendFrame(dst []byte, wf WireFormat, m *Message) ([]byte, error) {
 	if _, ok := wf.(binaryWire); ok {
 		start := len(dst)
 		dst = appendBinaryFrame(dst, m)
+		if len(dst)-start-4 > MaxFrameSize {
+			return dst[:start], ErrFrameTooLarge
+		}
+		return dst, nil
+	}
+	if cw, ok := wf.(*compressedWire); ok {
+		start := len(dst)
+		dst, err := cw.appendCompressedFrame(dst, m)
+		if err != nil {
+			return dst[:start], err
+		}
 		if len(dst)-start-4 > MaxFrameSize {
 			return dst[:start], ErrFrameTooLarge
 		}

@@ -1,0 +1,350 @@
+package proto
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the '/pando/2.2.0' wire format: the v2 binary
+// envelope wrapped, frame by frame, in an optional DEFLATE layer. The
+// outer framing (4-byte big-endian body length) is shared with v1 and v2;
+// a compressed body is
+//
+//	magic byte 0xB4,
+//	uvarint raw (inflated) body length,
+//	DEFLATE stream of a complete v2 body (magic 0xB2 ... inner CRC),
+//	then a 4-byte little-endian CRC32 (IEEE) of everything before it.
+//
+// The trailing CRC is computed over the *compressed* bytes, so a flipped
+// bit on the link is detected before the inflater ever runs: corruption
+// surfaces as ErrBadFrame, the channel fails, and the engine re-lends —
+// the same degrade-to-crash-stop contract the v2 trailer established.
+// The inflated payload is a byte-exact v2 body (its own CRC included),
+// so the decoder is the existing one; compression composes with the
+// envelope instead of forking it.
+//
+// Compression is per frame and adaptive: the writer decides for every
+// frame whether the DEFLATE layer pays for itself, and frames it leaves
+// raw are plain v2 bodies (magic 0xB2). Readers sniff each body — the
+// property every format here shares — so the mix needs no signalling.
+// The policy (see decide) skips small frames, skips runs of frames after
+// the payload proves incompressible, and skips entirely when the sched
+// controller's EWMA throughput hint says the link is fast enough that
+// trading CPU for bytes is a loss. Both coders run out of pooled state
+// (flate coders, arena buffers), preserving the 0 allocs/op steady state
+// of the v2 hot path.
+
+// cmpMagic is the first body byte of a compressed v3 envelope. Like
+// binMagic, no JSON body can start with it.
+const cmpMagic = 0xB4
+
+// Compression policy constants.
+const (
+	// cmpMinData is the smallest Data payload worth compressing; control
+	// frames and small results stay on the raw v2 fast path.
+	cmpMinData = 512
+	// cmpGainNum/cmpGainDen: a compressed body must shrink below
+	// num/den of the raw body or the raw encoding is sent instead (the
+	// deflate overhead is not worth single-digit savings).
+	cmpGainNum = 15
+	cmpGainDen = 16
+	// cmpSkipRun is how many frames the writer skips compression for
+	// after the compressibility EWMA settles above cmpSkipRatio, before
+	// probing again.
+	cmpSkipRun = 32
+	// cmpSkipRatio is the smoothed compressed/raw ratio beyond which the
+	// payload stream is considered incompressible.
+	cmpSkipRatio = 0.92
+	// cmpRatioAlpha smooths the per-frame compression ratio samples.
+	cmpRatioAlpha = 0.25
+	// cmpFastLinkBPS: when the rate hint (items/s from the sched
+	// controller, see RateHinted) times the smoothed frame size exceeds
+	// this many bytes per second, the link is moving data faster than
+	// compression could meaningfully help and the writer stays raw.
+	cmpFastLinkBPS = 32 << 20
+)
+
+// Version3 tags the compressed wire format: v2 envelopes with adaptive
+// per-frame DEFLATE and content-addressed payload references (Digest).
+const Version3 = "/pando/2.2.0"
+
+// RateHinted is implemented by wire formats whose write policy can use a
+// throughput estimate for the channel they are negotiated on. The master
+// feeds it the sched controller's per-worker EWMA rate so compression
+// backs off on links that are not bandwidth-bound.
+type RateHinted interface {
+	HintRate(itemsPerSec float64)
+}
+
+// compressedWire is the '/pando/2.2.0' WireFormat. Unlike the stateless
+// v1/v2 singletons, each negotiated channel gets its own instance
+// (LookupFormat returns a fresh one) because the adaptive policy is
+// per-link state. Fields are atomics: SendBatch encodes via AppendFrame
+// outside the channel's write lock, concurrently with Send.
+type compressedWire struct {
+	rateHint  atomic.Uint64 // float64 bits; items/s hint from the scheduler
+	ewmaBytes atomic.Uint64 // float64 bits; smoothed raw frame size
+	ewmaRatio atomic.Uint64 // float64 bits; smoothed compressed/raw ratio
+	skipLeft  atomic.Int64  // raw frames remaining before the next probe
+}
+
+// NewCompressedWire returns a fresh v3 format instance with neutral
+// policy state. Channels obtain one through LookupFormat(Version3).
+func NewCompressedWire() WireFormat { return &compressedWire{} }
+
+func (c *compressedWire) Name() string { return Version3 }
+
+// HintRate records the scheduler's smoothed items-per-second estimate
+// for this channel.
+func (c *compressedWire) HintRate(itemsPerSec float64) {
+	c.rateHint.Store(math.Float64bits(itemsPerSec))
+}
+
+func loadF64(a *atomic.Uint64) float64 { return math.Float64frombits(a.Load()) }
+
+func storeEWMA(a *atomic.Uint64, sample, alpha float64) {
+	prev := loadF64(a)
+	if prev == 0 {
+		a.Store(math.Float64bits(sample))
+		return
+	}
+	a.Store(math.Float64bits((1-alpha)*prev + alpha*sample))
+}
+
+// decide reports whether this frame should attempt compression.
+func (c *compressedWire) decide(m *Message) bool {
+	if len(m.Data) < cmpMinData {
+		return false
+	}
+	storeEWMA(&c.ewmaBytes, float64(len(m.Data)), cmpRatioAlpha)
+	// Fast link: the controller says this worker is consuming items at a
+	// rate where bytes are not the bottleneck; spend no CPU.
+	if rate := loadF64(&c.rateHint); rate > 0 {
+		if rate*loadF64(&c.ewmaBytes) >= cmpFastLinkBPS {
+			return false
+		}
+	}
+	// Incompressible run: after the ratio EWMA settles high, skip a run
+	// of frames, then probe again (the stream may have changed phase).
+	if c.skipLeft.Load() > 0 {
+		c.skipLeft.Add(-1)
+		return false
+	}
+	return true
+}
+
+// observe feeds one compression outcome into the adaptive state.
+func (c *compressedWire) observe(rawLen, compLen int) {
+	ratio := float64(compLen) / float64(rawLen)
+	storeEWMA(&c.ewmaRatio, ratio, cmpRatioAlpha)
+	if loadF64(&c.ewmaRatio) > cmpSkipRatio {
+		c.skipLeft.Store(cmpSkipRun)
+	}
+}
+
+// flateEncoder bundles a flate.Writer with its reusable append sink so
+// one pool hit services the whole encode path.
+type flateEncoder struct {
+	w  *flate.Writer
+	sw sliceWriter
+}
+
+var flateEncoderPool = sync.Pool{New: func() any {
+	fw, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return &flateEncoder{w: fw}
+}}
+
+// deflate appends the DEFLATE stream of src to dst, returning the
+// extended buffer. The encoder state is pooled; the destination is
+// caller-owned (typically an arena buffer).
+func deflate(dst, src []byte) ([]byte, error) {
+	e := flateEncoderPool.Get().(*flateEncoder)
+	e.sw.buf = dst
+	e.w.Reset(&e.sw)
+	_, werr := e.w.Write(src)
+	cerr := e.w.Close()
+	out := e.sw.buf
+	e.sw.buf = nil
+	flateEncoderPool.Put(e)
+	if werr != nil {
+		return dst, werr
+	}
+	if cerr != nil {
+		return dst, cerr
+	}
+	return out, nil
+}
+
+// flateDecoder bundles a flate reader with its reusable source so
+// inflating a frame allocates nothing in steady state. The one-byte
+// scratch lives here because a local array passed through the reader
+// interface escapes — one heap byte per frame.
+type flateDecoder struct {
+	r   io.ReadCloser
+	br  bytes.Reader
+	one [1]byte
+}
+
+var flateDecoderPool = sync.Pool{New: func() any {
+	d := &flateDecoder{}
+	d.r = flate.NewReader(&d.br)
+	return d
+}}
+
+// inflate decompresses src into dst (which must be pre-sized to the
+// expected raw length) and fails unless the stream inflates to exactly
+// len(dst) bytes.
+func inflate(dst, src []byte) error {
+	d := flateDecoderPool.Get().(*flateDecoder)
+	d.br.Reset(src)
+	if err := d.r.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		flateDecoderPool.Put(d)
+		return err
+	}
+	_, err := io.ReadFull(d.r, dst)
+	if err == nil {
+		// The stream must end exactly at the declared raw length.
+		if n, _ := d.r.Read(d.one[:]); n != 0 {
+			err = fmt.Errorf("%w: inflated body exceeds declared length", ErrBadFrame)
+		}
+	}
+	flateDecoderPool.Put(d)
+	return err
+}
+
+// appendCompressedFrame appends one complete v3 frame to b: either a
+// compressed envelope or, when the policy or the outcome says raw wins,
+// a plain v2 frame. Appending into a caller-owned buffer keeps the
+// vectored batch path (AppendFrame) alloc-free.
+func (c *compressedWire) appendCompressedFrame(b []byte, m *Message) ([]byte, error) {
+	if !c.decide(m) {
+		return appendBinaryFrame(b, m), nil
+	}
+	// Encode the complete v2 body into a scratch arena buffer, then
+	// compress it. The scratch recycles before return on every path.
+	scratch := appendBinaryFrame(GetBuf(binaryFrameSize(m)), m)
+	raw := scratch[4:] // strip the length prefix; the v3 body carries its own
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // length prefix, filled in below
+	b = append(b, cmpMagic)
+	b = binary.AppendUvarint(b, uint64(len(raw)))
+	compressed, err := deflate(b, raw)
+	if err != nil {
+		// Deflate failures are exceptional (a broken pool state); fall
+		// back to the raw encoding rather than failing the channel.
+		PutBuf(scratch)
+		return appendBinaryFrame(b[:start], m), nil
+	}
+	b = compressed
+	compLen := len(b) - start - 4
+	c.observe(len(raw), compLen)
+	if compLen*cmpGainDen >= len(raw)*cmpGainNum {
+		// Not worth it: ship the already-encoded v2 frame bytes.
+		b = append(b[:start], scratch...)
+		PutBuf(scratch)
+		return b, nil
+	}
+	PutBuf(scratch)
+	sum := crc32.ChecksumIEEE(b[start+4:])
+	b = binary.LittleEndian.AppendUint32(b, sum)
+	binary.BigEndian.PutUint32(b[start:start+4], uint32(len(b)-start-4))
+	return b, nil
+}
+
+// decodeCompressedBody verifies and inflates a v3 body (including the
+// magic byte), returning the inflated v2 body in a fresh arena buffer.
+// The caller owns the returned buffer; src is untouched.
+func decodeCompressedBody(body []byte) ([]byte, error) {
+	if len(body) == 0 || body[0] != cmpMagic {
+		return nil, fmt.Errorf("%w: missing v3 magic", ErrBadFrame)
+	}
+	if len(body) < 1+binCRCSize {
+		return nil, fmt.Errorf("%w: v3 body shorter than its CRC trailer", ErrBadFrame)
+	}
+	payload := body[:len(body)-binCRCSize]
+	sum := binary.LittleEndian.Uint32(body[len(body)-binCRCSize:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch (corrupted compressed frame)", ErrBadFrame)
+	}
+	rest := payload[1:]
+	rawLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad raw-length varint", ErrBadFrame)
+	}
+	if rawLen > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	rest = rest[n:]
+	raw := GetBuf(int(rawLen))[:rawLen]
+	if err := inflate(raw, rest); err != nil {
+		PutBuf(raw)
+		return nil, fmt.Errorf("%w: inflate: %v", ErrBadFrame, err)
+	}
+	return raw, nil
+}
+
+func (c *compressedWire) WriteFrame(w io.Writer, m *Message) error {
+	frame, err := c.appendCompressedFrame(GetBuf(binaryFrameSize(m)), m)
+	if err != nil {
+		PutBuf(frame)
+		return err
+	}
+	if len(frame)-4 > MaxFrameSize {
+		PutBuf(frame)
+		return ErrFrameTooLarge
+	}
+	_, err = w.Write(frame)
+	PutBuf(frame)
+	if err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
+	}
+	return nil
+}
+
+func (c *compressedWire) ReadFrame(r io.Reader) (*Message, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0 && body[0] == cmpMagic {
+		raw, err := decodeCompressedBody(body)
+		PutBuf(body)
+		if err != nil {
+			return nil, err
+		}
+		m := GetMessage()
+		if err := decodeBinaryBodyInto(m, raw); err != nil {
+			Release(m)
+			PutBuf(raw)
+			return nil, err
+		}
+		m.adoptBuf(raw)
+		return m, nil
+	}
+	// Raw fast-path frames (and peers negotiated down): plain v2 body.
+	m := GetMessage()
+	if err := decodeBinaryBodyInto(m, body); err != nil {
+		Release(m)
+		PutBuf(body)
+		return nil, err
+	}
+	m.adoptBuf(body)
+	return m, nil
+}
+
+// Grouped batches ride inside the frame Data, which the envelope already
+// compresses; the batch encoding itself is the v2 binary one.
+func (c *compressedWire) EncodeBatch(items []BatchItem) ([]byte, error) {
+	return V2.EncodeBatch(items)
+}
+
+func (c *compressedWire) DecodeBatch(data []byte) ([]BatchItem, error) {
+	return V2.DecodeBatch(data)
+}

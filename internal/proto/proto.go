@@ -78,6 +78,17 @@ const (
 	// reassign workers whose hello advertised a Functions list.
 	TypeReassign Type = "reassign"
 
+	// Content-addressed payload dedup (the '/pando/2.2.0' extension). An
+	// input whose Data was already transmitted on this channel may travel
+	// as a blob reference instead: Data absent, Digest carrying the
+	// SHA-256 of the payload. A worker whose cache cannot resolve the
+	// digest asks for the bytes with a blobmiss; the master answers with a
+	// blob frame carrying both Digest and Data. Both frames ride the
+	// existing ordered channel, so the fetch exchange needs no side
+	// connection and stays inside the crash-stop fault model.
+	TypeBlobMiss Type = "blobmiss" // worker → master: digest not cached
+	TypeBlob     Type = "blob"     // master → worker: digest + payload bytes
+
 	// Signalling through the public server (WebRTC bootstrap, Figure 7).
 	TypeJoin      Type = "join"      // peer → server: register peer ID
 	TypeOffer     Type = "offer"     // peer → server → peer
@@ -93,6 +104,14 @@ type Message struct {
 	Seq  uint64 `json:"seq,omitempty"` // input/result sequence number
 	Data []byte `json:"d,omitempty"`   // payload (JSON or opaque bytes)
 	Err  string `json:"e,omitempty"`   // error carried by a result
+
+	// Digest is the SHA-256 of a content-addressed payload (the
+	// '/pando/2.2.0' dedup extension): on an input it names Data (present
+	// alongside the bytes on first transmission, alone on later ones), and
+	// on blobmiss/blob frames it names the payload being fetched. Decoded
+	// from a v2 body it aliases the frame buffer like Data does — copy it
+	// before retaining it past Release.
+	Digest []byte `json:"dg,omitempty"`
 
 	// Handshake fields.
 	Version string `json:"v,omitempty"`  // protocol version
@@ -234,6 +253,21 @@ func ReadFrame(r io.Reader) (*Message, error) {
 			return nil, err
 		}
 		m.adoptBuf(body)
+		return m, nil
+	}
+	if len(body) > 0 && body[0] == cmpMagic {
+		raw, err := decodeCompressedBody(body)
+		PutBuf(body)
+		if err != nil {
+			return nil, err
+		}
+		m := GetMessage()
+		if err := decodeBinaryBodyInto(m, raw); err != nil {
+			Release(m)
+			PutBuf(raw)
+			return nil, err
+		}
+		m.adoptBuf(raw)
 		return m, nil
 	}
 	m := GetMessage()

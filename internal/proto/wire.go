@@ -38,15 +38,19 @@ var (
 
 // SupportedFormats lists the formats this build speaks, best first. It is
 // what workers advertise in their hello.
-func SupportedFormats() []string { return []string{Version2, Version} }
+func SupportedFormats() []string { return []string{Version3, Version2, Version} }
 
-// LookupFormat resolves a format by its protocol tag.
+// LookupFormat resolves a format by its protocol tag. Version3 resolves
+// to a fresh instance per call: its adaptive compression policy is
+// per-channel state, unlike the stateless v1/v2 singletons.
 func LookupFormat(name string) (WireFormat, bool) {
 	switch name {
 	case Version:
 		return V1, true
 	case Version2:
 		return V2, true
+	case Version3:
+		return NewCompressedWire(), true
 	}
 	return nil, false
 }

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pando/internal/blob"
+	"pando/internal/netsim"
+	"pando/internal/proto"
+)
+
+func dedupPayload(tag byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag + byte(i*13)
+	}
+	return b
+}
+
+// dedupPair wires a master-half and worker-half dedup channel over one
+// simulated pipe, returning them with their shared stores.
+func dedupPair(t *testing.T) (Channel, Channel, *blob.Intern, *blob.Cache, *blob.FlowStats) {
+	t.Helper()
+	a, b, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	intern := blob.NewIntern(0)
+	cache := blob.NewCache(0)
+	stats := &blob.FlowStats{}
+	return DedupMasterChannel(a, intern, stats), DedupWorkerChannel(b, cache), intern, cache, stats
+}
+
+// TestDedupFirstSendCarriesDigest pins the seeding half of the protocol:
+// a large payload's first transmission travels in full with its content
+// address, small payloads stay on the plain data plane.
+func TestDedupFirstSendCarriesDigest(t *testing.T) {
+	a, b, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	master := DedupMasterChannel(a, blob.NewIntern(0), &blob.FlowStats{})
+
+	big := dedupPayload(1, 2048)
+	if err := master.Send(&proto.Message{Type: proto.TypeInput, Seq: 1, Data: append([]byte(nil), big...)}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv() // raw peer: see exactly what crossed the wire
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data, big) {
+		t.Fatal("first transmission did not carry the payload")
+	}
+	d := blob.Sum(big)
+	if got, ok := blob.SumOf(m.Digest); !ok || got != d {
+		t.Fatalf("first transmission digest = %x, want %x", m.Digest, d[:])
+	}
+	proto.Release(m)
+
+	small := dedupPayload(2, 64)
+	if err := master.Send(&proto.Message{Type: proto.TypeInput, Seq: 2, Data: small}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Digest) != 0 {
+		t.Fatal("small payload was content-addressed")
+	}
+	proto.Release(m)
+}
+
+// TestDedupRepeatResolvesFromCache is the headline exchange: the second
+// transmission of the same bytes crosses as a digest-only reference and
+// the worker half resolves it locally.
+func TestDedupRepeatResolvesFromCache(t *testing.T) {
+	master, wkr, _, _, stats := dedupPair(t)
+	big := dedupPayload(3, 4096)
+
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := master.Send(&proto.Message{Type: proto.TypeInput, Seq: seq, Data: append([]byte(nil), big...)}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := wkr.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != seq || !bytes.Equal(m.Data, big) {
+			t.Fatalf("recv %d: payload mismatch (%d bytes)", seq, len(m.Data))
+		}
+		proto.Release(m)
+	}
+	if hits := stats.Hits.Load(); hits != 1 {
+		t.Fatalf("%d reference hits, want 1", hits)
+	}
+}
+
+// TestDedupMissFetchesBlob forces a cache miss (degenerate single-entry
+// cache displaced by a second payload) and checks the blobmiss/blob
+// exchange restores the bytes, counting one miss.
+func TestDedupMissFetchesBlob(t *testing.T) {
+	a, b, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	stats := &blob.FlowStats{}
+	master := DedupMasterChannel(a, blob.NewIntern(0), stats)
+	wkr := DedupWorkerChannel(b, blob.NewCache(-1))
+
+	first := dedupPayload(4, 2048)
+	second := dedupPayload(5, 2048)
+	// Seed both payloads in order; the single-entry cache keeps only the
+	// second.
+	for seq, data := range [][]byte{first, second} {
+		if err := master.Send(&proto.Message{Type: proto.TypeInput, Seq: uint64(seq + 1), Data: append([]byte(nil), data...)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		m, err := wkr.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto.Release(m)
+	}
+
+	// The repeat of the displaced payload arrives as a reference the
+	// cache cannot resolve: the worker fetches. The master half services
+	// the fetch from its Recv loop, which returns when the worker's
+	// result lands.
+	done := make(chan error, 1)
+	go func() {
+		m, err := wkr.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if !bytes.Equal(m.Data, first) {
+			done <- errors.New("fetched payload differs from the original")
+			proto.Release(m)
+			return
+		}
+		proto.Release(m)
+		done <- wkr.Send(&proto.Message{Type: proto.TypeResult, Seq: 3})
+	}()
+	if err := master.Send(&proto.Message{Type: proto.TypeInput, Seq: 3, Data: append([]byte(nil), first...)}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := master.Recv() // services the blobmiss, then yields the result
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != proto.TypeResult || m.Seq != 3 {
+		t.Fatalf("master received %+v, want the result frame", m)
+	}
+	proto.Release(m)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if misses := stats.Misses.Load(); misses != 1 {
+		t.Fatalf("%d misses, want 1", misses)
+	}
+}
+
+// TestDedupPoisonedCacheCrashStops pins the corruption contract: a
+// poisoned cache entry surfaces as a digest mismatch on the next
+// reference, failing the channel — wrong bytes must never reach the
+// processing function.
+func TestDedupPoisonedCacheCrashStops(t *testing.T) {
+	master, wkr, _, cache, _ := dedupPair(t)
+	big := dedupPayload(6, 4096)
+
+	if err := master.Send(&proto.Message{Type: proto.TypeInput, Seq: 1, Data: append([]byte(nil), big...)}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := wkr.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto.Release(m)
+
+	if !cache.PoisonNewest() {
+		t.Fatal("nothing to poison: the cache was never seeded")
+	}
+	if err := master.Send(&proto.Message{Type: proto.TypeInput, Seq: 2, Data: append([]byte(nil), big...)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wkr.Recv(); !errors.Is(err, blob.ErrDigestMismatch) {
+		t.Fatalf("reference to poisoned entry: %v, want ErrDigestMismatch", err)
+	}
+}
+
+// TestDedupFailedFetchCrashStops: a blob reply carrying an error (the
+// intern table evicted the bytes) fails the worker channel rather than
+// wedging or inventing data.
+func TestDedupFailedFetchCrashStops(t *testing.T) {
+	a, b, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	wkr := DedupWorkerChannel(b, blob.NewCache(0))
+
+	d := blob.Sum(dedupPayload(7, 2048))
+	if err := a.Send(&proto.Message{Type: proto.TypeInput, Seq: 1, Digest: d[:]}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Raw peer standing in for the master: answer the miss with the
+		// eviction error.
+		m, err := a.Recv()
+		if err != nil {
+			return
+		}
+		if m.Type == proto.TypeBlobMiss {
+			_ = a.Send(&proto.Message{Type: proto.TypeBlob, Digest: append([]byte(nil), m.Digest...), Err: "blob evicted from intern table"})
+		}
+		proto.Release(m)
+	}()
+	if _, err := wkr.Recv(); err == nil {
+		t.Fatal("failed fetch returned a message, want a channel error")
+	}
+}
+
+// TestDedupFetchAbandonedOnReassign: a lease-control frame arriving
+// while a fetch is pending abandons the referenced input (the master
+// re-lends it) and takes its place in the delivery order.
+func TestDedupFetchAbandonedOnReassign(t *testing.T) {
+	a, b, _ := wsockPair(t, netsim.Loopback, Config{HeartbeatInterval: -1})
+	wkr := DedupWorkerChannel(b, blob.NewCache(0))
+
+	d := blob.Sum(dedupPayload(8, 2048))
+	if err := a.Send(&proto.Message{Type: proto.TypeInput, Seq: 1, Digest: d[:]}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		m, err := a.Recv()
+		if err != nil {
+			return
+		}
+		if m.Type == proto.TypeBlobMiss {
+			_ = a.Send(&proto.Message{Type: proto.TypeReassign, Func: "elsewhere"})
+		}
+		proto.Release(m)
+	}()
+	m, err := wkr.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != proto.TypeReassign {
+		t.Fatalf("received %+v, want the reassign frame", m)
+	}
+	proto.Release(m)
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"pando/internal/blob"
 	"pando/internal/proto"
 	"pando/internal/transport"
 )
@@ -106,12 +107,38 @@ type Volunteer struct {
 	// embedders (e.g. a pando.Pool's local workers) resolve reassignment
 	// targets from their own handler table.
 	Resolve func(name string) (Handler, bool)
+	// BlobCacheBytes caps the content-addressed payload cache used when
+	// the session negotiates '/pando/2.2.0': repeated payloads the master
+	// references by digest resolve from here instead of re-crossing the
+	// link. Zero means blob.DefaultCacheBytes; negative degenerates the
+	// cache to a single most-recent block (references beyond it miss and
+	// fetch). The cache lives as long as the Volunteer and is keyed by
+	// content, so it stays valid across rejoins and fleet reassignment.
+	BlobCacheBytes int64
 
 	mu        sync.Mutex
 	processed int
 	sessions  uint64 // join incarnations served (rejoins send > 0)
 	nonce     string // per-instance token identifying rejoins to the master
+	cache     *blob.Cache
 }
+
+// blobCache lazily creates the volunteer's content-addressed cache.
+func (v *Volunteer) blobCache() *blob.Cache {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.cache == nil {
+		v.cache = blob.NewCache(v.BlobCacheBytes)
+	}
+	return v.cache
+}
+
+// PoisonBlobCache flips a byte of the newest entry in the volunteer's
+// blob cache, if any — the chaos suite's hook for proving a corrupted
+// cache entry surfaces as a digest mismatch on the next reference and
+// crash-stops the channel instead of handing wrong bytes to the
+// processing function.
+func (v *Volunteer) PoisonBlobCache() bool { return v.blobCache().PoisonNewest() }
 
 // Processed returns how many items this volunteer completed.
 func (v *Volunteer) Processed() int {
@@ -254,6 +281,15 @@ func (v *Volunteer) serve(ch transport.Channel) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// Under '/pando/2.2.0' the master may send digest-only payload
+	// references; the dedup receiver resolves them against the
+	// volunteer's blob cache (fetching on a miss) before the serve loop
+	// sees the frame. Other formats never carry references, so the
+	// channel stays unwrapped.
+	if ch.Wire().Name() == proto.Version3 {
+		ch = transport.DedupWorkerChannel(ch, v.blobCache())
 	}
 
 	h, err := v.resolve(welcome.Func)

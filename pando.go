@@ -79,6 +79,10 @@ const (
 	// WireV2 is the binary tag-length-value format: raw payload bytes
 	// (no base64), varint lengths, binary batches.
 	WireV2 = proto.Version2
+	// WireV3 is the bandwidth-aware format (the default): v2 envelopes
+	// with adaptive per-frame compression and content-addressed payload
+	// dedup (repeated payloads travel as SHA-256 references).
+	WireV3 = proto.Version3
 )
 
 // Option configures a Pando instance.
@@ -94,6 +98,8 @@ type options struct {
 	channel     transport.Config
 	register    bool
 	formats     []string
+	noCompress  bool
+	blobCache   int64
 	rebalance   time.Duration
 	inCodec     any // transport.Codec[I], stored untyped (Option is not generic)
 	outCodec    any // transport.Codec[O]
@@ -172,15 +178,39 @@ func WithRebalanceInterval(d time.Duration) Option {
 func WithoutRegistry() Option { return func(o *options) { o.register = false } }
 
 // WithWireFormat restricts which wire formats the deployment negotiates
-// with volunteers, best first (WireV2, WireV1). The default allows both,
-// preferring the binary format. WithWireFormat(WireV1) pins a deployment
-// to the JSON wire for debuggability; WithWireFormat(WireV2) enforces the
-// binary wire — volunteers that cannot speak any allowed format are
-// refused at admission rather than silently falling back. Unknown format
-// names are programming errors and panic at pando.New, like WithCodec
-// mismatches — a typo would otherwise refuse every volunteer at runtime.
+// with volunteers, best first (WireV3, WireV2, WireV1). The default
+// allows all three, preferring the bandwidth-aware format.
+// WithWireFormat(WireV1) pins a deployment to the JSON wire for
+// debuggability; WithWireFormat(WireV2) enforces the plain binary wire —
+// volunteers that cannot speak any allowed format are refused at
+// admission rather than silently falling back. Unknown format names are
+// programming errors and panic at pando.New, like WithCodec mismatches —
+// a typo would otherwise refuse every volunteer at runtime.
 func WithWireFormat(names ...string) Option {
 	return func(o *options) { o.formats = names }
+}
+
+// WithCompression toggles the bandwidth-aware data plane. It is on by
+// default: deployments negotiate '/pando/2.2.0', whose adaptive policy
+// compresses frames only when the payload is compressible and the link
+// is bandwidth-bound, and whose dedup layer sends repeated payloads as
+// digest references. WithCompression(false) pins negotiation to the
+// plain formats (WireV2, WireV1) — every byte crosses the wire verbatim,
+// exactly as before the v3 format existed. An explicit WithWireFormat
+// list overrides this toggle either way.
+func WithCompression(on bool) Option {
+	return func(o *options) { o.noCompress = !on }
+}
+
+// WithBlobCache caps the content-addressed blob stores behind payload
+// dedup on '/pando/2.2.0' channels: the master-side intern table
+// (payload blocks kept so repeats travel as SHA-256 references and
+// worker cache misses can be served) and the caches of workers attached
+// through AddWorker/AddLocalWorkers. Zero keeps the defaults
+// (blob.DefaultInternBytes / blob.DefaultCacheBytes); negative disables
+// dedup — payloads always travel in full, compression still applies.
+func WithBlobCache(maxBytes int64) Option {
+	return func(o *options) { o.blobCache = maxBytes }
 }
 
 // WithCheckpoint makes the deployment's progress durable: every completed
@@ -341,7 +371,7 @@ func NewPool(opts ...Option) *Pool {
 	return &Pool{
 		fp: fleet.NewPool(fleet.Config{
 			Channel:   o.channel,
-			Formats:   o.formats,
+			Formats:   o.wireFormats(),
 			Rebalance: o.rebalance,
 		}),
 		opts:     o,
@@ -378,12 +408,13 @@ func (p *Pool) AddLocalWorkers(n int) {
 // at (re)assignment time.
 func (p *Pool) AddWorker(name string, link netsim.Link, delay time.Duration, crashAfter int) {
 	v := &worker.Volunteer{
-		Name:       name,
-		Channel:    p.opts.channel,
-		Delay:      delay,
-		CrashAfter: crashAfter,
-		Functions:  []string{"*"},
-		Resolve:    p.resolveHandler,
+		Name:           name,
+		Channel:        p.opts.channel,
+		Delay:          delay,
+		CrashAfter:     crashAfter,
+		Functions:      []string{"*"},
+		BlobCacheBytes: p.opts.blobCache,
+		Resolve:        p.resolveHandler,
 	}
 	pipe := netsim.NewPipe(link)
 	p.mu.Lock()
@@ -535,6 +566,20 @@ type Pando[I, O any] struct {
 	pipes  []*netsim.Pipe
 }
 
+// wireFormats resolves the formats a deployment negotiates: an explicit
+// WithWireFormat list wins; otherwise WithCompression(false) pins to the
+// plain formats, and the default (nil) lets the master advertise
+// everything this build supports, best first.
+func (o *options) wireFormats() []string {
+	if len(o.formats) > 0 {
+		return o.formats
+	}
+	if o.noCompress {
+		return []string{proto.Version2, proto.Version}
+	}
+	return nil
+}
+
 // checkFormats panics on unknown wire-format names, which are
 // programming errors like WithCodec mismatches.
 func checkFormats(formats []string) {
@@ -596,13 +641,14 @@ func Map[I, O any](pool *Pool, name string, f func(I) (O, error), opts ...Option
 		pool: pool,
 	}
 	cfg := master.Config{
-		FuncName: name,
-		Batch:    o.batch,
-		Ordered:  !o.unordered,
-		Group:    o.group,
-		Flow:     o.flow(),
-		Channel:  o.channel,
-		Formats:  o.formats,
+		FuncName:       name,
+		Batch:          o.batch,
+		Ordered:        !o.unordered,
+		Group:          o.group,
+		Flow:           o.flow(),
+		Channel:        o.channel,
+		Formats:        o.wireFormats(),
+		BlobCacheBytes: o.blobCache,
 	}
 	if o.shards > 1 {
 		h := CodecHandler(f, in, out)
@@ -859,12 +905,13 @@ func (p *Pando[I, O]) AddSimulatedWorkers(n int, namePrefix string, link netsim.
 // devices.
 func (p *Pando[I, O]) AddWorker(name string, link netsim.Link, delay time.Duration, crashAfter int) {
 	v := &worker.Volunteer{
-		Name:       name,
-		Handler:    CodecHandler(p.f, p.in, p.out),
-		Channel:    p.opts.channel,
-		Delay:      delay,
-		CrashAfter: crashAfter,
-		Functions:  []string{p.name},
+		Name:           name,
+		Handler:        CodecHandler(p.f, p.in, p.out),
+		Channel:        p.opts.channel,
+		Delay:          delay,
+		CrashAfter:     crashAfter,
+		Functions:      []string{p.name},
+		BlobCacheBytes: p.opts.blobCache,
 	}
 	pipe := netsim.NewPipe(link)
 	p.mu.Lock()

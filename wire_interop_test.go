@@ -32,9 +32,10 @@ func assertWire(t *testing.T, stats []pando.WorkerStats, name, want string) {
 	t.Fatalf("no stats row for %q in %v", name, stats)
 }
 
-// TestWireV2PlainEndToEnd: default deployments negotiate the binary wire
-// and the plain data plane round-trips over it.
-func TestWireV2PlainEndToEnd(t *testing.T) {
+// TestWireV3PlainEndToEnd: default deployments negotiate the
+// bandwidth-aware wire ('/pando/2.2.0') and the plain data plane
+// round-trips over it.
+func TestWireV3PlainEndToEnd(t *testing.T) {
 	p := pando.New("wire2-square", func(v int) (int, error) { return v * v, nil },
 		pando.WithoutRegistry())
 	defer p.Close()
@@ -53,12 +54,12 @@ func TestWireV2PlainEndToEnd(t *testing.T) {
 			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
 		}
 	}
-	assertWire(t, p.Stats(), "local-1", pando.WireV2)
+	assertWire(t, p.Stats(), "local-1", pando.WireV3)
 }
 
-// TestWireV2GroupedEndToEnd: the grouped data plane (several values per
-// frame) round-trips over binary batches.
-func TestWireV2GroupedEndToEnd(t *testing.T) {
+// TestWireV3GroupedEndToEnd: the grouped data plane (several values per
+// frame) round-trips over binary batches on the bandwidth-aware wire.
+func TestWireV3GroupedEndToEnd(t *testing.T) {
 	p := pando.New("wire2-grouped", func(v int) (int, error) { return v + 1, nil },
 		pando.WithoutRegistry(), pando.WithGroup(4), pando.WithBatch(8))
 	defer p.Close()
@@ -80,7 +81,75 @@ func TestWireV2GroupedEndToEnd(t *testing.T) {
 			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
 		}
 	}
+	assertWire(t, p.Stats(), "local-1", pando.WireV3)
+}
+
+// TestWireV2WorkerAgainstV3Master: a volunteer that tops out at the
+// plain binary wire joins a v3-preferring master and the computation
+// completes on '/pando/2.1.0' — no compression, no dedup, correct
+// results (the negotiation-interop half of the fuzz satellite).
+func TestWireV2WorkerAgainstV3Master(t *testing.T) {
+	p := pando.New("wire23-square", func(v int) (int, error) { return v * v, nil },
+		pando.WithoutRegistry())
+	defer p.Close()
+
+	ln := netsim.NewListener("master", netsim.LAN)
+	defer ln.Close()
+	go p.ServeWS(ln)
+
+	conn, _, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &worker.Volunteer{
+		Name:       "plain",
+		Handler:    pando.Handler(func(v int) (int, error) { return v * v, nil }),
+		Formats:    []string{proto.Version2, proto.Version}, // no v3
+		CrashAfter: -1,
+	}
+	go v.JoinWS(conn)
+
+	inputs := []int{1, 2, 3, 4, 5, 6, 7}
+	out, err := p.ProcessSlice(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range out {
+		if want := inputs[i] * inputs[i]; got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+	assertWire(t, p.Stats(), "plain", pando.WireV2)
+}
+
+// TestWireCompressionOff: WithCompression(false) pins an otherwise
+// default deployment to the plain formats — v3-capable local workers
+// land on '/pando/2.1.0'.
+func TestWireCompressionOff(t *testing.T) {
+	p := pando.New("wire-nocomp", func(v int) (int, error) { return v - 1, nil },
+		pando.WithoutRegistry(), pando.WithCompression(false))
+	defer p.Close()
+	p.AddLocalWorkers(1)
+
+	if _, err := p.ProcessSlice(context.Background(), []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
 	assertWire(t, p.Stats(), "local-1", pando.WireV2)
+}
+
+// TestWireFormatOverridesCompressionToggle: an explicit WithWireFormat
+// list wins over WithCompression either way.
+func TestWireFormatOverridesCompressionToggle(t *testing.T) {
+	p := pando.New("wire-override", func(v int) (int, error) { return v, nil },
+		pando.WithoutRegistry(),
+		pando.WithCompression(false), pando.WithWireFormat(pando.WireV3, pando.WireV1))
+	defer p.Close()
+	p.AddLocalWorkers(1)
+
+	if _, err := p.ProcessSlice(context.Background(), []int{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	assertWire(t, p.Stats(), "local-1", pando.WireV3)
 }
 
 // TestWireV1WorkerAgainstV2Master: a volunteer that only speaks the JSON
