@@ -1175,3 +1175,203 @@ func runChaosSignalFlap(t *testing.T, seed int64) {
 		t.Errorf("leak check: %v", err)
 	}
 }
+
+// TestChaosByzantine is the adversarial tier: a fleet whose minority
+// actively LIES — fabricated results, freeloading echoes, and a
+// coalition of quorum-1 colluders returning byte-identical wrong
+// answers — driven against a WithVerification deployment. Crash-stop
+// recovery is not enough here; only quorum voting on result digests,
+// spot-check recomputation and the reputation ledger stand between the
+// cheaters and the output. Every seed must end with: output
+// byte-identical to an honest run, every emitted index sealed by the
+// voting layer, every cheater quarantined, no honest worker expelled,
+// and the usual lease/goroutine hygiene.
+func TestChaosByzantine(t *testing.T) {
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosByzantine(t, seed)
+		})
+	}
+}
+
+func runChaosByzantine(t *testing.T, seed int64) {
+	t.Logf("chaos: seed %d (reproduce: go test -run 'TestChaosByzantine' -chaos.seed=%d)", seed, seed)
+	r := chaos.New(seed)
+	guard := chaos.Guard()
+	n := *chaosItems
+	if n < 20 {
+		n = 20
+	}
+	const k, quorum = 2, 2
+
+	f := func(v int) (int, error) { return v*v + 3, nil }
+	want := func(i int) int { return i*i + 3 }
+	honest := pando.Handler(f)
+	name := integName("chaos-byz")
+	hb := pando.ChannelConfig{HeartbeatInterval: 20 * time.Millisecond}
+
+	pool := pando.NewPool(pando.WithChannelConfig(hb), pando.WithRebalanceInterval(25*time.Millisecond))
+	defer pool.Close()
+	job := pando.Map(pool, name, f,
+		pando.WithVerification(k, quorum),
+		pando.WithSpotCheck(0.15),
+		pando.WithTrustThreshold(0.9),
+		pando.WithBatch(2),
+		pando.WithChannelConfig(hb),
+		pando.WithoutRegistry())
+
+	cf := &chaosFleet{}
+	defer cf.cutAll()
+	spawn := func(wname string, h worker.Handler, link netsim.Link, delay time.Duration) *netsim.Pipe {
+		v := &worker.Volunteer{
+			Name:       wname,
+			Channel:    hb,
+			Delay:      delay,
+			CrashAfter: -1,
+			Functions:  []string{"*"},
+			Handler:    h,
+		}
+		pipe := netsim.NewPipe(link)
+		cf.add(pipe)
+		go func() { _ = v.JoinWS(pipe.A) }()
+		go func() { _ = pool.Fleet().Admit(transport.NewWSock(pipe.B, hb)) }()
+		return pipe
+	}
+
+	// --- Honest majority, derived from the seed. ---
+	wr := r.Fork("workers")
+	nHonest := 3 + wr.Intn(3)
+	honestNames := make([]string, nHonest)
+	honestPipes := make([]*netsim.Pipe, nHonest)
+	honestLinks := make([]netsim.Link, nHonest)
+	for i := 0; i < nHonest; i++ {
+		link := netsim.Link{
+			Latency: wr.Duration(0, 2*time.Millisecond),
+			Jitter:  wr.Duration(0, time.Millisecond),
+			Seed:    wr.Int63() | 1,
+		}
+		honestNames[i] = fmt.Sprintf("hw-%d", i+1)
+		honestLinks[i] = link
+		honestPipes[i] = spawn(honestNames[i], honest, link, wr.Duration(2*time.Millisecond, 8*time.Millisecond))
+	}
+
+	// --- The Byzantine minority: an intermittent fabricator, a
+	// freeloading echo, and a coalition of quorum-1 colluders (the
+	// strongest group quorum voting provably defeats). ---
+	cheaters := []string{"cheat-wrong", "cheat-echo"}
+	spawn("cheat-wrong", chaos.WrongResult(r.Fork("wrong"), honest, 0.85), netsim.Loopback,
+		wr.Duration(time.Millisecond, 4*time.Millisecond))
+	spawn("cheat-echo", chaos.LazyEcho(), netsim.Loopback, wr.Duration(0, 2*time.Millisecond))
+	colluderGroup := r.Fork("collusion").Int63()
+	for j := 0; j < quorum-1; j++ {
+		cname := fmt.Sprintf("cheat-collude-%d", j+1)
+		cheaters = append(cheaters, cname)
+		spawn(cname, chaos.Colluder(colluderGroup, honest), netsim.Loopback,
+			wr.Duration(0, 2*time.Millisecond))
+	}
+
+	// --- Light crash-stop churn on top of the lies: one honest worker
+	// (never hw-1, the liveness anchor) crashes and rejoins. ---
+	fr := r.Fork("faults")
+	sched := &chaos.Schedule{}
+	if nHonest > 1 {
+		i := 1 + fr.Intn(nHonest-1)
+		at := fr.Duration(20*time.Millisecond, 150*time.Millisecond)
+		chaos.Cut(sched, honestNames[i], honestPipes[i], at)
+		rejoin := at + fr.Duration(40*time.Millisecond, 120*time.Millisecond)
+		link, delay := honestLinks[i], fr.Duration(2*time.Millisecond, 6*time.Millisecond)
+		wname := honestNames[i]
+		sched.Add(rejoin, fmt.Sprintf("rejoin %s", wname), func() { spawn(wname, honest, link, delay) })
+	}
+	t.Logf("chaos: %d honest workers, %d cheaters, %d scheduled events:\n%s",
+		nHonest, len(cheaters), sched.Len(), strings.Join(sched.Describe(), "\n"))
+	stopSched := make(chan struct{})
+	schedDone := make(chan struct{})
+	go func() { defer close(schedDone); sched.Play(stopSched) }()
+	var stopOnce sync.Once
+	stopPlay := func() { stopOnce.Do(func() { close(stopSched) }); <-schedDone }
+	defer stopPlay()
+
+	in := make(chan int)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- i
+		}
+	}()
+	out, errc := job.Process(context.Background(), in)
+	got := collectClosed(t, out, n, 90*time.Second, "byzantine job")
+	if err := <-errc; err != nil {
+		t.Fatalf("byzantine job failed: %v", err)
+	}
+
+	// Invariant 1: the output is byte-identical to an honest run —
+	// exactly-once, in-order, every value correct despite the lies.
+	if err := chaos.CheckExact(got, n, want); err != nil {
+		t.Errorf("byzantine output: %v", err)
+	}
+
+	// Invariant 2: no unverified value reached the output — every index
+	// was sealed by a quorum of distinct workers, the trusted fast path,
+	// or a spot-check recomputation.
+	audit := job.VerifyAudit()
+	if err := chaos.CheckVerified(audit, n, quorum); err != nil {
+		t.Errorf("acceptance audit: %v", err)
+	}
+	fastPath := 0
+	for _, a := range audit {
+		if a.FastPath {
+			fastPath++
+		}
+	}
+
+	// Invariant 3: every cheater's reputation collapsed below the
+	// quarantine line and the fleet expelled it; no honest worker was.
+	reps := job.Reputations()
+	for _, c := range cheaters {
+		rep, ok := reps[c]
+		if !ok {
+			// A cheater that never held a value never got to lie; with
+			// values outnumbering workers this means it was refused or
+			// severed before voting — still expelled from the run.
+			t.Errorf("cheater %s never appeared in the reputation ledger", c)
+			continue
+		}
+		if !rep.Quarantined {
+			t.Errorf("cheater %s not quarantined: %+v", c, rep)
+		}
+		if rep.Disagreed == 0 {
+			t.Errorf("cheater %s was never caught disagreeing: %+v", c, rep)
+		}
+	}
+	for _, h := range honestNames {
+		if rep, ok := reps[h]; ok && rep.Quarantined {
+			t.Errorf("honest worker %s was quarantined: %+v", h, rep)
+		}
+	}
+	t.Logf("chaos: %d/%d fast-path acceptances, reputations: %d rows", fastPath, n, len(reps))
+
+	job.Close()
+
+	// Invariant 4: no stale leases once the job closed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stale := chaos.StaleLeases(pool.Workers(), func(string) bool { return false })
+		if len(stale) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("stale leases after job closed: %v", stale)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Invariant 5: everything unwinds.
+	stopPlay()
+	pool.Close()
+	cf.cutAll()
+	if err := guard.Check(10 * time.Second); err != nil {
+		t.Errorf("leak check: %v", err)
+	}
+}

@@ -62,6 +62,12 @@ func main() {
 		compUp    = flag.Int64("compress-uplink", int64(bench.DefaultCompressUplink), "modeled master uplink in bytes/sec shared by the -compress fleet")
 		compReps  = flag.Int("compress-reps", 1, "baseline/v3 pairs per -compress workload (median-speedup pair is reported; bandwidth-paced cells vary little between reps)")
 		compOne   = flag.String("compress-one", "", "internal: run one compress measurement (\"workload,v3,workers,items,payload,uplink\") and print items/sec and wire bytes")
+		verExp    = flag.Bool("verify", false, "measure k-replication overhead and the reputation fast-path recovery curve against the unreplicated data plane")
+		verOut    = flag.String("verify-out", "BENCH_verify.json", "where -verify persists its results")
+		verWrk    = flag.Int("verify-workers", 10000, "netsim volunteer count for -verify")
+		verPer    = flag.Int("verify-items", 40, "items per worker for the longest -verify stream (the recovery curve also runs the half and quarter lengths)")
+		verPay    = flag.Int("verify-payload", 2048, "payload bytes per item for -verify")
+		verOne    = flag.String("verify-one", "", "internal: run one verification cell (\"workers,items,payload,k,quorum,trustmilli\") and print items/sec and fast-path share")
 		items     = flag.Int("items", 400, "work items per cell")
 		timeScale = flag.Float64("timescale", bench.DefaultTimeScale, "time compression factor")
 	)
@@ -95,6 +101,19 @@ func main() {
 		bench.ChildCell(func() ([]float64, error) {
 			rate, err := bench.RunShardProfile(int(f[0]), int(f[1]), int(f[2]), int(f[3]), f[4])
 			return []float64{rate}, err
+		})
+		return
+	}
+
+	if *verOne != "" {
+		f, err := bench.ParseChildSpec(*verOne, 6)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pando-bench: bad -verify-one %q: %v\n", *verOne, err)
+			os.Exit(1)
+		}
+		bench.ChildCell(func() ([]float64, error) {
+			rate, fastShare, err := bench.RunVerifyProfile(int(f[0]), int(f[1]), int(f[2]), int(f[3]), int(f[4]), float64(f[5])/1000)
+			return []float64{rate, fastShare}, err
 		})
 		return
 	}
@@ -337,10 +356,48 @@ func main() {
 		fmt.Printf("results written to %s\n", *compOut)
 	}
 
+	if *verExp {
+		ran = true
+		cmp, err := bench.RunVerifyWith(*verWrk, *verPer, *verPay, freshVerifyRun)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		bench.RenderVerify(os.Stdout, cmp)
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*verOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pando-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *verOut)
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// freshVerifyRun executes one -verify cell in a child process (this same
+// binary with -verify-one) and parses the rate and fast-path share it
+// prints. The trust threshold travels as an integer in thousandths.
+func freshVerifyRun(workers, items, payload, k, quorum int, trust float64) (float64, float64, error) {
+	spec := bench.ChildSpec(int64(workers), int64(items), int64(payload), int64(k), int64(quorum), int64(trust*1000))
+	vals, err := bench.FreshProcessRun("-verify-one", spec, func() ([]float64, error) {
+		rate, fastShare, err := bench.RunVerifyProfile(workers, items, payload, k, quorum, trust)
+		return []float64{rate, fastShare}, err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(vals) < 2 {
+		return 0, 0, fmt.Errorf("verify child %s: want 2 values, got %d", spec, len(vals))
+	}
+	return vals[0], vals[1], nil
 }
 
 func boolField(b bool) int64 {

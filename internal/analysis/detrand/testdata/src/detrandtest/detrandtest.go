@@ -48,3 +48,39 @@ func missingReason() time.Time {
 
 // unmarked functions are outside the deterministic domain.
 func unmarked() time.Time { return time.Now() }
+
+// The Byzantine chaos builders (chaos.WrongResult and friends) are
+// builder functions returning handler closures; the mark on the builder
+// covers the returned literal, so a closure that fabricates its lies
+// from seeded draws and pure hashing passes, while one that consults
+// the wall clock or the global generator is flagged inside the literal.
+
+//pando:deterministic
+func fabricate(key int64, input []byte) []byte {
+	h := uint64(14695981039346656037) ^ uint64(key)
+	for i := 0; i < len(input); i++ {
+		h ^= uint64(input[i])
+		h *= 1099511628211
+	}
+	return []byte{byte(h)}
+}
+
+//pando:deterministic
+func cheaterBuilder(seed int64) func([]byte) []byte {
+	r := rand.New(rand.NewSource(seed))
+	return func(input []byte) []byte {
+		if r.Intn(2) == 0 { // seeded draw threaded through the closure: fine
+			return fabricate(seed, input)
+		}
+		return input
+	}
+}
+
+//pando:deterministic
+func sloppyCheaterBuilder() func([]byte) []byte {
+	return func(input []byte) []byte {
+		key := time.Now().UnixNano() // want `wall clock read \(time.Now\) in deterministic function`
+		_ = rand.Int()               // want `global rand.Int in deterministic function`
+		return fabricate(key, input)
+	}
+}

@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+func TestVerifyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cmp, err := RunVerify(60, 40, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(cmp.Rows))
+	}
+	var base, k2 float64
+	for _, r := range cmp.Rows {
+		if r.ItemsPerSec <= 0 {
+			t.Errorf("row %s measured no throughput", r.Mode)
+		}
+		switch {
+		case r.Mode == "baseline" && r.Items == 60*40:
+			base = r.ItemsPerSec
+		case r.Mode == "k2":
+			k2 = r.ItemsPerSec
+		}
+	}
+	// Quorum-everywhere k=2 doubles the executions behind every emitted
+	// value, so it cannot plausibly beat the unreplicated baseline; a k2
+	// rate above it means the replicas were not actually fanned out.
+	if k2 > base*1.1 {
+		t.Errorf("k2 rate %.0f exceeds baseline %.0f: replication is not happening", k2, base)
+	}
+	// The trusted cells must ride the fast-path for a meaningful share of
+	// the stream — that is the mechanism whose recovery the experiment
+	// measures. The throughput budget itself (≥ 80% on the longest
+	// stream) is asserted against BENCH_verify.json, not here: a CI
+	// machine's absolute rates are too noisy at this scale.
+	for _, r := range cmp.Rows {
+		if r.Mode == "k2-trusted" && r.Items == 60*40 && r.FastPathShare < 0.5 {
+			t.Errorf("longest trusted cell rode the fast-path for only %.0f%% of results; want a majority",
+				r.FastPathShare*100)
+		}
+	}
+}

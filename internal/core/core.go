@@ -25,6 +25,7 @@ import (
 	"pando/internal/lender"
 	"pando/internal/pullstream"
 	"pando/internal/sched"
+	"pando/internal/verify"
 )
 
 // ErrEngineClosed reports use of a closed engine.
@@ -146,6 +147,55 @@ func (d *DistributedMap[I, O]) Bind(src pullstream.Source[I]) pullstream.Source[
 	return d.l.Bind(src)
 }
 
+// VerifySpec parameterizes Byzantine-tolerant result verification.
+type VerifySpec[I, O any] struct {
+	// Policy sets replication degree, quorum, spot-check rate and the
+	// reputation thresholds (normalized before use).
+	Policy verify.Policy
+	// Digest fingerprints a result for voting; two results agree iff
+	// their digests are equal. Typically the SHA-256 of the result's
+	// wire encoding.
+	Digest func(O) (verify.Digest, error)
+	// Recompute evaluates the work function locally for spot-checks; nil
+	// disables spot-checking regardless of Policy.SpotRate.
+	Recompute func(I) (O, error)
+}
+
+// EnableVerification turns on k-replication with quorum voting on result
+// digests: every lent value is fanned out to Policy.K distinct workers
+// (identified by their Attach names — sessions of one device share a
+// name and one vote), a result reaches the output and the OnResult hook
+// only after Policy.Quorum matching digests from distinct workers, and a
+// per-worker reputation ledger tracks agreement. Workers whose score
+// crosses Policy.TrustThreshold graduate to a replication-free fast
+// path; workers falling below Policy.QuarantineBelow fire the ledger's
+// OnQuarantine hook (typically wired to fleet.Pool.Quarantine). The
+// ledger's credit weighting also shrinks low-reputation workers' credit
+// windows, so suspects drain work before they are formally expelled.
+// Call before Bind and before any Attach; the returned ledger exposes
+// reputations and the acceptance audit.
+func (d *DistributedMap[I, O]) EnableVerification(spec VerifySpec[I, O]) *verify.Ledger {
+	pol := spec.Policy.Normalize()
+	ledger := verify.NewLedger(pol)
+	cfg := &lender.VerifyConfig[I, O]{
+		K:       pol.K,
+		Quorum:  pol.Quorum,
+		Digest:  spec.Digest,
+		Trusted: ledger.Trusted,
+		OnVerdict: func(worker string, idx int, agreed bool) {
+			ledger.Record(worker, agreed)
+		},
+		OnAccept: ledger.NoteAcceptance,
+	}
+	if spec.Recompute != nil && pol.SpotRate > 0 {
+		cfg.Spot = verify.Sampler(pol.SpotRate)
+		cfg.Recompute = spec.Recompute
+	}
+	d.l.SetVerify(cfg)
+	d.s.SetCreditWeight(ledger.Credit)
+	return ledger
+}
+
 // subHandle adapts a lending sub-stream to the scheduler's view.
 type subHandle[I, O any] struct {
 	l   *lender.Lender[I, O]
@@ -163,7 +213,7 @@ func (d *DistributedMap[I, O]) Attach(name string, duplex pullstream.Duplex[I, O
 	if err := d.admit(name); err != nil {
 		return err
 	}
-	sub, sd := d.l.LendStream()
+	sub, sd := d.l.LendStreamNamed(name)
 	ctrl := d.s.Attach(name, subHandle[I, O]{l: d.l, sub: sub})
 	d.watch(name, sd, sched.Gate(ctrl, duplex)(sd.Source), ctrl)
 	return nil
@@ -177,7 +227,7 @@ func (d *DistributedMap[I, O]) AttachVia(name string, th pullstream.Through[I, O
 	if err := d.admit(name); err != nil {
 		return err
 	}
-	_, sd := d.l.LendStream()
+	_, sd := d.l.LendStreamNamed(name)
 	d.watch(name, sd, th(sd.Source), nil)
 	return nil
 }

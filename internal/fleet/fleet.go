@@ -45,6 +45,10 @@ var (
 	ErrNoJob = errors.New("fleet: no registered job serves the volunteer's functions")
 	// ErrNoCommonFormat mirrors the proto-level negotiation refusal.
 	ErrNoCommonFormat = proto.ErrNoCommonFormat
+	// ErrQuarantined reports a volunteer refused because its accounting
+	// name was quarantined (verification caught it returning wrong
+	// results); rejoining under the same name is pointless.
+	ErrQuarantined = errors.New("fleet: worker quarantined")
 )
 
 // Job is a typed computation leasing workers from the pool — one
@@ -112,6 +116,7 @@ type Pool struct {
 	cond     *sync.Cond // signalled when jobs register or the pool closes
 	jobs     []Job      // registration order
 	sessions map[int]*session
+	banned   map[string]struct{} // quarantined accounting names
 	nextID   int
 	nextName int
 	rrNext   int // rotation cursor for starved-fleet round-robin
@@ -289,6 +294,12 @@ func (p *Pool) Admit(ch transport.Channel) error {
 	}
 	s := newSession(p, hello, wire, ch)
 	p.mu.Lock()
+	if _, bad := p.banned[s.name]; bad {
+		p.mu.Unlock()
+		_ = ch.Send(&proto.Message{Type: proto.TypeError, Err: ErrQuarantined.Error()})
+		ch.Close()
+		return ErrQuarantined
+	}
 	p.nextID++
 	s.id = p.nextID
 	if s.name == "" {
@@ -696,6 +707,39 @@ func (p *Pool) moveLease(donor, receiver Job) {
 	if victim.revoke(donor) {
 		victim.reassign(receiver)
 	}
+}
+
+// Quarantine expels every live session of the named worker and bans the
+// name from future admission: its channels close (crash-stop — the jobs'
+// duplexes fail and the engines re-lend every value the cheater still
+// held, exactly as if the device crashed), and a later hello under the
+// same accounting name is refused with ErrQuarantined. Verification
+// calls this when a worker's reputation falls below the quarantine
+// line; the re-lent values go to workers still in good standing.
+func (p *Pool) Quarantine(name string) {
+	p.mu.Lock()
+	if p.banned == nil {
+		p.banned = make(map[string]struct{})
+	}
+	p.banned[name] = struct{}{}
+	var held []*session
+	for _, s := range p.sessions {
+		if s.name == name {
+			held = append(held, s)
+		}
+	}
+	p.mu.Unlock()
+	for _, s := range held {
+		s.ch.Close()
+	}
+}
+
+// Quarantined reports whether name has been quarantined.
+func (p *Pool) Quarantined(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, bad := p.banned[name]
+	return bad
 }
 
 // SeverJob crash-stops every session currently leased (or moving) to j

@@ -327,3 +327,49 @@ func TestPoolParkedVolunteerLeasedOnRegister(t *testing.T) {
 	}
 	job.waitLease(t)
 }
+
+// TestPoolQuarantine: quarantining a name severs its live sessions
+// (crash-stop, so the job re-lends whatever the cheater held) and bans
+// the name from re-admission — rejoining under the same accounting name
+// is refused at the hello.
+func TestPoolQuarantine(t *testing.T) {
+	p := NewPool(Config{Rebalance: -1})
+	defer p.Close()
+	job := newFakeJob("job-a", 1)
+	if err := p.Register(job); err != nil {
+		t.Fatal(err)
+	}
+
+	ch := rawVolunteer(t, p, &proto.Message{Peer: "cheat", Functions: []string{"job-a"}})
+	recvType(t, ch, proto.TypeWelcome)
+	job.waitLease(t)
+
+	p.Quarantine("cheat")
+	if !p.Quarantined("cheat") {
+		t.Fatal("name not recorded as quarantined")
+	}
+	// The live session's channel was closed: the volunteer side observes
+	// the failure (possibly after draining in-flight control frames).
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, err := ch.Recv(); err != nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("quarantined session's channel never failed")
+		default:
+		}
+	}
+
+	// Rejoining under the banned name is refused with an error frame.
+	ch2 := rawVolunteer(t, p, &proto.Message{Peer: "cheat", Functions: []string{"job-a"}})
+	m, err := ch2.Recv()
+	if err == nil && m.Type != proto.TypeError {
+		t.Fatalf("banned rejoin got %+v, want error refusal", m)
+	}
+
+	// An honest name is unaffected.
+	ch3 := rawVolunteer(t, p, &proto.Message{Peer: "honest", Functions: []string{"job-a"}})
+	recvType(t, ch3, proto.TypeWelcome)
+}

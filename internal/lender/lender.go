@@ -25,6 +25,7 @@ package lender
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -93,6 +94,12 @@ type Lender[I, O any] struct {
 	// Speculate: the first result for the value wins and later copies'
 	// results are discarded on arrival.
 	spec map[int]*specState
+
+	// verify, when set (SetVerify), replaces the single-copy lending
+	// discipline with k-replication and vote-gated completion; votes is
+	// the per-index vote state. See verify.go.
+	verify *VerifyConfig[I, O]
+	votes  map[int]*voteState[I, O]
 
 	// Memory bounding (SetHighWater/SetSpill). highWater caps how many
 	// buffered results the lender holds on the heap; beyond it, ordered
@@ -340,6 +347,7 @@ func (l *Lender[I, O]) Through() pullstream.Through[I, O] {
 // worker's results. Obtain one with LendStream.
 type SubStream struct {
 	id   int
+	name string // worker identity for vote accounting (LendStreamNamed)
 	dead bool
 	// outstanding holds the values lent through this sub-stream that have
 	// not been answered yet, oldest first. Results are matched to values
@@ -366,13 +374,28 @@ type specState struct {
 // ID returns a diagnostic identifier unique within this lender.
 func (s *SubStream) ID() int { return s.id }
 
+// Name returns the worker identity the sub-stream was created under.
+func (s *SubStream) Name() string { return s.name }
+
 // LendStream creates a new sub-stream and returns its duplex endpoints.
 // It may be called at any time, including after the input ended: the new
 // sub-stream will then either receive failed values or be told the stream
 // is done. This is the "dynamic" and "unbounded" property of the model.
 func (l *Lender[I, O]) LendStream() (sub *SubStream, d pullstream.Duplex[O, I]) {
+	return l.LendStreamNamed("")
+}
+
+// LendStreamNamed is LendStream under a worker identity. The name is
+// what vote accounting keys ballots by: several sub-streams created
+// under one name (a multi-core device, or a worker re-leased after a
+// reconnect) are one voice in any quorum. An empty name gets a
+// per-sub-stream placeholder, so anonymous sub-streams never alias.
+func (l *Lender[I, O]) LendStreamNamed(name string) (sub *SubStream, d pullstream.Duplex[O, I]) {
 	l.mu.Lock()
-	sub = &SubStream{id: l.nextSubID}
+	sub = &SubStream{id: l.nextSubID, name: name}
+	if name == "" {
+		sub.name = fmt.Sprintf("#%d", sub.id)
+	}
 	l.nextSubID++
 	l.subsMade++
 	l.mu.Unlock()
@@ -442,7 +465,13 @@ func (l *Lender[I, O]) IdleAtTail() int {
 func (l *Lender[I, O]) Speculate(s *SubStream, max int) int {
 	l.mu.Lock()
 	n := 0
-	if !s.dead && l.aborted == nil {
+	if !s.dead && l.aborted == nil && l.verify != nil {
+		// Under verification a speculative duplicate is one more
+		// replica: name-keyed ballots and the participant check make
+		// it structurally impossible for the duplicate to count as an
+		// independent vote.
+		n = l.voteSpeculateLocked(s, max)
+	} else if !s.dead && l.aborted == nil {
 		for _, it := range s.outstanding {
 			if n >= max {
 				break
@@ -537,6 +566,11 @@ func (l *Lender[I, O]) resultLocked(s *SubStream, v O) []func() {
 	item := s.outstanding[0]
 	s.outstanding = s.outstanding[1:]
 	l.outstanding--
+	if l.verify != nil {
+		// Verification gates emission behind the quorum; the vote
+		// machinery owns pending/emission from here.
+		return l.voteResultLocked(s, item, v)
+	}
 	if st, ok := l.spec[item.idx]; ok {
 		st.copies--
 		if st.copies == 0 {
@@ -577,6 +611,10 @@ func (l *Lender[I, O]) endSubLocked(s *SubStream) []func() {
 	l.subsEnded++
 	for _, it := range s.outstanding {
 		l.outstanding--
+		if l.verify != nil {
+			l.voteEndCopyLocked(s, it)
+			continue
+		}
 		if st, ok := l.spec[it.idx]; ok {
 			if st.answered {
 				// A duplicate already answered this value; the dead copy
@@ -665,6 +703,14 @@ func (l *Lender[I, O]) serviceLocked() []func() {
 	// already holds the original.
 	fi := 0
 	for fi < len(l.failed) && len(l.waiters) > 0 {
+		if l.verify != nil {
+			consumed, acts := l.voteRelendLocked(fi)
+			actions = append(actions, acts...)
+			if !consumed {
+				fi++
+			}
+			continue
+		}
 		it := l.failed[fi]
 		st := l.spec[it.idx]
 		if st != nil && st.answered {
@@ -776,6 +822,9 @@ func (l *Lender[I, O]) inputAnswer(end error, v I) {
 		l.pending++
 		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: idx, v: v, at: time.Now()})
 		l.outstanding++
+		if l.verify != nil {
+			l.voteLendFreshLocked(w.sub, idx, v)
+		}
 		cb := w.cb
 		actions = append(actions, func() { cb(nil, v) })
 	default:
@@ -786,6 +835,10 @@ func (l *Lender[I, O]) inputAnswer(end error, v I) {
 		l.nextIdx++
 		l.pending++
 		l.failed = append(l.failed, lent[I]{idx: idx, v: v})
+		if l.verify != nil {
+			// Track the queued copy; replicas fan out at first lend.
+			l.voteEnsureOpenLocked(idx, v).queued++
+		}
 	}
 	actions = append(actions, l.serviceLocked()...)
 	l.mu.Unlock()

@@ -1,0 +1,435 @@
+package lender
+
+import (
+	"sort"
+	"time"
+
+	"pando/internal/verify"
+)
+
+// This file is the lender half of Byzantine-tolerant result
+// verification (internal/verify holds the pure voting machine and the
+// reputation ledger). With a VerifyConfig installed the lending rules
+// change from the paper's conservative single-copy discipline to
+// BOINC-style k-replication:
+//
+//   - A fresh value lent to an untrusted worker fans out K-1 replica
+//     copies onto the failed queue, so K distinct workers compute it.
+//   - A replica is never lent to a sub-stream whose worker name already
+//     holds or has answered a copy — several sub-streams of one device
+//     (or a speculative duplicate) are one voice, not two.
+//   - A result is emitted (and journaled, and exported) only once a
+//     quorum of distinct worker names returned byte-identical output,
+//     or its submitter is above the trust threshold (the fast-path), or
+//     the master recomputed it locally (a spot-check).
+//   - Replica death mid-vote re-queues the dead worker's copy; a split
+//     vote with no copies left queues one more, so every vote
+//     eventually resolves as long as fresh distinct workers keep
+//     asking. Liveness therefore needs at least Quorum distinct worker
+//     names in the fleet.
+//
+// Verification changes when `pending` is released: a verified value
+// counts as answered at vote resolution, not at first result, so the
+// output, completion and journal all sit strictly behind the quorum.
+
+// VerifyConfig arms result verification on a lender. Install with
+// SetVerify before Bind. All callbacks may be invoked under the
+// lender's internal lock unless noted and must not call back into the
+// lender.
+type VerifyConfig[I, O any] struct {
+	// K is the replication factor for values submitted by untrusted
+	// workers; Quorum is how many distinct workers must agree.
+	K      int
+	Quorum int
+	// Digest hashes a decoded result. The master computes digests
+	// itself from the bytes it decoded — a worker-claimed digest would
+	// let a lazy cheater echo another worker's hash without doing the
+	// work.
+	Digest func(O) (verify.Digest, error)
+	// Trusted reports whether a worker has earned the replication-free
+	// fast-path (nil: no fast-path).
+	Trusted func(name string) bool
+	// Spot decides whether an accepted index is spot-checked (nil:
+	// never). It must be deterministic in the index.
+	Spot func(idx int) bool
+	// Recompute is the master-local recomputation behind spot-checks.
+	// It runs outside the lender lock, on the result-delivery
+	// goroutine of the worker that completed the quorum.
+	Recompute func(I) (O, error)
+	// OnVerdict is told each (worker, index) agreement verdict, outside
+	// the lock — the reputation feed.
+	OnVerdict func(worker string, idx int, agreed bool)
+	// OnAccept is told each acceptance audit record, outside the lock.
+	OnAccept func(a verify.Acceptance)
+}
+
+// voteState is the lender-side bookkeeping of one index under vote: the
+// pure ballot machine plus where the copies currently are.
+type voteState[I, O any] struct {
+	input  I
+	voter  *verify.Voter
+	values map[verify.Digest]O // representative decoded result per digest
+
+	holders map[string]int // worker name -> copies currently lent
+	queued  int            // copies waiting in l.failed
+	fanned  bool           // replicas were fanned out (or skipped: trusted)
+
+	spotting bool // accepted, spot-check recomputation in flight
+	emitted  bool // finalized: result emitted, verdicts delivered
+}
+
+func (vt *voteState[I, O]) dropHolder(name string) {
+	if n := vt.holders[name]; n > 1 {
+		vt.holders[name] = n - 1
+	} else {
+		delete(vt.holders, name)
+	}
+}
+
+func (vt *voteState[I, O]) copiesLive() int {
+	n := vt.queued
+	for _, c := range vt.holders {
+		n += c
+	}
+	return n
+}
+
+// participant reports whether the named worker already holds or has
+// voted on this index — it must not receive another copy.
+func (vt *voteState[I, O]) participant(name string) bool {
+	return vt.holders[name] > 0 || vt.voter.Participated(name)
+}
+
+func (vt *voteState[I, O]) resolved() bool {
+	_, done := vt.voter.Accepted()
+	return done
+}
+
+// SetVerify installs (or, with nil, removes) the verification layer.
+// Call before Bind; flipping it mid-stream is undefined.
+func (l *Lender[I, O]) SetVerify(cfg *VerifyConfig[I, O]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cfg == nil {
+		l.verify = nil
+		l.votes = nil
+		return
+	}
+	c := *cfg
+	if c.Quorum < 1 {
+		c.Quorum = 1
+	}
+	if c.K < c.Quorum {
+		c.K = c.Quorum
+	}
+	l.verify = &c
+	l.votes = make(map[int]*voteState[I, O])
+}
+
+// voteEnsureOpenLocked creates the vote record for a value the first
+// time it is tracked (fresh lend, or a read whose asker died).
+func (l *Lender[I, O]) voteEnsureOpenLocked(idx int, v I) *voteState[I, O] {
+	vt := l.votes[idx]
+	if vt == nil {
+		vt = &voteState[I, O]{
+			input:   v,
+			voter:   verify.NewVoter(l.verify.Quorum),
+			values:  make(map[verify.Digest]O),
+			holders: make(map[string]int),
+		}
+		l.votes[idx] = vt
+	}
+	return vt
+}
+
+// voteFanLocked fans out the replica copies the first time idx is lent:
+// K-1 extra copies onto the failed queue — unless the first holder is
+// trusted, in which case the value rides replication-free and the
+// fast-path (plus spot-checks) covers it.
+func (l *Lender[I, O]) voteFanLocked(vt *voteState[I, O], idx int, name string) {
+	if vt.fanned {
+		return
+	}
+	vt.fanned = true
+	if l.verify.Trusted != nil && l.verify.Trusted(name) {
+		return
+	}
+	for i := 0; i < l.verify.K-1; i++ {
+		vt.queued++
+		l.failed = append(l.failed, lent[I]{idx: idx, v: vt.input})
+	}
+}
+
+// voteLendFreshLocked accounts a brand-new value handed to sub.
+func (l *Lender[I, O]) voteLendFreshLocked(sub *SubStream, idx int, v I) {
+	vt := l.voteEnsureOpenLocked(idx, v)
+	vt.holders[sub.name]++
+	l.voteFanLocked(vt, idx, sub.name)
+}
+
+// voteLivenessLocked re-queues one copy when a vote is stuck: not
+// resolved, yet no copy is lent or queued (a split consumed them all,
+// or a digest failure ate one). Re-lending goes to a non-participant,
+// so each extra copy adds a fresh distinct ballot.
+func (l *Lender[I, O]) voteLivenessLocked(idx int, vt *voteState[I, O]) {
+	if vt.resolved() || vt.copiesLive() > 0 {
+		return
+	}
+	vt.queued++
+	l.failed = append(l.failed, lent[I]{idx: idx, v: vt.input})
+}
+
+// voteCleanupLocked drops the vote record once it is emitted and no
+// copy remains anywhere — late results of zombies are recognized (and
+// graded) as long as their holder entry keeps the record alive.
+func (l *Lender[I, O]) voteCleanupLocked(idx int, vt *voteState[I, O]) {
+	if vt.emitted && len(vt.holders) == 0 && vt.queued == 0 {
+		delete(l.votes, idx)
+	}
+}
+
+// voteResultLocked records one result for the copy at the head of s's
+// queue (already popped by resultLocked) and advances the vote.
+func (l *Lender[I, O]) voteResultLocked(s *SubStream, item lentAny, v O) []func() {
+	vt := l.votes[item.idx]
+	if vt == nil {
+		// The vote was finalized and cleaned before this zombie
+		// answered; nothing to learn.
+		return l.serviceLocked()
+	}
+	vt.dropHolder(s.name)
+
+	d, err := l.verify.Digest(v)
+	if err != nil {
+		// Undigestible result: no ballot. Keep the vote alive.
+		l.voteLivenessLocked(item.idx, vt)
+		return l.serviceLocked()
+	}
+
+	if vt.resolved() {
+		// Late result of a zombie copy: grade it against the accepted
+		// digest, never re-open the vote. While a spot-check is in
+		// flight the ballot is recorded but graded at finalization —
+		// the spot recomputation may still re-point the accepted
+		// digest.
+		outcome := vt.voter.Add(s.name, d)
+		var actions []func()
+		if vt.emitted && l.verify.OnVerdict != nil &&
+			(outcome == verify.LateAgree || outcome == verify.LateDisagree) {
+			fn, name, idx := l.verify.OnVerdict, s.name, item.idx
+			agreed := outcome == verify.LateAgree
+			actions = append(actions, func() { fn(name, idx, agreed) })
+		}
+		l.voteCleanupLocked(item.idx, vt)
+		return append(actions, l.serviceLocked()...)
+	}
+
+	if _, seen := vt.values[d]; !seen {
+		vt.values[d] = v
+	}
+	switch vt.voter.Add(s.name, d) {
+	case verify.QuorumReached:
+		return l.voteAcceptLocked(item.idx, vt, d, false)
+	case verify.Counted:
+		if l.verify.Trusted != nil && l.verify.Trusted(s.name) {
+			// Fast-path: a trusted worker's ballot resolves the vote
+			// by itself; outstanding replicas become zombies.
+			vt.voter.Resolve(d)
+			return l.voteAcceptLocked(item.idx, vt, d, true)
+		}
+		l.voteLivenessLocked(item.idx, vt)
+		return l.serviceLocked()
+	default: // verify.Duplicate: same voice twice, no new information
+		l.voteLivenessLocked(item.idx, vt)
+		return l.serviceLocked()
+	}
+}
+
+// voteAcceptLocked handles a freshly resolved vote: either finalize
+// immediately or hold emission for a spot-check recomputation.
+func (l *Lender[I, O]) voteAcceptLocked(idx int, vt *voteState[I, O], d verify.Digest, fastPath bool) []func() {
+	if l.verify.Spot != nil && l.verify.Recompute != nil && l.verify.Spot(idx) {
+		vt.spotting = true
+		input := vt.input
+		actions := []func(){func() { l.spotCheck(idx, input, d, fastPath) }}
+		return append(actions, l.serviceLocked()...)
+	}
+	return l.voteFinalizeLocked(idx, vt, d, fastPath, false, false)
+}
+
+// spotCheck recomputes idx locally (outside the lock) and finalizes the
+// vote: on a digest mismatch the recomputed value is the ground truth —
+// it replaces the accepted result, so even a full quorum of colluders
+// cannot push a wrong value past a spot-check.
+func (l *Lender[I, O]) spotCheck(idx int, input I, accepted verify.Digest, fastPath bool) {
+	truth, err := l.verify.Recompute(input)
+	var truthD verify.Digest
+	if err == nil {
+		truthD, err = l.verify.Digest(truth)
+	}
+	l.mu.Lock()
+	vt := l.votes[idx]
+	if vt == nil || !vt.spotting {
+		l.mu.Unlock()
+		return
+	}
+	vt.spotting = false
+	d, failed := accepted, false
+	if err == nil && truthD != accepted {
+		failed = true
+		d = truthD
+		vt.voter.Resolve(truthD)
+		vt.values[truthD] = truth
+	}
+	// A recomputation error leaves the quorum result standing — the
+	// check was inconclusive, not failed.
+	actions := l.voteFinalizeLocked(idx, vt, d, fastPath, true, failed)
+	l.mu.Unlock()
+	run(actions)
+}
+
+// voteFinalizeLocked emits the accepted value, grades every ballot
+// against the final digest, and releases the audit record. This is the
+// single place a verified value reaches the reorder buffer, the
+// journal hook and the output.
+func (l *Lender[I, O]) voteFinalizeLocked(idx int, vt *voteState[I, O], d verify.Digest, fastPath, spotChecked, spotFailed bool) []func() {
+	v := vt.values[d]
+	vt.emitted = true
+	l.pending--
+	if l.ordered {
+		l.results[idx] = v
+		l.maybeSpillLocked()
+	} else {
+		l.ready = append(l.ready, v)
+	}
+
+	var actions []func()
+	ballots := vt.voter.Ballots()
+	names := make([]string, 0, len(ballots))
+	for name := range ballots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var agreeing []string
+	for _, name := range names {
+		agreed := ballots[name] == d
+		if agreed {
+			agreeing = append(agreeing, name)
+		}
+		if l.verify.OnVerdict != nil {
+			fn, n := l.verify.OnVerdict, name
+			actions = append(actions, func() { fn(n, idx, agreed) })
+		}
+	}
+	if l.verify.OnAccept != nil {
+		votes := len(agreeing)
+		a := verify.Acceptance{
+			Idx:         idx,
+			Digest:      d,
+			Votes:       votes,
+			Workers:     agreeing,
+			FastPath:    fastPath,
+			SpotChecked: spotChecked,
+			SpotFailed:  spotFailed,
+		}
+		fn := l.verify.OnAccept
+		actions = append(actions, func() { fn(a) })
+	}
+	if l.onResult != nil {
+		fn := l.onResult
+		actions = append(actions, func() { fn(idx, v) })
+	}
+	l.voteCleanupLocked(idx, vt)
+	return append(actions, l.serviceLocked()...)
+}
+
+// voteEndCopyLocked handles one outstanding copy of a dying sub-stream:
+// a resolved vote's zombie copy is discarded, an unresolved one is
+// re-queued — replica death mid-vote must not strand the quorum.
+func (l *Lender[I, O]) voteEndCopyLocked(s *SubStream, it lentAny) {
+	vt := l.votes[it.idx]
+	if vt == nil {
+		return
+	}
+	vt.dropHolder(s.name)
+	if vt.resolved() {
+		l.voteCleanupLocked(it.idx, vt)
+		return
+	}
+	vt.queued++
+	l.failed = append(l.failed, lent[I]{idx: it.idx, v: it.v.(I)})
+}
+
+// voteRelendLocked is the verify-mode arm of the failed-queue loop in
+// serviceLocked: it drops copies of resolved votes, and hands a live
+// copy only to a waiter whose worker name is not already a participant.
+// It reports (consumed, lent, actions): consumed means the queue entry
+// at fi was removed (the caller must not advance fi).
+func (l *Lender[I, O]) voteRelendLocked(fi int) (consumed bool, actions []func()) {
+	it := l.failed[fi]
+	vt := l.votes[it.idx]
+	if vt == nil {
+		// No vote record (value queued before SetVerify, or after
+		// cleanup): lend plainly to the first waiter.
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.failed = append(l.failed[:fi], l.failed[fi+1:]...)
+		w.sub.parked = false
+		w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: it.idx, v: it.v, at: time.Now()})
+		l.outstanding++
+		cb, v := w.cb, it.v
+		return true, []func(){func() { cb(nil, v) }}
+	}
+	if vt.resolved() {
+		vt.queued--
+		l.failed = append(l.failed[:fi], l.failed[fi+1:]...)
+		l.voteCleanupLocked(it.idx, vt)
+		return true, nil
+	}
+	wi := -1
+	for j, w := range l.waiters {
+		if !vt.participant(w.sub.name) {
+			wi = j
+			break
+		}
+	}
+	if wi < 0 {
+		// Every asking worker already holds or voted on this value;
+		// keep the copy queued for a fresh voice.
+		return false, nil
+	}
+	w := l.waiters[wi]
+	l.waiters = append(l.waiters[:wi], l.waiters[wi+1:]...)
+	l.failed = append(l.failed[:fi], l.failed[fi+1:]...)
+	w.sub.parked = false
+	w.sub.outstanding = append(w.sub.outstanding, lentAny{idx: it.idx, v: it.v, at: time.Now()})
+	l.outstanding++
+	vt.queued--
+	vt.holders[w.sub.name]++
+	l.voteFanLocked(vt, it.idx, w.sub.name)
+	cb, v := w.cb, it.v
+	return true, []func(){func() { cb(nil, v) }}
+}
+
+// voteSpeculateLocked queues one extra copy of each of s's oldest
+// unresolved values (up to max). Under verification a speculative
+// duplicate is just one more replica: the participant check keeps it
+// away from s (and any same-named sibling), and the name-keyed ballots
+// mean it can never count as a second vote from the same worker — the
+// PR 2 speculation-dedup property, enforced structurally.
+func (l *Lender[I, O]) voteSpeculateLocked(s *SubStream, max int) int {
+	n := 0
+	for _, it := range s.outstanding {
+		if n >= max {
+			break
+		}
+		vt := l.votes[it.idx]
+		if vt == nil || vt.resolved() || vt.queued > 0 {
+			continue
+		}
+		vt.queued++
+		l.failed = append(l.failed, lent[I]{idx: it.idx, v: it.v.(I)})
+		n++
+	}
+	return n
+}

@@ -6,6 +6,7 @@
 package master
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"pando/internal/pullstream"
 	"pando/internal/sched"
 	"pando/internal/transport"
+	"pando/internal/verify"
 )
 
 // DefaultBatch is the default number of values in flight per device. The
@@ -170,6 +172,16 @@ type WorkerStats struct {
 	BlobMisses int64
 	BlobEvicts int64
 
+	// Verification accounting (EnableVerification only): the device's
+	// reputation score, how many accepted votes it agreed/disagreed
+	// with, spot-check counts, and whether it was quarantined.
+	Reputation  float64
+	Agreed      int
+	Disagreed   int
+	SpotChecks  int
+	SpotFails   int
+	Quarantined bool
+
 	// InFlight is how many values the device currently holds (summed
 	// over its attachments — one per contributed core).
 	InFlight int
@@ -273,6 +285,7 @@ type Master[I, O any] struct {
 	closed     bool
 	jerr       error // first journal write failure, for diagnostics
 	shardStats func() []ShardStats
+	ledger     *verify.Ledger // non-nil once EnableVerification ran
 
 	// Bandwidth-aware data plane state: the job-wide intern table behind
 	// payload dedup, per-worker dedup counters, and the registry of
@@ -745,6 +758,10 @@ func (m *Master[I, O]) Stats() []WorkerStats {
 	flows := m.engine.Flows()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var reps map[string]verify.WorkerRep
+	if m.ledger != nil {
+		reps = m.ledger.Snapshot()
+	}
 	byName := make(map[string]sched.WorkerFlow, len(flows))
 	for _, f := range flows {
 		agg := byName[f.Name]
@@ -769,9 +786,74 @@ func (m *Master[I, O]) Stats() []WorkerStats {
 			row.BlobMisses = bs.Misses.Load()
 			row.BlobEvicts = bs.Evicts.Load()
 		}
+		if r, ok := reps[w.Name]; ok {
+			row.Reputation = r.Score
+			row.Agreed = r.Agreed
+			row.Disagreed = r.Disagreed
+			row.SpotChecks = r.SpotChecks
+			row.SpotFails = r.SpotFails
+			row.Quarantined = r.Quarantined
+		}
 		out = append(out, row)
 	}
 	return out
+}
+
+// EnableVerification turns on Byzantine-tolerant result verification on
+// the plain data plane: k-replication with quorum voting on result
+// digests (the SHA-256 of each result's wire encoding), probabilistic
+// spot-checks recomputed with f, a reputation ledger whose credit
+// weighting shrinks suspects' windows, and a replication-free fast path
+// for workers above the trust threshold. It errors on a grouped master
+// (Config.Group > 1): verification votes on individual result digests,
+// and a grouped frame hides them. Call before Bind and before any
+// worker attaches; wire the returned ledger's OnQuarantine to the
+// fleet's Quarantine to expel cheaters.
+func (m *Master[I, O]) EnableVerification(pol verify.Policy, f func(I) (O, error)) (*verify.Ledger, error) {
+	pe, ok := m.engine.(*plainEngine[I, O])
+	if !ok {
+		return nil, fmt.Errorf("master: verification requires the ungrouped data plane (Config.Group <= 1)")
+	}
+	out := m.out
+	ledger := pe.d.EnableVerification(core.VerifySpec[I, O]{
+		Policy: pol,
+		Digest: func(v O) (verify.Digest, error) {
+			data, err := out.Encode(v)
+			if err != nil {
+				return verify.Digest{}, err
+			}
+			return verify.DigestOf(data), nil
+		},
+		Recompute: f,
+	})
+	m.mu.Lock()
+	m.ledger = ledger
+	m.mu.Unlock()
+	return ledger, nil
+}
+
+// VerifyAudit returns the acceptance audit trail (every index that
+// reached the output, with its vote), or nil without verification.
+func (m *Master[I, O]) VerifyAudit() []verify.Acceptance {
+	m.mu.Lock()
+	l := m.ledger
+	m.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Acceptances()
+}
+
+// Reputations snapshots the per-worker reputation rows, or nil without
+// verification.
+func (m *Master[I, O]) Reputations() map[string]verify.WorkerRep {
+	m.mu.Lock()
+	l := m.ledger
+	m.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Snapshot()
 }
 
 // TotalItems returns the number of results received from all devices.

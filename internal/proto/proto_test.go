@@ -133,6 +133,20 @@ func FuzzReadFrame(f *testing.F) {
 	var reassign bytes.Buffer
 	_ = V2.WriteFrame(&reassign, &Message{Type: TypeReassign, Func: "mining"})
 	f.Add(reassign.Bytes())
+	// Verification-era results: a digest-bearing TypeResult in both wire
+	// formats (the end-to-end integrity digest rides the same field the
+	// dedup layer uses for content addresses).
+	digest := bytes.Repeat([]byte{0xD1, 0x6E}, 16)
+	var resDig bytes.Buffer
+	_ = V1.WriteFrame(&resDig, &Message{Type: TypeResult, Seq: 7, Data: []byte(`42`), Digest: digest})
+	f.Add(resDig.Bytes())
+	var resDigBin bytes.Buffer
+	_ = V2.WriteFrame(&resDigBin, &Message{Type: TypeResultBatch, Seq: 9, Data: []byte{0x01, 0x02}, Digest: digest})
+	f.Add(resDigBin.Bytes())
+	// Hostile v2 digest field: tag 0x8D with a length running past the
+	// frame end, and a bare tag with no length at all.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x05, 0xB2, 0x01, 0x05, 0x8D, 0x20})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, 0xB2, 0x8D})
 	// Hostile v2 Functions field: truncated repeated string entry.
 	f.Add([]byte{0x00, 0x00, 0x00, 0x04, 0xB2, 0x01, 0x01, 0x8C})
 	// Truncations, garbage, hostile lengths.

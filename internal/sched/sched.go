@@ -433,6 +433,7 @@ type Scheduler struct {
 	parked func() int // idle asks parked at the lender (tail signal)
 
 	mu       sync.Mutex
+	weight   func(name string) float64 // reputation-based credit weight
 	entries  map[*Controller]*entry
 	started  bool
 	closed   bool
@@ -462,11 +463,63 @@ func New(p Policy, parked func() int) *Scheduler {
 // Policy returns the scheduler's policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
+// SetCreditWeight installs a per-worker credit weight in [0, 1],
+// consulted at Attach time: the verification layer's reputation ledger
+// feeds it, so a worker under suspicion re-attaches with a shrunken
+// window (its blast radius — in-flight values it could poison — shrinks
+// with its score) and a quarantined worker with the minimum one. A nil
+// fn restores uniform windows.
+func (s *Scheduler) SetCreditWeight(fn func(name string) float64) {
+	s.mu.Lock()
+	s.weight = fn
+	s.mu.Unlock()
+}
+
+// weightedPolicy scales the scheduler's policy by the worker's credit
+// weight: an adaptive policy keeps its floor but lowers its probing
+// ceiling; a static policy shrinks its fixed window. The window never
+// drops below 1 — flow control must not deadlock a worker the fleet
+// still lends to (a zero-weight worker is quarantined at the fleet
+// layer, not starved here).
+func (s *Scheduler) weightedPolicy(name string) Policy {
+	s.mu.Lock()
+	fn := s.weight
+	s.mu.Unlock()
+	p := s.policy
+	if fn == nil {
+		return p
+	}
+	w := fn(name)
+	if w >= 1 {
+		return p
+	}
+	if w < 0 {
+		w = 0
+	}
+	scale := func(n int) int {
+		v := int(float64(n)*w + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	if p.Adaptive() {
+		p.Max = scale(p.Max)
+		if p.Max < p.Min {
+			p.Min = p.Max
+		}
+		return p
+	}
+	p.Min = scale(p.Min)
+	p.Max = p.Min
+	return p
+}
+
 // Attach registers a worker and returns its credit controller. The
 // straggler scan starts lazily with the first attachment when the policy
 // enables speculation.
 func (s *Scheduler) Attach(name string, sub SubHandle) *Controller {
-	c := NewController(s.policy)
+	c := NewController(s.weightedPolicy(name))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -319,3 +319,69 @@ func TestSchedulerStopLeavesControllersRunning(t *testing.T) {
 	c.Cancel()
 	s.Close()
 }
+
+func TestSchedulerCreditWeightShrinksWindow(t *testing.T) {
+	s := New(Static(4), nil)
+	weights := map[string]float64{"suspect": 0.25, "expelled": 0}
+	s.SetCreditWeight(func(name string) float64 {
+		if w, ok := weights[name]; ok {
+			return w
+		}
+		return 1
+	})
+	find := func(name string) WorkerFlow {
+		for _, f := range s.Flows() {
+			if f.Name == name {
+				return f
+			}
+		}
+		t.Fatalf("worker %s not attached", name)
+		panic("unreachable")
+	}
+	s.Attach("honest", &fakeSub{})
+	s.Attach("suspect", &fakeSub{})
+	s.Attach("expelled", &fakeSub{})
+	if w := find("honest").Window; w != 4 {
+		t.Fatalf("honest window = %d, want full 4", w)
+	}
+	if w := find("suspect").Window; w != 1 {
+		t.Fatalf("suspect window = %d, want 1 (4 * 0.25)", w)
+	}
+	// Even zero weight keeps a window of 1: starving a worker the fleet
+	// still lends to would deadlock its sub-stream, and expulsion is the
+	// fleet layer's job.
+	if w := find("expelled").Window; w != 1 {
+		t.Fatalf("expelled window = %d, want floor 1", w)
+	}
+	s.Close()
+}
+
+func TestSchedulerCreditWeightCapsAdaptiveCeiling(t *testing.T) {
+	s := New(Adaptive(2, 8), nil)
+	s.SetCreditWeight(func(name string) float64 {
+		if name == "suspect" {
+			return 0.5
+		}
+		return 1
+	})
+	c := s.Attach("suspect", &fakeSub{})
+	// Drive the controller well past where the capped ceiling sits: the
+	// window must stop at 4 (8 * 0.5), not the policy's 8.
+	for i := 0; i < 64; i++ {
+		if !c.Acquire() {
+			break
+		}
+		c.Sent()
+		c.Result()
+	}
+	got := -1
+	for _, f := range s.Flows() {
+		if f.Name == "suspect" {
+			got = f.Window
+		}
+	}
+	if got > 4 {
+		t.Fatalf("suspect adaptive window = %d, want capped at 4", got)
+	}
+	s.Close()
+}

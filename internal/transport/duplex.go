@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 
@@ -166,6 +168,21 @@ func masterSource[O any](ch Channel, out Codec[O], got *uint64) pullstream.Sourc
 					return
 				}
 				*got = m.Seq
+				// End-to-end payload check: the worker hashed the encoded
+				// result right after f produced it, so a mismatch here means
+				// the bytes changed somewhere in between — a fault frame
+				// CRCs cannot see (they only cover the wire). Crash-stop:
+				// the channel fails, outstanding values re-lend.
+				if len(m.Digest) > 0 {
+					sum := sha256.Sum256(m.Data)
+					if !bytes.Equal(sum[:], m.Digest) {
+						err := fmt.Errorf("transport: result %d digest mismatch (payload corrupted)", m.Seq)
+						proto.Release(m)
+						ch.Close()
+						cb(err, zero)
+						return
+					}
+				}
 				v, err := out.Decode(m.Data)
 				if err != nil {
 					err = fmt.Errorf("transport: decode result %d: %w", m.Seq, err)

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"fmt"
 
 	"pando/internal/proto"
@@ -91,6 +93,19 @@ func GroupedMasterDuplex[I, O any](ch Channel, in Codec[I], out Codec[O]) pullst
 					}
 					got = m.Seq
 					seq := m.Seq
+					// A digest-bearing batch is end-to-end checked before any
+					// item is parsed: the hash was computed by the processing
+					// side, so a mismatch catches corruption anywhere between
+					// f returning and this read — not just on the wire.
+					if len(m.Digest) > 0 {
+						sum := sha256.Sum256(m.Data)
+						if !bytes.Equal(sum[:], m.Digest) {
+							proto.Release(m)
+							ch.Close()
+							cb(fmt.Errorf("transport: result batch %d digest mismatch (payload corrupted)", seq), nil)
+							return
+						}
+					}
 					// DecodeBatch copies every item out of the frame (one
 					// retained item must not pin a whole multi-item frame),
 					// so the frame recycles as soon as the batch is parsed.
@@ -226,7 +241,8 @@ func WorkerServeReassignable[I, O any](ch Channel, in Codec[I], out Codec[O], f 
 				q.enqueue(&proto.Message{Type: proto.TypeResultBatch, Seq: seq, Err: "encode batch: " + err.Error()}, nil)
 				continue
 			}
-			reply := &proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Data: data}
+			sum := sha256.Sum256(data)
+			reply := &proto.Message{Type: proto.TypeResultBatch, Seq: m.Seq, Data: data, Digest: sum[:]}
 			if !q.enqueue(reply, m) {
 				proto.Release(m)
 				return q.close()
@@ -258,5 +274,6 @@ func applyOne[I, O any](seq uint64, data []byte, in Codec[I], out Codec[O], f fu
 	if err != nil {
 		return &proto.Message{Type: proto.TypeResult, Seq: seq, Err: "encode: " + err.Error()}
 	}
-	return &proto.Message{Type: proto.TypeResult, Seq: seq, Data: encoded}
+	sum := sha256.Sum256(encoded)
+	return &proto.Message{Type: proto.TypeResult, Seq: seq, Data: encoded, Digest: sum[:]}
 }

@@ -39,6 +39,7 @@ import (
 	"pando/internal/sched"
 	"pando/internal/shard"
 	"pando/internal/transport"
+	"pando/internal/verify"
 	"pando/internal/worker"
 )
 
@@ -69,6 +70,13 @@ type (
 	PoolWorker = fleet.WorkerInfo
 	// Invitation is the deployment bootstrap document served over HTTP.
 	Invitation = master.Invitation
+	// WorkerRep is one worker's reputation row under WithVerification:
+	// score, agreement counts, spot-check tallies and quarantine state.
+	WorkerRep = verify.WorkerRep
+	// Acceptance is one verified result's audit record: which workers
+	// voted for the accepted digest, whether the fast path or a
+	// spot-check was involved.
+	Acceptance = verify.Acceptance
 )
 
 // Wire format tags, for WithWireFormat.
@@ -89,28 +97,32 @@ const (
 type Option func(*options)
 
 type options struct {
-	batch       int
-	adaptMin    int
-	adaptMax    int
-	speculation float64
-	group       int
-	unordered   bool
-	channel     transport.Config
-	register    bool
-	formats     []string
-	noCompress  bool
-	blobCache   int64
-	rebalance   time.Duration
-	inCodec     any // transport.Codec[I], stored untyped (Option is not generic)
-	outCodec    any // transport.Codec[O]
-	checkpoint  string
-	resume      bool
-	fsync       time.Duration
-	highWater   int
-	spillPath   string
-	shards      int
-	shardWindow int
-	shardDir    string
+	batch          int
+	adaptMin       int
+	adaptMax       int
+	speculation    float64
+	group          int
+	unordered      bool
+	channel        transport.Config
+	register       bool
+	formats        []string
+	noCompress     bool
+	blobCache      int64
+	rebalance      time.Duration
+	inCodec        any // transport.Codec[I], stored untyped (Option is not generic)
+	outCodec       any // transport.Codec[O]
+	checkpoint     string
+	resume         bool
+	fsync          time.Duration
+	highWater      int
+	spillPath      string
+	shards         int
+	shardWindow    int
+	shardDir       string
+	verifyK        int
+	verifyQuorum   int
+	spotRate       float64
+	trustThreshold float64
 }
 
 // WithBatch sets how many values may be in flight per device (the Limiter
@@ -306,6 +318,47 @@ func WithShardWindow(w int) Option { return func(o *options) { o.shardWindow = w
 // them on disk at Close — the run's durable record, inspectable after
 // the fact. Only meaningful with WithShards.
 func WithShardDir(dir string) Option { return func(o *options) { o.shardDir = dir } }
+
+// WithVerification enables Byzantine-tolerant result verification:
+// every input is dispatched to k distinct workers (devices, by
+// accounting name — several sessions of one device share a vote), and a
+// result reaches the output only once quorum of them returned
+// byte-identical results (matching SHA-256 digests of the wire
+// encoding). Workers whose results disagree with accepted votes lose
+// reputation; below the quarantine line they are expelled from the
+// fleet (their sessions severed, their name banned, their in-flight
+// values re-lent to workers in good standing). Use WithTrustThreshold
+// to let long-standing honest workers graduate to a replication-free
+// fast path, and WithSpotCheck to keep even trusted workers honest.
+//
+// Verification needs the ungrouped, unsharded data plane: combining it
+// with WithGroup(n > 1) or WithShards is reported as an error by
+// Process / ProcessSlice.
+func WithVerification(k, quorum int) Option {
+	return func(o *options) {
+		o.verifyK = k
+		o.verifyQuorum = quorum
+	}
+}
+
+// WithSpotCheck makes the master recompute a deterministic pseudo-random
+// sample of accepted results locally (rate in [0,1], the fraction of
+// indices checked): if the recomputation disagrees with an accepted
+// digest — even a quorum of colluders, or a trusted fast-path result —
+// the local truth wins, and every worker that voted for the wrong digest
+// is graded against it. Only meaningful with WithVerification.
+func WithSpotCheck(rate float64) Option {
+	return func(o *options) { o.spotRate = rate }
+}
+
+// WithTrustThreshold sets the reputation score (0,1] above which a
+// worker's results are accepted without replication — the fast path that
+// recovers most of the unreplicated throughput once the fleet has proven
+// itself. Zero (the default) disables the fast path: every value is
+// replicated k ways forever. Only meaningful with WithVerification.
+func WithTrustThreshold(t float64) Option {
+	return func(o *options) { o.trustThreshold = t }
+}
 
 // WithCodec replaces the JSON payload codecs. The type parameters must
 // match the deployment's input and output types — pando.New panics
@@ -691,6 +744,26 @@ func Map[I, O any](pool *Pool, name string, f func(I) (O, error), opts ...Option
 		}
 	}
 	p.m = master.NewJob[I, O](cfg, in, out)
+	if o.verifyK > 0 {
+		pol := verify.Policy{
+			K:              o.verifyK,
+			Quorum:         o.verifyQuorum,
+			SpotRate:       o.spotRate,
+			TrustThreshold: o.trustThreshold,
+		}
+		ledger, err := p.m.EnableVerification(pol, f)
+		if err != nil {
+			if p.initErr == nil {
+				p.initErr = fmt.Errorf("pando: WithVerification cannot be combined with WithGroup; %w", err)
+			}
+		} else {
+			// Expulsion runs on its own goroutine: the quarantine hook
+			// fires on a result-delivery path deep inside the engine, and
+			// severing sessions re-enters it.
+			fp := pool.fp
+			ledger.OnQuarantine(func(name string) { go fp.Quarantine(name) })
+		}
+	}
 	p.job = p.m.Job()
 	h := CodecHandler(f, in, out)
 	pool.register(p, h)
@@ -731,6 +804,9 @@ func (p *Pando[I, O]) initShards(o options, cfg master.Config) {
 		return
 	case o.spillPath != "":
 		p.initErr = fmt.Errorf("pando: WithShards cannot be combined with WithSpill; bound the merge buffer with WithShardWindow instead")
+		return
+	case o.verifyK > 0:
+		p.initErr = fmt.Errorf("pando: WithShards cannot be combined with WithVerification; replica routing needs the single-master index space")
 		return
 	}
 	cfg.SpillHighWater = o.highWater
@@ -985,6 +1061,27 @@ func (p *Pando[I, O]) MigrateShard(slot int) error {
 		return fmt.Errorf("pando: MigrateShard: not a sharded deployment")
 	}
 	return p.shards.Migrate(slot)
+}
+
+// Reputations snapshots the per-worker reputation rows of a
+// WithVerification deployment (score, agreement counts, spot-check
+// tallies, quarantine state); nil without verification.
+func (p *Pando[I, O]) Reputations() map[string]WorkerRep {
+	if p.m == nil {
+		return nil
+	}
+	return p.m.Reputations()
+}
+
+// VerifyAudit returns the acceptance audit of a WithVerification
+// deployment: one record per output index, naming the workers whose
+// matching results carried the vote (or the fast path / spot-check that
+// sealed it). Nil without verification.
+func (p *Pando[I, O]) VerifyAudit() []Acceptance {
+	if p.m == nil {
+		return nil
+	}
+	return p.m.VerifyAudit()
 }
 
 // Checkpoint exposes the deployment's journal (nil without
